@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Right-sizing ablation (Sections III-B1 / VI-C): the DPP auto-scaler
+ * vs. static provisioning, on a bursty demand profile.
+ *
+ * A one-hour RM1 deployment sees trainer demand step 2 -> 8 -> 3 -> 6
+ * nodes (combo-window churn). Policies compared by the two costs the
+ * paper cares about: data stalls (under-provisioning idles GPUs) and
+ * worker-seconds (over-provisioning wastes power — extra workers do
+ * not speed up training). A failure-injected run shows the controller
+ * also masking worker churn.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "dpp/sim_session.h"
+
+using namespace dsi;
+using namespace dsi::dpp;
+
+namespace {
+
+SimSessionConfig
+baseConfig()
+{
+    SimSessionConfig cfg;
+    cfg.rm = warehouse::rm1();
+    cfg.duration_s = 3600;
+    cfg.demand = {{0, 2}, {600, 8}, {1800, 3}, {2700, 6}};
+    cfg.scaler.min_workers = 4;
+    cfg.scaler.max_workers = 2048;
+    cfg.initial_workers = 32;
+    cfg.seed = 11;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Right-sizing ablation: auto-scaler vs static "
+                "pools (RM1, 1h bursty demand) ===\n");
+
+    TablePrinter table({"Policy", "Stall %", "Avg workers",
+                        "Peak workers", "Worker-hours", "Pool util %",
+                        "Energy (kWh)"});
+    auto node_watts = sim::computeNodeV1().power_w;
+    SimSessionResult by_policy[3];
+    int row = 0;
+    for (auto policy : {ScalingPolicy::StaticUnder,
+                        ScalingPolicy::StaticExact,
+                        ScalingPolicy::AutoScale}) {
+        auto cfg = baseConfig();
+        cfg.policy = policy;
+        auto r = simulateDeployment(cfg);
+        by_policy[row++] = r;
+        const char *name =
+            policy == ScalingPolicy::AutoScale ? "auto-scale"
+            : policy == ScalingPolicy::StaticExact
+                ? "static @ peak"
+                : "static @ mean";
+        table.addRow({name,
+                      TablePrinter::num(100 * r.stall_fraction, 1),
+                      TablePrinter::num(r.avg_workers, 0),
+                      std::to_string(r.peak_workers),
+                      TablePrinter::num(r.worker_seconds / 3600, 0),
+                      TablePrinter::num(
+                          100 * r.avg_pool_utilization, 0),
+                      TablePrinter::num(
+                          r.energyJ(node_watts) / 3.6e6, 1)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    // Failure masking: MTBF chosen so several workers die per run.
+    auto cfg = baseConfig();
+    cfg.worker_mtbf_s = 40000; // pool-level: ~ one failure / few min
+    auto r = simulateDeployment(cfg);
+    std::printf("\nwith worker failures (stateless restart): %llu "
+                "failures, stall %.1f%% — the Master's health monitor "
+                "and requeue keep trainers fed.\n",
+                (unsigned long long)r.failures,
+                100 * r.stall_fraction);
+
+    std::printf("\ntakeaway: static-at-peak burns %.0f%% more energy "
+                "than auto-scaling for near-equal stalls; "
+                "static-at-mean stalls GPUs %.1fx more during the "
+                "combo burst. Right-sizing gets both.\n",
+                100 * (by_policy[1].worker_seconds /
+                           by_policy[2].worker_seconds -
+                       1.0),
+                by_policy[0].stall_fraction /
+                    std::max(1e-9, by_policy[2].stall_fraction));
+    return 0;
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Why trainer-local caching fails for production DLRM training
+ * (Section V-A, "contrary to prior assumptions [55]").
+ *
+ * Systems like CoorDL/Quiver cache samples at the trainer assuming
+ * (a) the dataset fits near-locally and (b) epochs re-read it.
+ * Production DLRM jobs read PB-scale partitions ONCE (single epoch),
+ * so a local cache gets no intra-job reuse; reuse exists only ACROSS
+ * jobs on popular features (Fig. 7), which a shared storage-side
+ * cache can capture.
+ *
+ * The bench replays block-level access traces against an LRU of
+ * varying capacity for three workloads: multi-epoch benchmark-style,
+ * single-epoch production-style, and cross-job shared access.
+ */
+
+#include <cstdio>
+#include <list>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+
+using namespace dsi;
+
+namespace {
+
+/** Simple LRU over block ids. */
+class LruCache
+{
+  public:
+    explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+    bool access(uint64_t block)
+    {
+        auto it = index_.find(block);
+        if (it != index_.end()) {
+            order_.splice(order_.begin(), order_, it->second);
+            return true;
+        }
+        if (capacity_ == 0)
+            return false;
+        if (order_.size() >= capacity_) {
+            index_.erase(order_.back());
+            order_.pop_back();
+        }
+        order_.push_front(block);
+        index_[block] = order_.begin();
+        return false;
+    }
+
+  private:
+    size_t capacity_;
+    std::list<uint64_t> order_;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator>
+        index_;
+};
+
+constexpr uint64_t kBlocks = 20000;
+
+/** Benchmark workload: E epochs, shuffled each epoch. */
+double
+multiEpochHitRate(size_t cache_blocks, uint32_t epochs, uint64_t seed)
+{
+    Rng rng(seed);
+    LruCache cache(cache_blocks);
+    std::vector<uint64_t> order(kBlocks);
+    for (uint64_t b = 0; b < kBlocks; ++b)
+        order[b] = b;
+    uint64_t hits = 0, total = 0;
+    for (uint32_t e = 0; e < epochs; ++e) {
+        shuffle(order, rng);
+        for (uint64_t b : order) {
+            hits += cache.access(b);
+            ++total;
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+/** MinIO/CoorDL-style pinned cache: a fixed subset, no eviction —
+ *  the best possible local policy for shuffled epochs. */
+double
+multiEpochPinnedHitRate(size_t cache_blocks, uint32_t epochs,
+                        uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> order(kBlocks);
+    for (uint64_t b = 0; b < kBlocks; ++b)
+        order[b] = b;
+    uint64_t hits = 0, total = 0;
+    for (uint32_t e = 0; e < epochs; ++e) {
+        shuffle(order, rng);
+        for (uint64_t b : order) {
+            // Pinned subset: blocks [0, cache_blocks), warm after
+            // the first epoch.
+            hits += e > 0 && b < cache_blocks;
+            ++total;
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+/** Production workload: one epoch, each block exactly once. */
+double
+singleEpochHitRate(size_t cache_blocks, uint64_t seed)
+{
+    Rng rng(seed);
+    LruCache cache(cache_blocks);
+    std::vector<uint64_t> order(kBlocks);
+    for (uint64_t b = 0; b < kBlocks; ++b)
+        order[b] = b;
+    shuffle(order, rng);
+    uint64_t hits = 0;
+    for (uint64_t b : order)
+        hits += cache.access(b);
+    return static_cast<double>(hits) / static_cast<double>(kBlocks);
+}
+
+/** Cross-job reuse: jobs share a storage-side cache; each reads its
+ *  own Zipf-popular subset once (the Fig. 7 pattern). */
+double
+sharedCacheHitRate(size_t cache_blocks, uint32_t jobs, uint64_t seed)
+{
+    Rng rng(seed);
+    LruCache cache(cache_blocks);
+    ZipfSampler zipf(kBlocks, 0.9);
+    uint64_t hits = 0, total = 0;
+    for (uint32_t j = 0; j < jobs; ++j) {
+        // Each job touches ~35% of blocks, popularity-weighted.
+        for (uint64_t k = 0; k < kBlocks * 35 / 100; ++k) {
+            hits += cache.access(zipf.sample(rng));
+            ++total;
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Local-cache assumption ablation (Section V-A) "
+                "===\n");
+    TablePrinter table({"Cache size (% of data)",
+                        "5-epoch LRU", "5-epoch pinned (CoorDL)",
+                        "production 1-epoch", "shared cross-job"});
+    for (double frac : {0.05, 0.10, 0.25, 0.50}) {
+        size_t cap = static_cast<size_t>(kBlocks * frac);
+        table.addRow(
+            {TablePrinter::num(100 * frac, 0),
+             TablePrinter::num(
+                 100 * multiEpochHitRate(cap, 5, 1), 1) + "%",
+             TablePrinter::num(
+                 100 * multiEpochPinnedHitRate(cap, 5, 1), 1) + "%",
+             TablePrinter::num(100 * singleEpochHitRate(cap, 2), 1) +
+                 "%",
+             TablePrinter::num(
+                 100 * sharedCacheHitRate(cap, 12, 3), 1) +
+                 "%"});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\ntakeaway: even the best local policy (pinning, hit rate "
+        "= cache fraction after warmup) needs multi-epoch reuse; "
+        "with one-epoch reads a trainer-local cache is "
+        "useless at any size (and PB datasets exceed local storage "
+        "anyway); reuse only exists across jobs on popular bytes, "
+        "where a shared storage-side cache captures it.\n");
+    return 0;
+}

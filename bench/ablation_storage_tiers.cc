@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Section VII heterogeneous-storage ablation: per-RM provisioning on
+ * HDD-only vs SSD-only vs Fig.7-sized tiering, the SSD IOPS/W and
+ * capacity/W ratios, and a live popular-block SSD cache sweep.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "dpp/worker_model.h"
+#include "storage/provisioning.h"
+#include "storage/tectonic.h"
+#include "warehouse/model_zoo.h"
+
+using namespace dsi;
+using namespace dsi::storage;
+
+int
+main()
+{
+    std::printf("=== Section VII ablation: storage tiering ===\n");
+
+    sim::HddNodeModel hdd;
+    sim::SsdNodeModel ssd;
+    std::printf("device ratios (SSD vs HDD node): IOPS/W %.0f%% "
+                "(paper 326%%), capacity/W %.0f%% (paper 9%%)\n\n",
+                100 * ssd.iopsPerWatt() / hdd.iopsPerWatt(),
+                100 * ssd.capacityPerWatt() / hdd.capacityPerWatt());
+
+    TablePrinter table({"Model", "HDD MW", "HDD gap", "SSD MW",
+                        "Tiered MW", "Best saves"});
+    for (const auto &rm : warehouse::allRms()) {
+        auto sat = dpp::saturateWorker(rm, sim::computeNodeV1());
+        double workers = dpp::workersPerTrainer(rm, sat);
+        // Fleet of 32 concurrent trainer nodes per model.
+        double fleet_rx = 32 * workers * sat.storage_rx_gbps * 1e9;
+
+        ProvisioningDemand d;
+        d.dataset_bytes =
+            static_cast<Bytes>(rm.usedPartitionsPb() * 1e15);
+        d.replication = 3;
+        d.read_throughput_bps = fleet_rx;
+        d.avg_io_bytes = 700000; // post-coalescing
+        auto h = provisionHdd(d);
+        auto s = provisionSsd(d);
+        auto t = provisionTiered(d, 0.80, rm.paper_hot_fraction_80);
+        // Tiering only helps IOPS-bound deployments; a capacity-bound
+        // model (gap <= 1) stays on plain HDD.
+        double best = std::min(
+            {h.power_watts, s.power_watts, t.power_watts});
+        char gap[16];
+        std::snprintf(gap, sizeof(gap), "%.1fx", h.gap);
+        char saved[16];
+        std::snprintf(saved, sizeof(saved), "%.0f%%",
+                      100 * (1 - best / h.power_watts));
+        table.addRow({rm.name,
+                      TablePrinter::num(h.power_watts / 1e6, 2), gap,
+                      TablePrinter::num(s.power_watts / 1e6, 2),
+                      TablePrinter::num(t.power_watts / 1e6, 2),
+                      saved});
+    }
+    std::printf("%s", table.render().c_str());
+
+    // Live cache sweep: hit rate vs cache size under Zipf reads.
+    std::printf("\npopular-block SSD cache (64-block file, Zipf 1.1 "
+                "reads):\n  cache-blocks  hit-rate  hdd-io-reduction\n");
+    for (uint64_t cache : {4u, 8u, 16u, 32u}) {
+        StorageOptions so;
+        so.block_size = 1_MiB;
+        so.hdd_nodes = 8;
+        so.cache_blocks = cache;
+        TectonicCluster cluster(so);
+        cluster.put("f", dwrf::Buffer(64u * 1_MiB, 1));
+        auto src = cluster.open("f");
+        Rng rng(7);
+        ZipfSampler zipf(64, 1.1);
+        dwrf::Buffer out;
+        const int reads = 4000;
+        for (int i = 0; i < reads; ++i)
+            src->read(zipf.sample(rng) * 1_MiB, 4096, out);
+        uint64_t hdd_ios = 0;
+        for (const auto &n : cluster.nodes())
+            hdd_ios += n.ioCount();
+        std::printf("  %-13llu %-9.2f %.0f%%\n",
+                    (unsigned long long)cache, cluster.cacheHitRate(),
+                    100.0 * (1.0 - static_cast<double>(hdd_ios) /
+                                       reads));
+    }
+    return 0;
+}

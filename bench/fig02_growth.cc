@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 2: normalized training dataset size and online ingestion
+ * bandwidth over two years (8 quarters). Paper: > 2x dataset and
+ * > 4x bandwidth growth.
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "sched/fleet.h"
+
+using namespace dsi;
+
+int
+main()
+{
+    std::printf(
+        "=== Figure 2: dataset and ingestion bandwidth growth ===\n");
+    TablePrinter table(
+        {"Quarter", "Dataset size (norm)", "Ingest bandwidth (norm)"});
+    for (uint32_t q = 0; q <= 8; ++q) {
+        table.addRow({"Q" + std::to_string(q),
+                      TablePrinter::num(sched::datasetGrowthFactor(q),
+                                        2),
+                      TablePrinter::num(
+                          sched::bandwidthGrowthFactor(q), 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\n2-year growth: dataset %.2fx (paper: >2x), "
+                "bandwidth %.2fx (paper: >4x)\n",
+                sched::datasetGrowthFactor(8),
+                sched::bandwidthGrowthFactor(8));
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 4: the 82 combo jobs of one RM1 release iteration — skewed
+ * and variable duration, many failed/killed, asynchronous launches.
+ *
+ * Prints every combo job as a (start, duration, status) row plus the
+ * skew summary the paper highlights: long-tailed durations (> 10
+ * days), a majority of non-successful jobs, and a start-time spread
+ * of more than a week driven by slot-limited asynchronous launches.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "sched/release.h"
+
+using namespace dsi;
+using namespace dsi::sched;
+
+int
+main()
+{
+    std::printf("=== Figure 4: combo jobs of one RM1 iteration ===\n");
+    auto jobs = generateIteration("RM1", ReleaseParams{}, 0.0, 2022);
+
+    std::vector<const TrainingJob *> combos;
+    for (const auto &j : jobs)
+        if (j.phase == JobPhase::Combo)
+            combos.push_back(&j);
+    std::sort(combos.begin(), combos.end(),
+              [](const TrainingJob *a, const TrainingJob *b) {
+                  return a->start_day < b->start_day;
+              });
+
+    TablePrinter table({"Job", "Start day", "Days", "Status"});
+    uint32_t ok = 0, failed = 0, killed = 0;
+    PercentileSampler durations;
+    double first_start = combos.front()->start_day;
+    double last_start = combos.back()->start_day;
+    for (size_t i = 0; i < combos.size(); ++i) {
+        const auto *j = combos[i];
+        durations.add(j->duration());
+        switch (j->status) {
+          case JobStatus::Succeeded:
+            ++ok;
+            break;
+          case JobStatus::Failed:
+            ++failed;
+            break;
+          case JobStatus::Killed:
+            ++killed;
+            break;
+        }
+        // Print a sample of rows (every 8th) to keep output readable.
+        if (i % 8 == 0) {
+            table.addRow({std::to_string(i + 1),
+                          TablePrinter::num(j->start_day, 1),
+                          TablePrinter::num(j->duration(), 1),
+                          jobStatusName(j->status)});
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\n%zu combo jobs: %u succeeded / %u failed / %u "
+                "killed\n",
+                combos.size(), ok, failed, killed);
+    std::printf("durations: p50=%.1f p90=%.1f max=%.1f days "
+                "(paper: individual jobs can exceed 10 days)\n",
+                durations.percentile(50), durations.percentile(90),
+                durations.percentile(100));
+    std::printf("start-time skew: %.1f days between first and last "
+                "launch (asynchronous slot-limited scheduling)\n",
+                last_start - first_start);
+    return 0;
+}

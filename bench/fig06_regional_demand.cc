@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 6: compute demand of the ten most commonly-used models
+ * (A-J), split by global region (R1-R5), normalized to model J.
+ *
+ * The production policy balances each model across all regions (so
+ * every region holds every dataset); the bench also reports the
+ * bin-packed alternative's replica savings (Section VII).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "sched/fleet.h"
+#include "sched/model_fleet.h"
+
+using namespace dsi;
+using namespace dsi::sched;
+
+int
+main()
+{
+    std::printf("=== Figure 6: per-model, per-region demand ===\n");
+    GlobalScheduler scheduler(fiveRegions());
+    auto models = tenModelFleet();
+    auto placement =
+        scheduler.place(models, PlacementPolicy::BalanceAllRegions);
+
+    double j_total = 0;
+    for (const auto &[region, d] : placement.demand.at("J"))
+        j_total += d;
+
+    TablePrinter table({"Model", "R1", "R2", "R3", "R4", "R5",
+                        "Total (norm to J)"});
+    for (const auto &m : models) {
+        std::vector<std::string> row{m.model};
+        double total = 0;
+        for (const auto &r : scheduler.regions()) {
+            double d = placement.demand.at(m.model).at(r.name);
+            total += d;
+            row.push_back(TablePrinter::num(d / j_total, 2));
+        }
+        row.push_back(TablePrinter::num(total / j_total, 2));
+        table.addRow(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+
+    auto packed = scheduler.place(models, PlacementPolicy::BinPack);
+    std::printf("\nbalance-all keeps %zu dataset replicas per model "
+                "(%.1f PB fleet-wide); bin-packing would need %.1f PB "
+                "(%.0f%% less), at the cost of per-region headroom.\n",
+                scheduler.regions().size(),
+                placement.total_storage_pb, packed.total_storage_pb,
+                100.0 * (1 - packed.total_storage_pb /
+                                 placement.total_storage_pb));
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 7: CDF of popular bytes vs. storage traffic absorbed, over a
+ * month of training runs per RM.
+ *
+ * Each run chooses its feature projection by popularity-weighted
+ * sampling (ML engineers favor strong-signal features); per-feature
+ * stored bytes come from the schema statistics. The curve plots, for
+ * the most-popular x% of stored bytes, the share of read traffic they
+ * serve. Paper: 80% of traffic is served by the hottest 39% / 37% /
+ * 18% of RM1 / RM2 / RM3 bytes.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "warehouse/datagen.h"
+#include "warehouse/model_zoo.h"
+
+using namespace dsi;
+using namespace dsi::warehouse;
+
+namespace {
+
+struct Curve
+{
+    std::vector<double> traffic_at; ///< traffic share at byte frac x
+    double hot80 = 0;               ///< byte fraction serving 80%
+};
+
+Curve
+monthOfRuns(const RmSpec &rm, uint32_t runs, uint64_t seed)
+{
+    auto schema = makeSchema(rm.schemaParams(seed));
+    auto pop =
+        featurePopularity(schema, rm.popularity_alpha, seed ^ 0xfeed);
+
+    // Per-feature stored bytes (relative) and accumulated reads.
+    std::vector<double> bytes(schema.features.size());
+    for (size_t i = 0; i < schema.features.size(); ++i)
+        bytes[i] = schema.features[i].expectedBytesPerRow();
+    std::vector<double> traffic(schema.features.size(), 0.0);
+    std::map<FeatureId, size_t> index;
+    for (size_t i = 0; i < schema.features.size(); ++i)
+        index.emplace(schema.features[i].id, i);
+
+    Rng rng(seed);
+    for (uint32_t run = 0; run < runs; ++run) {
+        // Jobs vary mildly around the model's projection size.
+        auto jitter = [&](uint32_t n) {
+            return static_cast<uint32_t>(
+                n * (0.85 + 0.3 * rng.nextDouble()));
+        };
+        auto proj =
+            chooseProjection(schema, pop, jitter(rm.dense_used),
+                             jitter(rm.sparse_used), rng.next());
+        for (FeatureId id : proj) {
+            size_t i = index.at(id);
+            traffic[i] += bytes[i];
+        }
+    }
+
+    // Byte-weighted Lorenz curve: order features by traffic density.
+    std::vector<size_t> order(bytes.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return traffic[a] / bytes[a] > traffic[b] / bytes[b];
+    });
+    double total_bytes = 0, total_traffic = 0;
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        total_bytes += bytes[i];
+        total_traffic += traffic[i];
+    }
+
+    Curve curve;
+    curve.traffic_at.assign(11, 0.0);
+    double acc_bytes = 0, acc_traffic = 0;
+    size_t next_point = 1;
+    curve.hot80 = 1.0;
+    bool hot80_set = false;
+    for (size_t k = 0; k < order.size(); ++k) {
+        acc_bytes += bytes[order[k]];
+        acc_traffic += traffic[order[k]];
+        double bx = acc_bytes / total_bytes;
+        double ty = acc_traffic / total_traffic;
+        while (next_point <= 10 &&
+               bx >= static_cast<double>(next_point) / 10.0) {
+            curve.traffic_at[next_point] = ty;
+            ++next_point;
+        }
+        if (!hot80_set && ty >= 0.80) {
+            curve.hot80 = bx;
+            hot80_set = true;
+        }
+    }
+    for (size_t p = next_point; p <= 10; ++p)
+        curve.traffic_at[p] = 1.0;
+    return curve;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 7: popular bytes vs traffic absorbed ===\n");
+    auto rms = warehouse::allRms();
+    std::vector<Curve> curves;
+    for (const auto &rm : rms)
+        curves.push_back(monthOfRuns(rm, 40, 1234));
+
+    TablePrinter table({"% of bytes", "RM1 traffic %", "RM2 traffic %",
+                        "RM3 traffic %"});
+    for (int p = 0; p <= 10; ++p) {
+        table.addRow(
+            {std::to_string(p * 10),
+             TablePrinter::num(100 * curves[0].traffic_at[p], 1),
+             TablePrinter::num(100 * curves[1].traffic_at[p], 1),
+             TablePrinter::num(100 * curves[2].traffic_at[p], 1)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\nbytes serving 80%% of traffic (paper):\n");
+    for (size_t i = 0; i < rms.size(); ++i) {
+        std::printf("  %s: %.0f%% (paper %.0f%%)\n",
+                    rms[i].name.c_str(), 100 * curves[i].hot80,
+                    100 * rms[i].paper_hot_fraction_80);
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 8: trainer-frontend CPU and memory-bandwidth utilization as
+ * data ingestion throughput scales, using the dummy-trainer loading
+ * model (network stack + TLS + Thrift + memory management only).
+ *
+ * Vertical markers: the per-model required GPU throughputs of
+ * Table VIII. Paper: at RM1's 16.5 GB/s, loading alone needs ~40% of
+ * CPU and ~55% of memory bandwidth, approaching NIC saturation.
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "sim/tax.h"
+#include "trainer/trainer.h"
+#include "warehouse/model_zoo.h"
+
+using namespace dsi;
+
+int
+main()
+{
+    std::printf("=== Figure 8: loading cost at the trainer frontend "
+                "===\n");
+    sim::TrainerHostSpec host;
+    sim::DatacenterTax tax;
+
+    TablePrinter table({"Ingest GB/s", "CPU %", "MemBW %", "NIC %"});
+    for (double gbps = 2; gbps <= 22; gbps += 2) {
+        auto u = trainer::loadingUtilization(host, tax, gbps * 1e9);
+        table.addRow({TablePrinter::num(gbps, 0),
+                      TablePrinter::num(100 * u.cpu, 1),
+                      TablePrinter::num(100 * u.membw, 1),
+                      TablePrinter::num(100 * u.nic, 1)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\nper-model demand markers (Table VIII):\n");
+    for (const auto &rm : warehouse::allRms()) {
+        auto u = trainer::loadingUtilization(
+            host, tax, rm.trainer_node_gbps * 1e9);
+        std::printf("  %s @ %.2f GB/s -> cpu %.0f%% membw %.0f%% "
+                    "nic %.0f%%\n",
+                    rm.name.c_str(), rm.trainer_node_gbps,
+                    100 * u.cpu, 100 * u.membw, 100 * u.nic);
+    }
+    auto off = trainer::loadingUtilization(
+        host, sim::taxWithTlsOffload(), 16.5e9);
+    std::printf("\nwith TLS NIC offload at 16.5 GB/s: cpu %.0f%% "
+                "membw %.0f%% (Section VII opportunity)\n",
+                100 * off.cpu, 100 * off.membw);
+    return 0;
+}

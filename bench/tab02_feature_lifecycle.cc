@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table II: features created for RM1's dataset within a 6-month
+ * window and their lifecycle status 6 months later.
+ *
+ * Paper: 14614 created — 10148 beta, 883 experimental, 1650 active,
+ * 1933 deprecated. Reproduced by the calibrated lifecycle Markov
+ * model (monthly proposal + transition rates).
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "warehouse/lifecycle.h"
+
+using namespace dsi;
+using namespace dsi::warehouse;
+
+int
+main()
+{
+    std::printf("=== Table II: feature lifecycle census ===\n");
+    auto census = simulateCohort(LifecycleRates{}, 6, 6, 20220401);
+
+    TablePrinter table({"", "Beta", "Experimental", "Active",
+                        "Deprecated", "Total"});
+    table.addRow({"measured", std::to_string(census.beta),
+                  std::to_string(census.experimental),
+                  std::to_string(census.active),
+                  std::to_string(census.deprecated),
+                  std::to_string(census.visibleTotal())});
+    table.addRow(
+        {"paper", "10148", "883", "1650", "1933", "14614"});
+    std::printf("%s", table.render().c_str());
+    std::printf("\n(reaped within the window: %llu)\n",
+                (unsigned long long)census.reaped);
+    std::printf("takeaway: hundreds of features are added and "
+                "deprecated each month — storage must adapt to a "
+                "rapidly-changing feature set.\n");
+    return 0;
+}

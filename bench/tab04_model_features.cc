@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table IV: dense / sparse / derived feature counts required by a
+ * representative release-candidate model version of each RM, plus
+ * the transform-graph composition those derived features imply.
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "transforms/graph.h"
+#include "warehouse/datagen.h"
+#include "warehouse/model_zoo.h"
+
+using namespace dsi;
+using namespace dsi::warehouse;
+
+int
+main()
+{
+    std::printf("=== Table IV: model feature requirements ===\n");
+    TablePrinter table({"Model", "# Dense", "# Sparse", "# Derived"});
+    for (const auto &rm : allRms()) {
+        table.addRow({rm.name, std::to_string(rm.dense_used),
+                      std::to_string(rm.sparse_used),
+                      std::to_string(rm.derived_features)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    // Build each model's transform graph (at 10% feature scale to
+    // keep this quick) and report its op-class composition.
+    std::printf("\nimplied transform graphs (10%% scale):\n");
+    for (const auto &rm : allRms()) {
+        auto schema = makeSchema(rm.scaledSchemaParams(0.1));
+        auto pop = featurePopularity(schema, rm.popularity_alpha, 3);
+        auto proj = chooseProjection(schema, pop, rm.dense_used / 10,
+                                     rm.sparse_used / 10, 5);
+        transforms::ModelGraphParams gp;
+        gp.derived_features = std::max(1u, rm.derived_features / 10);
+        auto graph = transforms::makeModelGraph(schema, proj, gp);
+        std::printf("  %s: %zu ops (%zu generation, %zu sparse-norm, "
+                    "%zu dense-norm)\n",
+                    rm.name.c_str(), graph.size(),
+                    graph.countClass(
+                        transforms::OpClass::FeatureGeneration),
+                    graph.countClass(
+                        transforms::OpClass::SparseNormalization),
+                    graph.countClass(
+                        transforms::OpClass::DenseNormalization));
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table V: dataset characteristics per model — float/sparse feature
+ * counts, mean sparse coverage U, average list length, and the
+ * fraction of features and bytes a representative RC job reads.
+ *
+ * Feature counts and U/length are schema-level (checked against the
+ * synthesized schema); % features and % bytes used come from a
+ * popularity-weighted projection of Table IV size over the schema's
+ * per-feature byte expectations.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common/table_printer.h"
+#include "warehouse/datagen.h"
+#include "warehouse/model_zoo.h"
+
+using namespace dsi;
+using namespace dsi::warehouse;
+
+int
+main()
+{
+    std::printf("=== Table V: dataset characteristics ===\n");
+    TablePrinter table({"Dataset", "# Float", "# Sparse", "U",
+                        "Avg len", "% feats used", "% bytes used",
+                        "(paper % feats/bytes)"});
+    for (const auto &rm : allRms()) {
+        auto schema = makeSchema(rm.schemaParams());
+        auto pop =
+            featurePopularity(schema, rm.popularity_alpha, 99);
+        auto proj = chooseProjection(schema, pop, rm.dense_used,
+                                     rm.sparse_used, 7);
+
+        std::map<FeatureId, const FeatureSpec *> by_id;
+        double total_bytes = 0;
+        for (const auto &f : schema.features) {
+            by_id.emplace(f.id, &f);
+            total_bytes += f.expectedBytesPerRow();
+        }
+        double used_bytes = 0;
+        for (FeatureId id : proj)
+            used_bytes += by_id.at(id)->expectedBytesPerRow();
+
+        double pct_feats = 100.0 * static_cast<double>(proj.size()) /
+                           static_cast<double>(schema.features.size());
+        double pct_bytes = 100.0 * used_bytes / total_bytes;
+        char paper[32];
+        std::snprintf(paper, sizeof(paper), "%.0f / %.0f",
+                      rm.paper_pct_feats_used,
+                      rm.paper_pct_bytes_used);
+        table.addRow({rm.name,
+                      std::to_string(schema.countDense()),
+                      std::to_string(schema.countSparse()),
+                      TablePrinter::num(schema.sparseCoverage(), 2),
+                      TablePrinter::num(schema.sparseAvgLength(), 2),
+                      TablePrinter::num(pct_feats, 0),
+                      TablePrinter::num(pct_bytes, 0), paper});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\ntakeaway: jobs read ~9-11%% of features but a "
+                "larger byte share — favored features have higher "
+                "coverage and length.\n");
+    return 0;
+}

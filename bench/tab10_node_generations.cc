@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table X: the three compute-server generations and the paper's key
+ * observation — cores and NIC bandwidth grow much faster than memory
+ * bandwidth, so memory bandwidth becomes the dominant DPP bottleneck
+ * (demonstrated with RM2 shifting from NIC-bound on C-v1 to
+ * memBW-bound on C-v2).
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "dpp/worker_model.h"
+#include "warehouse/model_zoo.h"
+
+using namespace dsi;
+
+int
+main()
+{
+    std::printf("=== Table X: compute node generations ===\n");
+    TablePrinter table({"Node", "# Cores", "NIC (Gbps)", "Memory (GB)",
+                        "Mem BW (GB/s)"});
+    for (const auto &node : {sim::computeNodeV1(), sim::computeNodeV2(),
+                             sim::computeNodeV3()}) {
+        table.addRow({node.name, std::to_string(node.cores),
+                      TablePrinter::num(node.nic_gbps, 1),
+                      TablePrinter::num(node.memory_gb, 0),
+                      TablePrinter::num(node.mem_bw_gbps, 0)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    auto v1 = sim::computeNodeV1();
+    auto v3 = sim::computeNodeV3();
+    std::printf("\nv1 -> v3 growth: cores %.1fx, NIC %.1fx, memBW "
+                "%.1fx — memBW lags.\n",
+                static_cast<double>(v3.cores) / v1.cores,
+                v3.nic_gbps / v1.nic_gbps,
+                v3.mem_bw_gbps / v1.mem_bw_gbps);
+
+    std::printf("\nRM bottleneck by node generation:\n");
+    TablePrinter shift({"Model", "C-v1", "C-v2", "C-v3"});
+    for (const auto &rm : warehouse::allRms()) {
+        std::vector<std::string> row{rm.name};
+        for (const auto &node :
+             {sim::computeNodeV1(), sim::computeNodeV2(),
+              sim::computeNodeV3()}) {
+            auto s = dpp::saturateWorker(rm, node);
+            char cell[64];
+            std::snprintf(cell, sizeof(cell), "%s (%.1fk)",
+                          s.bottleneck.c_str(), s.qps / 1e3);
+            row.push_back(cell);
+        }
+        shift.addRow(std::move(row));
+    }
+    std::printf("%s", shift.render().c_str());
+    std::printf("\npaper: RM2 on C-v2 became memory-bandwidth bound "
+                "instead of network bound.\n");
+    return 0;
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Table XI: the preprocessing-transformation catalog, benchmarked per
+ * op with google-benchmark over realistic mini-batches, followed by
+ * the Section VI-D cycle split across op classes (paper: ~75%
+ * feature generation, ~20% sparse normalization, ~5% dense
+ * normalization).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "transforms/graph.h"
+#include "warehouse/datagen.h"
+
+using namespace dsi;
+using namespace dsi::transforms;
+
+namespace {
+
+/** A realistic 512-row batch with dense id 1..8, sparse 101..108. */
+dwrf::RowBatch
+makeBatch()
+{
+    warehouse::SchemaParams p;
+    p.float_features = 8;
+    p.sparse_features = 8;
+    p.coverage_u = 0.6;
+    p.avg_length = 20.0;
+    p.seed = 77;
+    static auto schema = warehouse::makeSchema(p);
+    warehouse::RowGenerator gen(schema, 13);
+    return dwrf::batchFromRows(gen.batch(512));
+}
+
+TransformSpec
+specFor(OpKind kind)
+{
+    TransformSpec s;
+    s.kind = kind;
+    s.output = 1u << 20;
+    switch (kind) {
+      case OpKind::Cartesian:
+      case OpKind::IdListTransform:
+        s.inputs = {9, 10};
+        s.u0 = 64;
+        break;
+      case OpKind::Bucketize:
+      case OpKind::Onehot:
+        s.inputs = {1};
+        s.p1 = 10.0;
+        s.u0 = 64;
+        break;
+      case OpKind::BoxCox:
+        s.inputs = {1};
+        s.p0 = 0.5;
+        s.p1 = 1.0;
+        break;
+      case OpKind::Logit:
+      case OpKind::Clamp:
+      case OpKind::GetLocalHour:
+        s.inputs = {1};
+        s.p1 = 1.0;
+        break;
+      case OpKind::ComputeScore:
+        s.inputs = {9};
+        s.p0 = 2.0;
+        break;
+      case OpKind::Enumerate:
+      case OpKind::PositiveModulus:
+      case OpKind::MapId:
+      case OpKind::SigridHash:
+      case OpKind::NGram:
+      case OpKind::FirstX:
+        s.inputs = {9};
+        s.u0 = kind == OpKind::NGram ? 3 : 1u << 16;
+        s.u1 = 1u << 20;
+        break;
+      case OpKind::Sampling:
+        s.p0 = 0.5;
+        break;
+    }
+    return s;
+}
+
+void
+runOp(benchmark::State &state, OpKind kind)
+{
+    auto base = makeBatch();
+    auto op = compileTransform(specFor(kind));
+    uint64_t values = 0;
+    for (auto _ : state) {
+        dwrf::RowBatch batch = base;
+        TransformStats stats;
+        op->apply(batch, stats);
+        values += stats.values_consumed + batch.rows;
+        benchmark::DoNotOptimize(batch);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * base.rows);
+    state.SetLabel(opClassName(opClassOf(kind)));
+    (void)values;
+}
+
+} // namespace
+
+#define DSI_OP_BENCH(name)                                             \
+    void BM_##name(benchmark::State &state)                            \
+    {                                                                  \
+        runOp(state, OpKind::name);                                    \
+    }                                                                  \
+    BENCHMARK(BM_##name)
+
+DSI_OP_BENCH(Cartesian);
+DSI_OP_BENCH(Bucketize);
+DSI_OP_BENCH(ComputeScore);
+DSI_OP_BENCH(Enumerate);
+DSI_OP_BENCH(PositiveModulus);
+DSI_OP_BENCH(IdListTransform);
+DSI_OP_BENCH(BoxCox);
+DSI_OP_BENCH(Logit);
+DSI_OP_BENCH(MapId);
+DSI_OP_BENCH(FirstX);
+DSI_OP_BENCH(GetLocalHour);
+DSI_OP_BENCH(SigridHash);
+DSI_OP_BENCH(NGram);
+DSI_OP_BENCH(Onehot);
+DSI_OP_BENCH(Clamp);
+DSI_OP_BENCH(Sampling);
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Section VI-D: cycle split by op class for a full model graph.
+    warehouse::SchemaParams p;
+    p.float_features = 120;
+    p.sparse_features = 60;
+    p.avg_length = 15;
+    p.seed = 5;
+    auto schema = warehouse::makeSchema(p);
+    auto pop = warehouse::featurePopularity(schema, 1.0, 7);
+    auto proj = warehouse::chooseProjection(schema, pop, 60, 30, 9);
+    ModelGraphParams gp;
+    gp.derived_features = 30;
+    auto graph = makeModelGraph(schema, proj, gp);
+    CompiledGraph compiled(graph);
+
+    warehouse::RowGenerator gen(schema, 3);
+    TransformStats stats;
+    for (int i = 0; i < 16; ++i) {
+        auto batch = dwrf::batchFromRows(gen.batch(512));
+        stats.merge(compiled.apply(batch));
+    }
+    std::printf("\n=== Table XI / Section VI-D: transform cycle split "
+                "===\n");
+    std::printf("feature generation     %.0f%%  (paper ~75%%)\n",
+                100 * stats.classShare(OpClass::FeatureGeneration));
+    std::printf("sparse normalization   %.0f%%  (paper ~20%%)\n",
+                100 * stats.classShare(OpClass::SparseNormalization));
+    std::printf("dense normalization    %.0f%%  (paper ~5%%)\n",
+                100 * stats.classShare(OpClass::DenseNormalization));
+    return 0;
+}

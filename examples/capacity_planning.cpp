@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Datacenter capacity planning (Section VII, "Datacenter Planning and
+ * Global Scheduling"): size a region's trainer, preprocessing, and
+ * storage fleets — under a fixed power budget — for the *peak* of the
+ * collaborative release process.
+ *
+ * Pipeline: release-process demand curve -> peak concurrent combo
+ * demand per model -> trainer nodes -> DPP workers (Table IX model)
+ * -> storage nodes (capacity vs IOPS) -> power budget table.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "dpp/worker_model.h"
+#include "sched/fleet.h"
+#include "sim/power.h"
+#include "storage/provisioning.h"
+#include "warehouse/model_zoo.h"
+
+using namespace dsi;
+
+int
+main()
+{
+    // 1. A year of release iterations for the three RMs; planning
+    //    targets each model's peak concurrent compute (one combo job
+    //    demand unit == 4 trainer nodes here).
+    const double trainers_per_demand_unit = 4.0;
+    sched::ReleaseParams params;
+    std::printf("=== Regional capacity plan for RM1-3 (peak combo "
+                "demand) ===\n");
+
+    TablePrinter table({"Model", "Peak trainers", "DPP workers",
+                        "Storage nodes", "Trainer MW", "DPP MW",
+                        "Storage MW", "DSI share"});
+    sim::TrainerHostSpec trainer;
+    auto cv1 = sim::computeNodeV1();
+    double total_power = 0;
+    int idx = 0;
+    for (const auto &rm : warehouse::allRms()) {
+        sched::DemandSeries series(0.0, 365.0);
+        double day = idx * 11.0;
+        uint64_t seed = 7000 + idx;
+        while (day < 365.0) {
+            series.addJobs(sched::generateIteration(rm.name, params,
+                                                    day, seed++));
+            day += sched::iterationLengthDays(params);
+        }
+        double peak_trainers =
+            series.peak() * trainers_per_demand_unit;
+
+        // 2. DPP workers to feed them (Table IX).
+        auto sat = dpp::saturateWorker(rm, cv1);
+        double workers =
+            peak_trainers * dpp::workersPerTrainer(rm, sat);
+
+        // 3. Storage nodes: capacity for the dataset, IOPS for the
+        //    peak read rate (post-coalescing IO size).
+        storage::ProvisioningDemand d;
+        d.dataset_bytes =
+            static_cast<Bytes>(rm.usedPartitionsPb() * 1e15);
+        d.replication = 3;
+        d.read_throughput_bps = workers * sat.storage_rx_gbps * 1e9;
+        d.avg_io_bytes = 700000;
+        auto plan = storage::provisionHdd(d);
+
+        sim::PowerBreakdown power;
+        power.add("training", peak_trainers, trainer.totalPowerW());
+        power.add("preprocessing", workers, cv1.power_w);
+        power.add("storage", plan.nodes_required,
+                  sim::HddNodeModel{}.node_power_w);
+        total_power += power.total();
+
+        char share[16];
+        std::snprintf(share, sizeof(share), "%.0f%%",
+                      100 * (1.0 - power.fraction("training")));
+        table.addRow(
+            {rm.name, TablePrinter::num(peak_trainers, 0),
+             TablePrinter::num(workers, 0),
+             TablePrinter::num(plan.nodes_required, 0),
+             TablePrinter::num(
+                 power.categoryWatts("training") / 1e6, 2),
+             TablePrinter::num(
+                 power.categoryWatts("preprocessing") / 1e6, 2),
+             TablePrinter::num(power.categoryWatts("storage") / 1e6,
+                               2),
+             share});
+        ++idx;
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nregion total at peak: %.1f MW — provisioning for "
+                "the mean instead would stall every combo window "
+                "(Fig. 5 burstiness), which is why DSI capacity is "
+                "planned for combo peaks.\n",
+                total_power / 1e6);
+
+    // 4. Two-year outlook under Fig. 2 growth.
+    std::printf("\ntwo-year outlook (Fig. 2 growth, fixed power "
+                "budget):\n");
+    for (uint32_t q : {4u, 8u}) {
+        std::printf("  +%u quarters: storage bytes x%.2f, ingest "
+                    "bandwidth x%.2f -> DSI power grows toward the "
+                    "budget ceiling without co-designed efficiency "
+                    "gains (the 2.59x of Section VII).\n",
+                    q, sched::datasetGrowthFactor(q),
+                    sched::bandwidthGrowthFactor(q));
+    }
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The full DSI pipeline end to end, as in the paper's Figure 3:
+ *
+ *   model serving  ->  Scribe/LogDevice raw feature & event logs
+ *                  ->  streaming join + label (ETL)
+ *                  ->  partitioned Hive-like table of DWRF files in
+ *                      Tectonic (two daily partitions)
+ *                  ->  DPP session (Master / Workers / Clients)
+ *                  ->  trainer consuming preprocessed tensors.
+ *
+ * Prints per-stage metrics so the data flow is visible.
+ */
+
+#include <cstdio>
+
+#include "dpp/session.h"
+#include "etl/pipeline.h"
+#include "warehouse/query.h"
+#include "transforms/graph.h"
+#include "warehouse/datagen.h"
+
+using namespace dsi;
+
+int
+main()
+{
+    warehouse::SchemaParams params;
+    params.name = "ctr_events";
+    params.float_features = 30;
+    params.sparse_features = 15;
+    params.avg_length = 8.0;
+    auto schema = warehouse::makeSchema(params);
+
+    storage::StorageOptions so;
+    so.hdd_nodes = 4;
+    storage::TectonicCluster cluster(so);
+    warehouse::Warehouse wh(cluster);
+    auto &table = wh.createTable(params.name, schema);
+    scribe::LogDevice logdevice;
+
+    // --- Stage 1: serving logs features and outcome events.
+    etl::ServingOptions serving_opts;
+    serving_opts.positive_rate = 0.05;
+    etl::ServingSimulator serving(logdevice, schema, serving_opts);
+
+    // --- Stage 2: streaming join/label into the labeled stream.
+    etl::JoinOptions join_opts;
+    join_opts.join_window = 60.0;
+    join_opts.negative_keep_rate = 0.8; // mild downsampling
+    etl::StreamingJoiner joiner(logdevice, join_opts);
+
+    // --- Stage 3: a batch job materializes a partition per "day".
+    etl::MaterializeOptions mat_opts;
+    mat_opts.rows_per_file = 1500;
+    etl::PartitionMaterializer materializer(logdevice, wh, "labeled",
+                                            mat_opts);
+
+    for (PartitionId day = 0; day < 2; ++day) {
+        double t0 = day * 86400.0;
+        for (int hour = 0; hour < 4; ++hour)
+            serving.serve(1000, t0 + hour * 3600.0);
+        serving.flush();
+        joiner.pump(t0 + 86000.0); // close all join windows
+        joiner.trimConsumed();
+        uint64_t rows = materializer.materialize(table, day);
+        std::printf("partition %u: %llu labeled rows, %zu files, "
+                    "%.2f MB\n",
+                    day, (unsigned long long)rows,
+                    table.partitions()[day].files.size(),
+                    table.partitions()[day].stored_bytes / 1e6);
+    }
+    std::printf("join: %.0f positives, %.0f negatives kept, "
+                "%.0f dropped, %.0f window-expired\n",
+                joiner.metrics().counter("join.positives_out"),
+                joiner.metrics().counter("join.negatives_out"),
+                joiner.metrics().counter("join.negatives_dropped"),
+                joiner.metrics().counter("join.window_expired"));
+
+    // --- Stage 3.5: interactive analytics on the same table (the
+    //     Spark/Presto role): feature engineering queries reuse the
+    //     selective-read path.
+    warehouse::QueryEngine analytics(wh, table);
+    double rate = analytics.labelRate({0, 1});
+    FeatureId probe = 0;
+    for (const auto &f : schema.features)
+        if (f.isSparse()) {
+            probe = f.id;
+            break;
+        }
+    auto fstats = analytics.sparseStats(probe, {0, 1});
+    std::printf("analytics: label rate %.3f; feature %u coverage "
+                "%.2f avg-len %.1f (query read %.2f MB of %.2f MB "
+                "stored)\n",
+                rate, probe, fstats->coverage(), fstats->avgLength(),
+                analytics.bytesRead() / 1e6,
+                table.totalBytes() / 1e6);
+
+    // --- Stage 4: a training job over both partitions.
+    auto popularity = warehouse::featurePopularity(schema, 1.0, 13);
+    dpp::SessionSpec spec;
+    spec.table = params.name;
+    spec.partitions = {0, 1};
+    spec.projection =
+        warehouse::chooseProjection(schema, popularity, 8, 5, 13);
+    transforms::ModelGraphParams gp;
+    gp.derived_features = 3;
+    spec.setTransforms(
+        transforms::makeModelGraph(schema, spec.projection, gp));
+    spec.read.coalesce = true;
+
+    dpp::SessionOptions opts;
+    opts.workers = 4;
+    opts.clients = 2;
+    dpp::InProcessSession session(wh, spec, opts);
+
+    // Inject a worker failure partway through to show the Master's
+    // fault tolerance (stateless workers, requeued splits).
+    auto result = session.run(nullptr, /*fail_after_splits=*/3);
+
+    std::printf("dpp: %llu tensors / %llu rows delivered to %u "
+                "clients (%.2f MB), %llu worker failure(s) survived\n",
+                (unsigned long long)result.tensors_delivered,
+                (unsigned long long)result.rows_delivered,
+                opts.clients, result.tensor_bytes / 1e6,
+                (unsigned long long)result.worker_failures);
+
+    // --- Storage-side accounting.
+    uint64_t ios = 0;
+    double busy = 0;
+    for (const auto &n : cluster.nodes()) {
+        ios += n.ioCount();
+        busy += n.busySeconds();
+    }
+    std::printf("storage: %llu node IOs, %.3f device-seconds busy, "
+                "%.2f MB logical (x%u replication)\n",
+                (unsigned long long)ios, busy,
+                cluster.logicalBytes() / 1e6,
+                cluster.options().replication);
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Feature-engineering workflow (Section IV-C): an ML engineer
+ * explores a *beta* feature that is not yet logged to the table.
+ *
+ *   1. The production table holds only active features.
+ *   2. The engineer proposes a beta feature in the registry.
+ *   3. An exploratory job injects it at read time (dynamic join) and
+ *      derives a new signal from it in the transform graph.
+ *   4. The idea "wins": the feature is promoted Beta -> Experimental
+ *      -> Active, and newly-materialized partitions log it for real.
+ */
+
+#include <cstdio>
+
+#include "dpp/session.h"
+#include "dwrf/writer.h"
+#include "transforms/graph.h"
+#include "warehouse/datagen.h"
+#include "warehouse/lifecycle.h"
+#include "warehouse/table.h"
+
+using namespace dsi;
+
+int
+main()
+{
+    // 1. Production table with 16 active features.
+    warehouse::SchemaParams params;
+    params.name = "prod_table";
+    params.float_features = 10;
+    params.sparse_features = 6;
+    params.avg_length = 6;
+    auto schema = warehouse::makeSchema(params);
+
+    storage::StorageOptions so;
+    so.hdd_nodes = 4;
+    storage::TectonicCluster cluster(so);
+    warehouse::Warehouse wh(cluster);
+    auto &table = wh.createTable(params.name, schema);
+    warehouse::FeatureRegistry registry;
+    for (const auto &f : schema.features) {
+        registry.propose(f.id);
+        registry.transition(f.id, warehouse::FeatureState::Experimental);
+        registry.transition(f.id, warehouse::FeatureState::Active);
+    }
+
+    warehouse::RowGenerator gen(schema, 42);
+    warehouse::Partition partition;
+    partition.id = 0;
+    dwrf::FileWriter writer(dwrf::WriterOptions{});
+    writer.appendRows(gen.batch(4096));
+    auto bytes = writer.finish();
+    cluster.put("prod/p0.dwrf", bytes);
+    partition.files = {"prod/p0.dwrf"};
+    partition.rows = 4096;
+    partition.stored_bytes = bytes.size();
+    table.addPartition(std::move(partition));
+
+    // 2. Propose a beta sparse feature (e.g. "recently-shared pages").
+    warehouse::FeatureSpec beta;
+    beta.id = 5000;
+    beta.kind = warehouse::FeatureKind::Sparse;
+    beta.coverage = 0.6;
+    beta.avg_length = 5;
+    beta.cardinality = 1u << 16;
+    registry.propose(beta.id);
+    std::printf("proposed feature %u: state=%s (not logged to the "
+                "table)\n",
+                beta.id,
+                warehouse::featureStateName(registry.state(beta.id)));
+
+    // 3. Exploratory job: inject the beta feature and derive a new
+    //    signal (hash of its ids) from it.
+    auto pop = warehouse::featurePopularity(schema, 1.0, 7);
+    dpp::SessionSpec spec;
+    spec.table = params.name;
+    spec.partitions = {0};
+    spec.projection = warehouse::chooseProjection(schema, pop, 6, 4, 7);
+    spec.injected = {beta};
+
+    transforms::TransformGraph graph;
+    transforms::TransformSpec derive;
+    derive.kind = transforms::OpKind::SigridHash;
+    derive.inputs = {beta.id};
+    derive.output = transforms::kDerivedFeatureBase;
+    derive.u0 = 12345;
+    derive.u1 = 1u << 20;
+    graph.add(derive);
+    spec.setTransforms(graph);
+
+    dpp::SessionOptions opts;
+    opts.workers = 2;
+    dpp::InProcessSession session(wh, spec, opts);
+    uint64_t derived_values = 0;
+    auto result = session.run(
+        [&](ClientId, const dpp::TensorBatch &t) {
+            if (const auto *c = t.data.findSparse(
+                    transforms::kDerivedFeatureBase)) {
+                derived_values += c->values.size();
+            }
+        });
+    std::printf("exploratory job: %llu rows trained with the injected "
+                "feature, %llu derived values produced\n",
+                (unsigned long long)result.rows_delivered,
+                (unsigned long long)derived_values);
+
+    // 4. The idea wins: promote and start logging it.
+    registry.transition(beta.id,
+                        warehouse::FeatureState::Experimental);
+    registry.transition(beta.id, warehouse::FeatureState::Active);
+    table.schema().features.push_back(beta);
+    std::printf("feature %u promoted to %s; future partitions log it "
+                "(%u features now active)\n",
+                beta.id,
+                warehouse::featureStateName(registry.state(beta.id)),
+                static_cast<unsigned>(
+                    registry.count(warehouse::FeatureState::Active)));
+
+    warehouse::RowGenerator gen2(table.schema(), 43);
+    auto sample = gen2.next();
+    bool logged = false;
+    for (const auto &s : sample.sparse)
+        logged = logged || s.id == beta.id;
+    std::printf("first newly-generated sample %s feature %u\n",
+                logged ? "contains" : "omits (coverage miss)",
+                beta.id);
+    return 0;
+}

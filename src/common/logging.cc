@@ -1,0 +1,44 @@
+#include "logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dsi {
+namespace detail {
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    }
+    va_end(args);
+    return out;
+}
+
+void
+failImpl(const char *kind, const char *file, int line,
+         const std::string &msg, bool abort_process)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+void
+noteImpl(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
+
+} // namespace detail
+} // namespace dsi

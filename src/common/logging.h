@@ -1,0 +1,59 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * fatal()  — the run cannot continue due to a user/configuration error.
+ * panic()  — an internal invariant was violated (a dsi bug); aborts.
+ * warn()   — something suspicious happened but the run continues.
+ * inform() — plain status output.
+ */
+
+#ifndef DSI_COMMON_LOGGING_H
+#define DSI_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dsi {
+
+namespace detail {
+
+[[noreturn]] void failImpl(const char *kind, const char *file, int line,
+                           const std::string &msg, bool abort_process);
+void noteImpl(const char *kind, const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+#define dsi_fatal(...)                                                     \
+    ::dsi::detail::failImpl("fatal", __FILE__, __LINE__,                   \
+                            ::dsi::detail::strfmt(__VA_ARGS__), false)
+
+#define dsi_panic(...)                                                     \
+    ::dsi::detail::failImpl("panic", __FILE__, __LINE__,                   \
+                            ::dsi::detail::strfmt(__VA_ARGS__), true)
+
+#define dsi_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::dsi::detail::failImpl(                                       \
+                "panic", __FILE__, __LINE__,                               \
+                std::string("assertion failed: " #cond " — ") +            \
+                    ::dsi::detail::strfmt(__VA_ARGS__),                    \
+                true);                                                     \
+        }                                                                  \
+    } while (0)
+
+#define dsi_warn(...)                                                      \
+    ::dsi::detail::noteImpl("warn", ::dsi::detail::strfmt(__VA_ARGS__))
+
+#define dsi_inform(...)                                                    \
+    ::dsi::detail::noteImpl("info", ::dsi::detail::strfmt(__VA_ARGS__))
+
+} // namespace dsi
+
+#endif // DSI_COMMON_LOGGING_H

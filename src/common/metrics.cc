@@ -1,0 +1,36 @@
+#include "metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dsi {
+
+void
+Metrics::merge(const Metrics &other)
+{
+    for (const auto &[k, v] : other.counters_)
+        counters_[k] += v;
+    for (const auto &[k, v] : other.gauges_) {
+        auto it = gauges_.find(k);
+        gauges_[k] = it == gauges_.end() ? v : std::max(it->second, v);
+    }
+}
+
+std::string
+Metrics::render() const
+{
+    std::string out;
+    char line[256];
+    for (const auto &[k, v] : counters_) {
+        std::snprintf(line, sizeof(line), "%-48s %.6g\n", k.c_str(), v);
+        out += line;
+    }
+    for (const auto &[k, v] : gauges_) {
+        std::snprintf(line, sizeof(line), "%-48s %.6g (gauge)\n",
+                      k.c_str(), v);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace dsi

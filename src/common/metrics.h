@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lightweight named-metric registry: counters and gauges that modules
+ * use to expose operational statistics (bytes read, splits completed,
+ * stall seconds, ...) to tests, benches, and the auto-scaler.
+ */
+
+#ifndef DSI_COMMON_METRICS_H
+#define DSI_COMMON_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dsi {
+
+/** A bag of named counters (monotonic) and gauges (set-valued). */
+class Metrics
+{
+  public:
+    void inc(const std::string &name, double delta = 1.0)
+    {
+        counters_[name] += delta;
+    }
+
+    void set(const std::string &name, double value)
+    {
+        gauges_[name] = value;
+    }
+
+    double counter(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0.0 : it->second;
+    }
+
+    double gauge(const std::string &name) const
+    {
+        auto it = gauges_.find(name);
+        return it == gauges_.end() ? 0.0 : it->second;
+    }
+
+    bool hasCounter(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    const std::map<std::string, double> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double> &gauges() const { return gauges_; }
+
+    /** Fold another metrics bag into this one (counters add, gauges max). */
+    void merge(const Metrics &other);
+
+    void clear()
+    {
+        counters_.clear();
+        gauges_.clear();
+    }
+
+    /** Render "name = value" lines, sorted by name. */
+    std::string render() const;
+
+  private:
+    std::map<std::string, double> counters_;
+    std::map<std::string, double> gauges_;
+};
+
+} // namespace dsi
+
+#endif // DSI_COMMON_METRICS_H

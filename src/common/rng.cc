@@ -1,0 +1,191 @@
+#include "rng.h"
+
+#include <cmath>
+
+#include "logging.h"
+
+namespace dsi {
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextUint(uint64_t n)
+{
+    dsi_assert(n > 0, "nextUint needs a positive bound");
+    // Lemire's nearly-divisionless bounded draw, with rejection to keep
+    // the distribution exactly uniform.
+    uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        uint64_t r = next();
+        __uint128_t m = static_cast<__uint128_t>(r) * n;
+        if (static_cast<uint64_t>(m) >= threshold)
+            return static_cast<uint64_t>(m >> 64);
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextRange(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::nextExp(double rate)
+{
+    dsi_assert(rate > 0, "exponential rate must be positive");
+    double u = nextDouble();
+    if (u < 1e-300)
+        u = 1e-300;
+    return -std::log(u) / rate;
+}
+
+double
+Rng::nextLogNormal(double mean, double sigma)
+{
+    dsi_assert(mean > 0, "log-normal mean must be positive");
+    // Choose mu so the distribution's mean equals `mean`.
+    double mu = std::log(mean) - 0.5 * sigma * sigma;
+    return std::exp(mu + sigma * nextGaussian());
+}
+
+uint64_t
+Rng::nextPoisson(double lambda)
+{
+    dsi_assert(lambda >= 0, "poisson lambda must be non-negative");
+    if (lambda == 0)
+        return 0;
+    if (lambda < 32) {
+        double l = std::exp(-lambda);
+        uint64_t k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= nextDouble();
+        } while (p > l);
+        return k - 1;
+    }
+    // Normal approximation with continuity correction for large lambda.
+    double g = lambda + std::sqrt(lambda) * nextGaussian() + 0.5;
+    return g < 0 ? 0 : static_cast<uint64_t>(g);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double alpha)
+    : n_(n), alpha_(alpha)
+{
+    dsi_assert(n > 0, "zipf domain must be non-empty");
+    dsi_assert(alpha > 0 && alpha != 1.0,
+               "alpha must be > 0 and != 1 (got %f)", alpha);
+    hx0_ = h(0.5) - 1.0;
+    hn_ = h(static_cast<double>(n) + 0.5);
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    // Integral of x^-alpha (antiderivative), used by rejection-inversion.
+    return std::pow(x, 1.0 - alpha_) / (1.0 - alpha_);
+}
+
+double
+ZipfSampler::hInv(double x) const
+{
+    return std::pow((1.0 - alpha_) * x, 1.0 / (1.0 - alpha_));
+}
+
+uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    for (;;) {
+        double u = hn_ + rng.nextDouble() * (hx0_ - hn_);
+        double x = hInv(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n_)
+            k = n_;
+        double kd = static_cast<double>(k);
+        if (kd - x <= 0.5 ||
+            u >= h(kd + 0.5) - std::pow(kd, -alpha_)) {
+            return k - 1;
+        }
+    }
+}
+
+double
+ZipfSampler::pmf(uint64_t rank) const
+{
+    dsi_assert(rank < n_, "rank out of domain");
+    if (denom_ == 0.0) {
+        for (uint64_t k = 1; k <= n_; ++k)
+            denom_ += std::pow(static_cast<double>(k), -alpha_);
+    }
+    return std::pow(static_cast<double>(rank + 1), -alpha_) / denom_;
+}
+
+} // namespace dsi

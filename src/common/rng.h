@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible experiments.
+ *
+ * Every dsi experiment takes an explicit seed; results are bit-stable
+ * across runs. The generator is xoshiro256** (public domain algorithm),
+ * seeded via SplitMix64 so that nearby seeds give independent streams.
+ */
+
+#ifndef DSI_COMMON_RNG_H
+#define DSI_COMMON_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dsi {
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform in [0, n). n must be > 0. */
+    uint64_t nextUint(uint64_t n);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextRange(double lo, double hi);
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p);
+
+    /** Standard normal via Box-Muller. */
+    double nextGaussian();
+
+    /** Exponential with given rate (mean 1/rate). */
+    double nextExp(double rate);
+
+    /**
+     * Log-normal draw parameterized by the *target* mean and the sigma of
+     * the underlying normal. Used for skewed job durations (Fig. 4) and
+     * sparse-feature list lengths.
+     */
+    double nextLogNormal(double mean, double sigma);
+
+    /** Poisson draw (Knuth for small lambda, normal approx for large). */
+    uint64_t nextPoisson(double lambda);
+
+    /** Derive an independent child stream (for per-entity RNGs). */
+    Rng fork();
+
+  private:
+    uint64_t s_[4];
+};
+
+/**
+ * Zipf(alpha) sampler over {0, .., n-1} with O(1) amortized draws via
+ * rejection-inversion (Hörmann & Derflinger). Models feature popularity
+ * skew (Fig. 7) and item-id distributions in sparse features.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(uint64_t n, double alpha);
+
+    /** Draw a rank in [0, n); rank 0 is the most popular. */
+    uint64_t sample(Rng &rng) const;
+
+    uint64_t domain() const { return n_; }
+    double alpha() const { return alpha_; }
+
+    /**
+     * Exact probability mass of a given rank. The normalization sum is
+     * computed lazily on first use (it is O(n) and sampling never
+     * needs it).
+     */
+    double pmf(uint64_t rank) const;
+
+  private:
+    double h(double x) const;
+    double hInv(double x) const;
+
+    uint64_t n_;
+    double alpha_;
+    double hx0_;    // h(0.5) - 1
+    double hn_;     // h(n + 0.5)
+    mutable double denom_ = 0.0; // lazy: sum_{k=1..n} k^-alpha
+};
+
+/** Fisher-Yates shuffle of a vector, deterministic under rng. */
+template <typename T>
+void
+shuffle(std::vector<T> &v, Rng &rng)
+{
+    for (std::size_t i = v.size(); i > 1; --i) {
+        std::size_t j = rng.nextUint(i);
+        std::swap(v[i - 1], v[j]);
+    }
+}
+
+} // namespace dsi
+
+#endif // DSI_COMMON_RNG_H

@@ -1,0 +1,64 @@
+#include "table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.h"
+
+namespace dsi {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    dsi_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    dsi_assert(cells.size() == headers_.size(),
+               "row has %zu cells, expected %zu", cells.size(),
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = emit_row(headers_);
+    size_t rule = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + 2;
+    out += std::string(rule > 2 ? rule - 2 : rule, '-') + "\n";
+    for (const auto &row : rows_)
+        out += emit_row(row);
+    return out;
+}
+
+} // namespace dsi

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer used by every bench binary to emit the
+ * same rows/series the paper's tables and figures report.
+ */
+
+#ifndef DSI_COMMON_TABLE_PRINTER_H
+#define DSI_COMMON_TABLE_PRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace dsi {
+
+/** Builds and renders a column-aligned text table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; it must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with a header rule, ready for stdout. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dsi
+
+#endif // DSI_COMMON_TABLE_PRINTER_H

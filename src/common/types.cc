@@ -1,0 +1,24 @@
+#include "types.h"
+
+#include <cstdio>
+
+namespace dsi {
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *suffix[] = {"", "K", "M", "G", "T", "P"};
+    int idx = 0;
+    while (bytes >= 1000.0 && idx < 5) {
+        bytes /= 1000.0;
+        ++idx;
+    }
+    char buf[48];
+    if (idx == 0)
+        std::snprintf(buf, sizeof(buf), "%.0f", bytes);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3g%s", bytes, suffix[idx]);
+    return buf;
+}
+
+} // namespace dsi

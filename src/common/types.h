@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fundamental identifier and unit types shared by every dsi module.
+ */
+
+#ifndef DSI_COMMON_TYPES_H
+#define DSI_COMMON_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace dsi {
+
+/** Identifier of a logged/stored feature within a table schema. */
+using FeatureId = uint32_t;
+
+/** Identifier of a table row (training sample) within a partition. */
+using RowId = uint64_t;
+
+/** Identifier of a table partition (one per ingestion date). */
+using PartitionId = uint32_t;
+
+/** Identifier of a training job in the release process. */
+using JobId = uint64_t;
+
+/** Identifier of a DPP worker within a session. */
+using WorkerId = uint32_t;
+
+/** Identifier of a trainer node (DPP client host). */
+using ClientId = uint32_t;
+
+/** Identifier of a storage node in the distributed filesystem. */
+using NodeId = uint32_t;
+
+/** Simulated time, in seconds since simulation start. */
+using SimTime = double;
+
+/** Byte counts (sizes, offsets, throughput numerators). */
+using Bytes = uint64_t;
+
+/// Byte-size helpers. The paper quotes sizes in KiB/MiB/GiB/PiB.
+inline constexpr Bytes operator""_KiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 10;
+}
+inline constexpr Bytes operator""_MiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 20;
+}
+inline constexpr Bytes operator""_GiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 30;
+}
+inline constexpr Bytes operator""_TiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 40;
+}
+inline constexpr Bytes operator""_PiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 50;
+}
+
+/** Convert bytes to GB (decimal, as used in the paper's GB/s figures). */
+inline constexpr double
+toGB(Bytes b)
+{
+    return static_cast<double>(b) / 1e9;
+}
+
+/** Convert bytes to PB (decimal). */
+inline constexpr double
+toPB(Bytes b)
+{
+    return static_cast<double>(b) / 1e15;
+}
+
+/** Human-readable byte size, e.g. "1.24K", "97.7K", "23.2K". */
+std::string formatBytes(double bytes);
+
+} // namespace dsi
+
+#endif // DSI_COMMON_TYPES_H

@@ -1,0 +1,65 @@
+#include "autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dsi::dpp {
+
+ScalingDecision
+AutoScaler::evaluate(const std::vector<WorkerReport> &reports,
+                     double demand_rate, double supply_rate)
+{
+    ScalingDecision d;
+    uint32_t current = static_cast<uint32_t>(reports.size());
+    if (current == 0) {
+        d.target_workers = config_.min_workers;
+        d.delta = static_cast<int64_t>(d.target_workers);
+        d.starving = true;
+        return d;
+    }
+
+    uint64_t starving = 0;
+    for (const auto &r : reports)
+        starving += r.buffered_tensors <= config_.starving_buffer;
+    double starving_frac =
+        static_cast<double>(starving) / static_cast<double>(current);
+    d.starving = starving_frac > 0.5;
+
+    // Rate-based right-sizing: workers needed so the pool supplies the
+    // demand at the target utilization of the binding resource.
+    double per_worker =
+        supply_rate > 0 ? supply_rate / current : 0.0;
+    double target = current;
+    if (per_worker > 0 && demand_rate > 0) {
+        target = demand_rate / (per_worker * config_.target_util);
+    }
+    // Starvation overrides rate smoothing: grow aggressively (capped).
+    if (d.starving) {
+        target = std::max(
+            target, current * (1.0 + std::min(config_.max_step_up,
+                                              starving_frac)));
+    }
+
+    // Hysteresis on the continuous target: ignore small deviations
+    // unless starving (so ceil() cannot manufacture churn).
+    double rel_change = std::abs(target - current) / current;
+    if (!d.starving && rel_change < config_.deadband)
+        target = current;
+
+    uint32_t proposed = static_cast<uint32_t>(std::ceil(target));
+    proposed = std::clamp(proposed, config_.min_workers,
+                          config_.max_workers);
+    // Cap growth per step.
+    uint32_t max_now = static_cast<uint32_t>(
+        std::ceil(current * (1.0 + config_.max_step_up)));
+    proposed = std::min(proposed, std::max(max_now, current + 1));
+
+    d.target_workers = proposed;
+    d.delta = static_cast<int64_t>(proposed) -
+              static_cast<int64_t>(current);
+    return d;
+}
+
+} // namespace dsi::dpp

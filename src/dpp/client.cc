@@ -1,0 +1,69 @@
+#include "client.h"
+
+#include "common/logging.h"
+
+namespace dsi::dpp {
+
+std::vector<uint32_t>
+partitionedRoundRobin(uint32_t index, uint32_t total_clients,
+                      uint32_t total_workers, uint32_t max_connections)
+{
+    dsi_assert(index < total_clients, "client index out of range");
+    std::vector<uint32_t> out;
+    if (total_workers == 0)
+        return out;
+    uint32_t connections = std::min(max_connections, total_workers);
+    // Client c takes the contiguous arc starting at c * connections on
+    // the worker ring: consecutive ids are distinct (cap <= workers),
+    // arcs tile the ring, and both per-client and per-worker
+    // connection counts stay bounded.
+    for (uint32_t k = 0; k < connections; ++k) {
+        uint32_t w =
+            (index * connections + k) % total_workers;
+        out.push_back(w);
+    }
+    return out;
+}
+
+Client::Client(ClientId index, uint32_t total_clients,
+               std::vector<Worker *> workers, ClientOptions options)
+    : id_(index)
+{
+    auto picks = partitionedRoundRobin(
+        index, total_clients, static_cast<uint32_t>(workers.size()),
+        options.max_connections);
+    for (uint32_t w : picks)
+        connections_.push_back(workers[w]);
+}
+
+std::optional<TensorBatch>
+Client::next()
+{
+    if (connections_.empty())
+        return std::nullopt;
+    for (size_t tries = 0; tries < connections_.size(); ++tries) {
+        Worker *w = connections_[cursor_];
+        cursor_ = (cursor_ + 1) % connections_.size();
+        auto tensor = w->popTensor();
+        if (tensor) {
+            metrics_.inc("client.tensors");
+            metrics_.inc("client.bytes",
+                         static_cast<double>(tensor->bytes));
+            return tensor;
+        }
+    }
+    metrics_.inc("client.empty_polls");
+    return std::nullopt;
+}
+
+bool
+Client::exhausted() const
+{
+    for (Worker *w : connections_) {
+        if (!w->drained())
+            return false;
+    }
+    return true;
+}
+
+} // namespace dsi::dpp

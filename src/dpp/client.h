@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DPP data plane: the Client (Section III-B1).
+ *
+ * One Client runs on each trainer node, exposing the hook the PyTorch
+ * runtime calls to obtain preprocessed tensors. To keep connection
+ * counts bounded, each Client talks to a capped subset of Workers
+ * chosen by *partitioned round-robin routing* and rotates among them
+ * per request.
+ */
+
+#ifndef DSI_DPP_CLIENT_H
+#define DSI_DPP_CLIENT_H
+
+#include <optional>
+#include <vector>
+
+#include "common/metrics.h"
+#include "dpp/worker.h"
+
+namespace dsi::dpp {
+
+/** Client routing configuration. */
+struct ClientOptions
+{
+    /** Maximum Worker connections per Client. */
+    uint32_t max_connections = 8;
+};
+
+/** The per-trainer tensor-fetch endpoint. */
+class Client
+{
+  public:
+    /**
+     * Build client `index` of `total_clients`, partitioned over the
+     * given Worker pool.
+     */
+    Client(ClientId index, uint32_t total_clients,
+           std::vector<Worker *> workers, ClientOptions options = {});
+
+    ClientId id() const { return id_; }
+
+    /** Workers this client is connected to. */
+    const std::vector<Worker *> &connections() const
+    {
+        return connections_;
+    }
+
+    /**
+     * Fetch the next tensor (the PyTorch hook). Rotates round-robin
+     * over connected Workers; returns nullopt when every connected
+     * Worker is drained.
+     */
+    std::optional<TensorBatch> next();
+
+    /** True when all connected workers are drained. */
+    bool exhausted() const;
+
+    const Metrics &metrics() const { return metrics_; }
+
+  private:
+    ClientId id_;
+    std::vector<Worker *> connections_;
+    size_t cursor_ = 0;
+    Metrics metrics_;
+};
+
+/**
+ * Compute the partitioned round-robin connection set: client `index`
+ * of `total_clients` connects to at most `max_connections` workers,
+ * spread so that (a) every worker has at least one client when
+ * clients * cap >= workers and (b) load is balanced.
+ */
+std::vector<uint32_t> partitionedRoundRobin(uint32_t index,
+                                            uint32_t total_clients,
+                                            uint32_t total_workers,
+                                            uint32_t max_connections);
+
+} // namespace dsi::dpp
+
+#endif // DSI_DPP_CLIENT_H

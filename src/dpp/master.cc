@@ -1,0 +1,206 @@
+#include "master.h"
+
+#include "common/logging.h"
+#include "dwrf/reader.h"
+
+namespace dsi::dpp {
+
+dwrf::Buffer
+MasterCheckpoint::serialize() const
+{
+    dwrf::Buffer out;
+    dwrf::putVarint(out, next_split_cursor);
+    dwrf::putVarint(out, completed.size());
+    for (uint64_t id : completed)
+        dwrf::putVarint(out, id);
+    return out;
+}
+
+std::optional<MasterCheckpoint>
+MasterCheckpoint::deserialize(dwrf::ByteSpan data)
+{
+    MasterCheckpoint cp;
+    size_t pos = 0;
+    uint64_t n;
+    if (!dwrf::getVarint(data, pos, cp.next_split_cursor) ||
+        !dwrf::getVarint(data, pos, n)) {
+        return std::nullopt;
+    }
+    cp.completed.resize(n);
+    for (auto &id : cp.completed) {
+        if (!dwrf::getVarint(data, pos, id))
+            return std::nullopt;
+    }
+    if (pos != data.size())
+        return std::nullopt;
+    return cp;
+}
+
+Master::Master(const warehouse::Warehouse &warehouse, SessionSpec spec)
+    : spec_(std::move(spec))
+{
+    enumerateSplits(warehouse);
+    for (uint64_t i = 0; i < splits_.size(); ++i)
+        pending_.push_back(i);
+}
+
+void
+Master::enumerateSplits(const warehouse::Warehouse &warehouse)
+{
+    const warehouse::Table *table = warehouse.findTable(spec_.table);
+    dsi_assert(table != nullptr, "session table '%s' not found",
+               spec_.table.c_str());
+
+    for (PartitionId pid : spec_.partitions) {
+        const warehouse::Partition *partition =
+            table->findPartition(pid);
+        dsi_assert(partition != nullptr,
+                   "partition %u missing from '%s'", pid,
+                   spec_.table.c_str());
+        for (const auto &file : partition->files) {
+            auto source = warehouse.cluster().open(file);
+            dwrf::FileReader reader(*source, dwrf::ReadOptions{});
+            dsi_assert(reader.valid(), "unreadable file '%s'",
+                       file.c_str());
+            const auto &stripes = reader.footer().stripes;
+            // Pack successive stripes into ~rows_per_split splits.
+            uint32_t begin = 0;
+            uint64_t rows = 0;
+            for (uint32_t s = 0; s < stripes.size(); ++s) {
+                rows += stripes[s].rows;
+                bool last = s + 1 == stripes.size();
+                if (rows >= spec_.rows_per_split || last) {
+                    Split split;
+                    split.id = splits_.size();
+                    split.file = file;
+                    split.first_stripe = begin;
+                    split.stripe_count = s - begin + 1;
+                    split.rows = rows;
+                    splits_.push_back(std::move(split));
+                    begin = s + 1;
+                    rows = 0;
+                }
+            }
+        }
+    }
+    metrics_.set("master.total_splits",
+                 static_cast<double>(splits_.size()));
+}
+
+WorkerId
+Master::registerWorker()
+{
+    WorkerId id = next_worker_++;
+    live_workers_.insert(id);
+    metrics_.inc("master.workers_registered");
+    return id;
+}
+
+std::optional<Split>
+Master::requestSplit(WorkerId worker)
+{
+    dsi_assert(live_workers_.count(worker),
+               "unknown or dead worker %u", worker);
+    if (pending_.empty())
+        return std::nullopt;
+    uint64_t split_id = pending_.front();
+    pending_.pop_front();
+    inflight_.emplace(split_id, worker);
+    metrics_.inc("master.splits_assigned");
+    return splits_[split_id];
+}
+
+void
+Master::completeSplit(WorkerId worker, uint64_t split_id)
+{
+    auto it = inflight_.find(split_id);
+    dsi_assert(it != inflight_.end(), "split %llu not in flight",
+               static_cast<unsigned long long>(split_id));
+    dsi_assert(it->second == worker,
+               "split %llu completed by worker %u but assigned to %u",
+               static_cast<unsigned long long>(split_id), worker,
+               it->second);
+    inflight_.erase(it);
+    completed_.insert(split_id);
+    metrics_.inc("master.splits_completed");
+}
+
+void
+Master::failWorker(WorkerId worker)
+{
+    live_workers_.erase(worker);
+    // Stateless Workers: just requeue whatever they were processing.
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+        if (it->second == worker) {
+            pending_.push_front(it->first);
+            metrics_.inc("master.splits_requeued");
+            it = inflight_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    metrics_.inc("master.workers_failed");
+}
+
+SessionProgress
+Master::progress() const
+{
+    SessionProgress p;
+    p.total_splits = splits_.size();
+    p.completed_splits = completed_.size();
+    p.inflight_splits = inflight_.size();
+    p.pending_splits = pending_.size();
+    return p;
+}
+
+MasterCheckpoint
+Master::checkpoint() const
+{
+    MasterCheckpoint cp;
+    cp.next_split_cursor = splits_.size();
+    cp.completed.assign(completed_.begin(), completed_.end());
+    return cp;
+}
+
+void
+Master::checkpointToStorage(storage::TectonicCluster &cluster,
+                            const std::string &name) const
+{
+    cluster.put(name, checkpoint().serialize());
+}
+
+void
+Master::restoreFromStorage(const storage::TectonicCluster &cluster,
+                           const std::string &name)
+{
+    dsi_assert(cluster.exists(name), "checkpoint '%s' not found",
+               name.c_str());
+    auto source = cluster.open(name);
+    dwrf::Buffer bytes;
+    source->read(0, source->size(), bytes);
+    auto cp = MasterCheckpoint::deserialize(bytes);
+    dsi_assert(cp.has_value(), "checkpoint '%s' is corrupt",
+               name.c_str());
+    restore(*cp);
+}
+
+void
+Master::restore(const MasterCheckpoint &checkpoint)
+{
+    completed_.clear();
+    for (uint64_t id : checkpoint.completed) {
+        dsi_assert(id < splits_.size(),
+                   "checkpoint references unknown split %llu",
+                   static_cast<unsigned long long>(id));
+        completed_.insert(id);
+    }
+    inflight_.clear();
+    pending_.clear();
+    for (uint64_t i = 0; i < splits_.size(); ++i) {
+        if (!completed_.count(i))
+            pending_.push_back(i);
+    }
+    metrics_.inc("master.restores");
+}
+
+} // namespace dsi::dpp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * DPP control plane: the Master (Section III-B1).
+ *
+ * The Master turns the session's petabyte-scale workload into
+ * independent, self-contained *splits* (successive row ranges of the
+ * dataset), serves them to Workers on request, tracks completion,
+ * checkpoints reader state for fault tolerance, restarts failed
+ * Workers' splits (Workers are stateless, so no Worker checkpoint is
+ * needed), and is itself replicable via checkpoint/restore.
+ */
+
+#ifndef DSI_DPP_MASTER_H
+#define DSI_DPP_MASTER_H
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "dpp/spec.h"
+#include "warehouse/table.h"
+
+namespace dsi::dpp {
+
+/** Serializable Master state for fault tolerance / replication. */
+struct MasterCheckpoint
+{
+    uint64_t next_split_cursor = 0;   ///< first unenumerated split
+    std::vector<uint64_t> completed;  ///< completed split ids
+
+    dwrf::Buffer serialize() const;
+    static std::optional<MasterCheckpoint> deserialize(
+        dwrf::ByteSpan data);
+};
+
+/** Progress summary exposed to the trainer master / auto-scaler. */
+struct SessionProgress
+{
+    uint64_t total_splits = 0;
+    uint64_t completed_splits = 0;
+    uint64_t inflight_splits = 0;
+    uint64_t pending_splits = 0;
+    bool done() const { return completed_splits == total_splits; }
+};
+
+/** The DPP control-plane master for one session. */
+class Master
+{
+  public:
+    Master(const warehouse::Warehouse &warehouse, SessionSpec spec);
+
+    const SessionSpec &spec() const { return spec_; }
+
+    /** Total splits the session will process. */
+    uint64_t totalSplits() const { return splits_.size(); }
+
+    /** Serialized transform graph Workers pull on startup. */
+    const dwrf::Buffer &transformProgram() const
+    {
+        return spec_.serialized_transforms;
+    }
+
+    /** Register a Worker (returns its id). */
+    WorkerId registerWorker();
+
+    /**
+     * A Worker asks for work. Returns nullopt when no pending splits
+     * remain (the Worker should idle/drain).
+     */
+    std::optional<Split> requestSplit(WorkerId worker);
+
+    /** A Worker reports a split finished. */
+    void completeSplit(WorkerId worker, uint64_t split_id);
+
+    /**
+     * The health monitor declares a Worker dead: its in-flight splits
+     * return to the pending queue for other Workers.
+     */
+    void failWorker(WorkerId worker);
+
+    SessionProgress progress() const;
+
+    /** Checkpoint of reader state (Section III-B1). */
+    MasterCheckpoint checkpoint() const;
+
+    /**
+     * Persist the checkpoint durably as a Tectonic file (production
+     * masters checkpoint periodically so a replica can take over).
+     */
+    void checkpointToStorage(storage::TectonicCluster &cluster,
+                             const std::string &name) const;
+
+    /** Restore from a checkpoint file; dies if missing/corrupt. */
+    void restoreFromStorage(const storage::TectonicCluster &cluster,
+                            const std::string &name);
+
+    /**
+     * Restore from a checkpoint: completed splits stay completed,
+     * everything else (including previously in-flight) is re-pending.
+     * Models both Master fail-over and replicated-Master catch-up.
+     */
+    void restore(const MasterCheckpoint &checkpoint);
+
+    const Metrics &metrics() const { return metrics_; }
+
+  private:
+    void enumerateSplits(const warehouse::Warehouse &warehouse);
+
+    SessionSpec spec_;
+    std::vector<Split> splits_;
+    std::deque<uint64_t> pending_;              ///< split ids
+    std::map<uint64_t, WorkerId> inflight_;     ///< split -> worker
+    std::set<uint64_t> completed_;
+    WorkerId next_worker_ = 0;
+    std::set<WorkerId> live_workers_;
+    Metrics metrics_;
+};
+
+} // namespace dsi::dpp
+
+#endif // DSI_DPP_MASTER_H

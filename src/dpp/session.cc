@@ -1,0 +1,112 @@
+#include "session.h"
+
+#include "common/logging.h"
+
+namespace dsi::dpp {
+
+InProcessSession::InProcessSession(const warehouse::Warehouse &warehouse,
+                                   SessionSpec spec,
+                                   SessionOptions options)
+    : warehouse_(warehouse), options_(options)
+{
+    dsi_assert(options_.workers >= 1, "session needs >= 1 worker");
+    dsi_assert(options_.clients >= 1, "session needs >= 1 client");
+    master_ = std::make_unique<Master>(warehouse_, std::move(spec));
+    for (uint32_t w = 0; w < options_.workers; ++w) {
+        workers_.push_back(std::make_unique<Worker>(
+            *master_, warehouse_, options_.worker));
+    }
+    rebuildClients();
+}
+
+void
+InProcessSession::rebuildClients()
+{
+    clients_.clear();
+    std::vector<Worker *> pool;
+    pool.reserve(workers_.size());
+    for (auto &w : workers_)
+        pool.push_back(w.get());
+    for (uint32_t c = 0; c < options_.clients; ++c) {
+        clients_.push_back(std::make_unique<Client>(
+            c, options_.clients, pool, options_.client));
+    }
+}
+
+void
+InProcessSession::injectWorkerFailure(size_t i)
+{
+    dsi_assert(i < workers_.size(), "no worker at index %zu", i);
+    // Health monitor notices; in-flight splits requeue. The dead
+    // worker's buffered (unserved) tensors are lost with it.
+    master_->failWorker(workers_[i]->id());
+    ++failures_;
+    // Stateless restart: a fresh worker replaces it (no checkpoint).
+    workers_[i] = std::make_unique<Worker>(*master_, warehouse_,
+                                           options_.worker);
+    rebuildClients();
+}
+
+SessionResult
+InProcessSession::run(TensorSink sink, uint64_t fail_after_splits)
+{
+    SessionResult result;
+    bool failure_pending = fail_after_splits > 0;
+
+    for (;;) {
+        // Data plane: every worker makes one unit of progress.
+        bool any_work = false;
+        for (auto &w : workers_)
+            any_work = w->pump() || any_work;
+
+        // Fault injection, once, after enough splits completed.
+        if (failure_pending &&
+            master_->progress().completed_splits >=
+                fail_after_splits) {
+            injectWorkerFailure(0);
+            failure_pending = false;
+            any_work = true;
+        }
+
+        // Trainers: each client drains what is available.
+        bool any_tensor = false;
+        for (auto &c : clients_) {
+            for (;;) {
+                auto tensor = c->next();
+                if (!tensor)
+                    break;
+                any_tensor = true;
+                ++result.tensors_delivered;
+                result.rows_delivered += tensor->data.rows;
+                result.tensor_bytes += tensor->bytes;
+                if (sink)
+                    sink(c->id(), *tensor);
+            }
+        }
+
+        if (!any_work && !any_tensor) {
+            bool all_drained = true;
+            for (auto &w : workers_)
+                all_drained = all_drained && w->drained();
+            if (all_drained)
+                break;
+        }
+    }
+
+    dsi_assert(master_->progress().done(),
+               "session ended with incomplete splits");
+    result.worker_failures = failures_;
+    for (auto &w : workers_) {
+        const auto &rs = w->readStats();
+        result.read_stats.bytes_read += rs.bytes_read;
+        result.read_stats.bytes_needed += rs.bytes_needed;
+        result.read_stats.bytes_decompressed += rs.bytes_decompressed;
+        result.read_stats.bytes_decrypted += rs.bytes_decrypted;
+        result.read_stats.ios += rs.ios;
+        result.read_stats.streams_decoded += rs.streams_decoded;
+        result.transform_stats.merge(w->transformStats());
+    }
+    return result;
+}
+
+} // namespace dsi::dpp

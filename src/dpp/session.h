@@ -1,0 +1,87 @@
+/**
+ * @file
+ * In-process DPP session orchestrator.
+ *
+ * Wires a Master, a Worker pool, and per-trainer Clients into one
+ * runnable pipeline over the warehouse — the functional counterpart
+ * of a production DPP deployment, used by examples, tests, and the
+ * functional benches. Supports mid-run Worker failure injection (the
+ * Master's health monitor requeues in-flight splits and the session
+ * launches a stateless replacement, as in Section III-B1).
+ */
+
+#ifndef DSI_DPP_SESSION_H
+#define DSI_DPP_SESSION_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dpp/client.h"
+#include "dpp/master.h"
+#include "dpp/worker.h"
+
+namespace dsi::dpp {
+
+/** Session-level configuration. */
+struct SessionOptions
+{
+    uint32_t workers = 4;
+    uint32_t clients = 1;
+    WorkerOptions worker;
+    ClientOptions client;
+};
+
+/** Aggregate outcome of a completed session. */
+struct SessionResult
+{
+    uint64_t tensors_delivered = 0;
+    uint64_t rows_delivered = 0;
+    Bytes tensor_bytes = 0;
+    uint64_t worker_failures = 0;
+    dwrf::ReadStats read_stats;
+    transforms::TransformStats transform_stats;
+};
+
+/** A runnable, fault-injectable DPP session. */
+class InProcessSession
+{
+  public:
+    /** Called for every tensor a client receives. */
+    using TensorSink =
+        std::function<void(ClientId, const TensorBatch &)>;
+
+    InProcessSession(const warehouse::Warehouse &warehouse,
+                     SessionSpec spec, SessionOptions options = {});
+
+    Master &master() { return *master_; }
+
+    /**
+     * Kill worker at pool index `i` (its buffer is lost, in-flight
+     * splits requeue) and start a stateless replacement.
+     */
+    void injectWorkerFailure(size_t i);
+
+    /**
+     * Drive the pipeline to completion: workers pump while clients
+     * drain. `sink` (optional) observes every delivered tensor.
+     * `fail_after_splits`, if nonzero, kills one worker after that
+     * many splits complete (fault-tolerance exercise).
+     */
+    SessionResult run(TensorSink sink = nullptr,
+                      uint64_t fail_after_splits = 0);
+
+  private:
+    void rebuildClients();
+
+    const warehouse::Warehouse &warehouse_;
+    SessionOptions options_;
+    std::unique_ptr<Master> master_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::unique_ptr<Client>> clients_;
+    uint64_t failures_ = 0;
+};
+
+} // namespace dsi::dpp
+
+#endif // DSI_DPP_SESSION_H

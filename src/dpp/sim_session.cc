@@ -1,0 +1,187 @@
+#include "sim_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dsi::dpp {
+
+namespace {
+
+/** Trainer demand (samples/s) at time t under the step profile. */
+double
+demandAt(const std::vector<DemandStep> &steps, SimTime t,
+         double per_trainer_qps)
+{
+    uint32_t trainers = 0;
+    for (const auto &s : steps) {
+        if (s.at <= t)
+            trainers = s.trainer_nodes;
+        else
+            break;
+    }
+    return trainers * per_trainer_qps;
+}
+
+uint32_t
+peakTrainers(const std::vector<DemandStep> &steps)
+{
+    uint32_t peak = 0;
+    for (const auto &s : steps)
+        peak = std::max(peak, s.trainer_nodes);
+    return peak;
+}
+
+double
+meanTrainers(const std::vector<DemandStep> &steps, SimTime duration)
+{
+    if (steps.empty())
+        return 0;
+    double area = 0;
+    for (size_t i = 0; i < steps.size(); ++i) {
+        SimTime end = i + 1 < steps.size()
+            ? std::min(steps[i + 1].at, duration)
+            : duration;
+        if (end > steps[i].at)
+            area += steps[i].trainer_nodes * (end - steps[i].at);
+    }
+    return area / duration;
+}
+
+} // namespace
+
+SimSessionResult
+simulateDeployment(const SimSessionConfig &config)
+{
+    dsi_assert(!config.demand.empty() && config.demand.front().at == 0,
+               "demand profile must start at t=0");
+    dsi_assert(config.tick_s > 0 && config.duration_s > 0,
+               "bad sim bounds");
+
+    Rng rng(config.seed);
+    sim::EventQueue queue;
+    auto sat = saturateWorker(config.rm, config.node);
+    double per_worker_qps = sat.qps;
+    double per_trainer_qps = config.rm.trainerSamplesPerSec();
+
+    // Mutable deployment state, advanced by tick events.
+    uint32_t workers = config.initial_workers;
+    uint32_t launching = 0;
+    double buffer = 0;
+    double produced_window = 0, consumed_window = 0;
+
+    SimSessionResult result;
+    double stall_time = 0;
+    double worker_area = 0;
+    double util_area = 0;
+
+    if (config.policy != ScalingPolicy::AutoScale) {
+        double target_trainers =
+            config.policy == ScalingPolicy::StaticExact
+                ? peakTrainers(config.demand)
+                : meanTrainers(config.demand, config.duration_s);
+        workers = static_cast<uint32_t>(std::ceil(
+            target_trainers * per_trainer_qps /
+            (per_worker_qps * config.scaler.target_util)));
+        workers = std::max(workers, 1u);
+    }
+
+    AutoScaler scaler(config.scaler);
+    SimTime next_scale = config.autoscale_period_s;
+    SimTime next_sample = 0;
+    SimTime sample_every = config.duration_s / 120.0;
+
+    // Per-tick fluid-flow update.
+    for (SimTime t = 0; t < config.duration_s; t += config.tick_s) {
+        double dt = config.tick_s;
+        double demand =
+            demandAt(config.demand, t, per_trainer_qps);
+        double supply = workers * per_worker_qps;
+
+        // Random worker failures (Poisson over the pool).
+        if (config.worker_mtbf_s > 0 && workers > 0) {
+            double p_fail = 1.0 - std::exp(-dt * workers /
+                                           config.worker_mtbf_s);
+            if (rng.nextBool(p_fail)) {
+                --workers;
+                ++result.failures;
+                ++launching; // health monitor restarts it
+                SimTime delay = config.worker_restart_delay_s;
+                queue.schedule(t + delay, [&workers, &launching] {
+                    ++workers;
+                    --launching;
+                });
+            }
+        }
+        queue.runUntil(t); // mature pending launches/restarts
+
+        // Flow: production fills the buffer, trainers drain it.
+        double buffer_cap =
+            workers * config.buffer_samples_per_worker;
+        double produced = supply * dt;
+        double wanted = demand * dt;
+        double available = buffer + produced;
+        double served = std::min(wanted, available);
+        buffer = std::min(buffer_cap, available - served);
+        bool stalled = demand > 0 && served + 1e-9 < wanted;
+        if (stalled)
+            stall_time += dt * (1.0 - served / wanted);
+        produced_window += produced;
+        consumed_window += served;
+
+        worker_area += workers * dt;
+        util_area += (supply > 0 ? served / (supply * dt) * dt : 0);
+        result.peak_workers =
+            std::max(result.peak_workers, workers);
+
+        // Controller evaluation.
+        if (config.policy == ScalingPolicy::AutoScale &&
+            t >= next_scale) {
+            std::vector<WorkerReport> reports(workers);
+            for (auto &r : reports) {
+                r.cpu_util = supply > 0 ? served / supply : 0;
+                r.buffered_tensors = static_cast<uint64_t>(
+                    buffer / std::max(1u, workers) / 512);
+            }
+            double period = config.autoscale_period_s;
+            auto decision = scaler.evaluate(
+                reports, consumed_window / period,
+                produced_window / period);
+            produced_window = consumed_window = 0;
+            // Account for capacity already in flight.
+            int64_t delta = decision.delta -
+                            static_cast<int64_t>(launching);
+            if (delta > 0) {
+                launching += static_cast<uint32_t>(delta);
+                result.launches += static_cast<uint64_t>(delta);
+                queue.schedule(
+                    t + config.worker_launch_delay_s,
+                    [&workers, &launching, delta] {
+                        workers += static_cast<uint32_t>(delta);
+                        launching -= static_cast<uint32_t>(delta);
+                    });
+            } else if (decision.delta < 0) {
+                uint32_t drop = static_cast<uint32_t>(
+                    std::min<int64_t>(-decision.delta, workers - 1));
+                workers -= drop; // draining is immediate
+                result.drains += drop;
+            }
+            next_scale = t + config.autoscale_period_s;
+        }
+
+        if (t >= next_sample) {
+            result.timeline.push_back({t, workers, demand, supply,
+                                       buffer, stalled});
+            next_sample = t + sample_every;
+        }
+    }
+
+    result.stall_fraction = stall_time / config.duration_s;
+    result.avg_workers = worker_area / config.duration_s;
+    result.worker_seconds = worker_area;
+    result.avg_pool_utilization = util_area / config.duration_s;
+    return result;
+}
+
+} // namespace dsi::dpp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation of a full DPP deployment.
+ *
+ * Models what the functional in-process session cannot: a fleet of
+ * workers serving a multi-trainer job over hours, with worker launch
+ * latency, random worker failures, a demand profile that changes as
+ * trainers join/leave, and the auto-scaling controller evaluating
+ * periodically. Produces the stall fraction, worker-seconds (the
+ * power/cost proxy), and a timeline — used by the right-sizing
+ * ablation (Sections III-B1 and VI-C: more workers do NOT speed up
+ * training; too few stall the GPUs).
+ */
+
+#ifndef DSI_DPP_SIM_SESSION_H
+#define DSI_DPP_SIM_SESSION_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dpp/autoscaler.h"
+#include "dpp/worker_model.h"
+#include "sim/event_queue.h"
+#include "warehouse/model_zoo.h"
+
+namespace dsi::dpp {
+
+/** A step in the trainer-demand profile. */
+struct DemandStep
+{
+    SimTime at = 0;
+    uint32_t trainer_nodes = 0;
+};
+
+/** Scaling policy of the simulated deployment. */
+enum class ScalingPolicy
+{
+    AutoScale,     ///< the DPP controller
+    StaticExact,   ///< fixed pool sized for the *peak* demand
+    StaticUnder,   ///< fixed pool sized for the *mean* demand
+};
+
+/** Configuration of one simulated deployment. */
+struct SimSessionConfig
+{
+    warehouse::RmSpec rm = warehouse::rm1();
+    sim::ComputeNodeSpec node = sim::computeNodeV1();
+
+    std::vector<DemandStep> demand; ///< must start at t=0
+    SimTime duration_s = 3600;
+    SimTime tick_s = 1.0;
+
+    ScalingPolicy policy = ScalingPolicy::AutoScale;
+    AutoScalerConfig scaler;
+    SimTime autoscale_period_s = 10;
+    SimTime worker_launch_delay_s = 20; ///< container provisioning
+    uint32_t initial_workers = 4;
+
+    /** Per-worker mean time between failures; 0 disables failures. */
+    SimTime worker_mtbf_s = 0;
+    SimTime worker_restart_delay_s = 30;
+
+    /** Buffer capacity in samples across the pool, per worker. */
+    double buffer_samples_per_worker = 20000;
+
+    uint64_t seed = 1;
+};
+
+/** One sampled point of the deployment timeline. */
+struct TimelinePoint
+{
+    SimTime t = 0;
+    uint32_t workers = 0;
+    double demand_qps = 0;
+    double supply_qps = 0;
+    double buffered_samples = 0;
+    bool stalled = false;
+};
+
+/** Aggregate outcome. */
+struct SimSessionResult
+{
+    double stall_fraction = 0;  ///< time fraction with unmet demand
+    double avg_workers = 0;
+    uint32_t peak_workers = 0;
+    double worker_seconds = 0;  ///< power/cost proxy
+    double avg_pool_utilization = 0;
+    uint64_t launches = 0;
+    uint64_t failures = 0;
+    uint64_t drains = 0;
+    std::vector<TimelinePoint> timeline; ///< sampled every ~1% of run
+
+    /** Energy proxy: worker-seconds x node watts. */
+    double energyJ(double node_watts) const
+    {
+        return worker_seconds * node_watts;
+    }
+};
+
+/** Run the deployment simulation. */
+SimSessionResult simulateDeployment(const SimSessionConfig &config);
+
+} // namespace dsi::dpp
+
+#endif // DSI_DPP_SIM_SESSION_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DPP session specification (Section III-B1).
+ *
+ * Mirrors the PyTorch DATASET a training job hands the DPP Master:
+ * the table, the partitions to read (row filter), the feature
+ * projection (column filter), the serialized transform graph, and
+ * batching/read parameters.
+ */
+
+#ifndef DSI_DPP_SPEC_H
+#define DSI_DPP_SPEC_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "dwrf/reader.h"
+#include "transforms/graph.h"
+#include "warehouse/schema.h"
+
+namespace dsi::dpp {
+
+/** What one training job asks DPP to do. */
+struct SessionSpec
+{
+    std::string table;
+    std::vector<PartitionId> partitions; ///< row filter
+    std::vector<FeatureId> projection;   ///< column filter
+    dwrf::Buffer serialized_transforms;  ///< TransformGraph bytes
+
+    /**
+     * Beta features injected at read time (Section IV-C): features
+     * not yet logged to the table are dynamically joined per
+     * exploratory job. Workers synthesize them per row with the
+     * spec's statistics, deterministically in the row's identity.
+     */
+    std::vector<warehouse::FeatureSpec> injected;
+
+    uint32_t batch_size = 512;       ///< rows per output tensor
+    uint64_t rows_per_split = 8192;  ///< split granularity
+    dwrf::ReadOptions read;          ///< coalescing, decryption, ...
+
+    /** Attach a transform graph (serializing it as the Master would). */
+    void
+    setTransforms(const transforms::TransformGraph &graph)
+    {
+        serialized_transforms = graph.serialize();
+    }
+};
+
+/** One self-contained unit of preprocessing work (Section III-B1). */
+struct Split
+{
+    uint64_t id = 0;
+    std::string file;           ///< Tectonic file holding the rows
+    uint32_t first_stripe = 0;  ///< stripes [first, first + count)
+    uint32_t stripe_count = 0;
+    uint64_t rows = 0;
+};
+
+} // namespace dsi::dpp
+
+#endif // DSI_DPP_SPEC_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Recurring-training (online) preprocessing: DPP over a Scribe
+ * stream.
+ *
+ * Production models are *updated* from fresh labeled samples that the
+ * streaming join publishes to Scribe (Section III-A1), without
+ * waiting for daily batch partitions. A StreamWorker tails the
+ * labeled stream, decodes rows, applies the feature projection (by
+ * dropping columns after decode — row-oriented streams cannot be read
+ * selectively; that is the cost of freshness), runs the transform
+ * graph per mini-batch, and buffers ready-to-load tensors exactly
+ * like a batch-mode Worker.
+ */
+
+#ifndef DSI_DPP_STREAM_SESSION_H
+#define DSI_DPP_STREAM_SESSION_H
+
+#include <deque>
+#include <optional>
+
+#include "common/metrics.h"
+#include "dpp/worker.h"
+#include "scribe/scribe.h"
+#include "transforms/graph.h"
+
+namespace dsi::dpp {
+
+/** What a recurring-training job asks for. */
+struct StreamSessionSpec
+{
+    std::string labeled_stream = "labeled";
+    /** Features to keep; empty keeps everything. */
+    std::vector<FeatureId> projection;
+    dwrf::Buffer serialized_transforms;
+    uint32_t batch_size = 256;
+
+    void
+    setTransforms(const transforms::TransformGraph &graph)
+    {
+        serialized_transforms = graph.serialize();
+    }
+};
+
+/** Tails a labeled stream and produces preprocessed tensors. */
+class StreamWorker
+{
+  public:
+    StreamWorker(scribe::LogDevice &device, StreamSessionSpec spec);
+
+    /**
+     * Consume up to `max_records` new labeled records; full batches
+     * become tensors immediately. Returns records consumed.
+     */
+    uint64_t pump(uint64_t max_records = 1024);
+
+    /**
+     * Force the current partial batch out as a (short) tensor — used
+     * at the end of a training window.
+     */
+    void flush();
+
+    std::optional<TensorBatch> popTensor();
+    size_t buffered() const { return buffer_.size(); }
+
+    /** Trim the consumed prefix of the stream (bounds LogDevice). */
+    void trimConsumed();
+
+    /** Producer-to-tensor latency of the newest batched sample. */
+    SimTime lastSampleAge(SimTime now) const
+    {
+        return now - last_sample_time_;
+    }
+
+    const transforms::TransformStats &transformStats() const
+    {
+        return transform_stats_;
+    }
+    const Metrics &metrics() const { return metrics_; }
+
+  private:
+    void emitBatch();
+
+    scribe::LogDevice &device_;
+    StreamSessionSpec spec_;
+    scribe::StreamReader reader_;
+    std::unique_ptr<transforms::CompiledGraph> graph_;
+    std::vector<dwrf::Row> pending_;
+    std::deque<TensorBatch> buffer_;
+    SimTime last_sample_time_ = 0;
+    transforms::TransformStats transform_stats_;
+    Metrics metrics_;
+};
+
+} // namespace dsi::dpp
+
+#endif // DSI_DPP_STREAM_SESSION_H

@@ -1,0 +1,192 @@
+#include "worker.h"
+
+#include "common/logging.h"
+#include "dwrf/reader.h"
+
+namespace dsi::dpp {
+
+Worker::Worker(Master &master, const warehouse::Warehouse &warehouse,
+               WorkerOptions options)
+    : master_(master), warehouse_(warehouse), options_(options)
+{
+    id_ = master_.registerWorker();
+    // On startup a Worker pulls the transform program from the Master
+    // (the "serialized and compiled PyTorch module").
+    auto graph = transforms::TransformGraph::deserialize(
+        master_.transformProgram());
+    dsi_assert(graph.has_value(),
+               "worker %u received malformed transform program", id_);
+    graph_ = std::make_unique<transforms::CompiledGraph>(*graph);
+}
+
+bool
+Worker::pump()
+{
+    if (no_more_work_)
+        return false;
+    if (bufferFull())
+        return true; // backpressure: trainers are behind
+    if (!current_) {
+        auto split = master_.requestSplit(id_);
+        if (!split) {
+            no_more_work_ = true;
+            return false;
+        }
+        openSplit(*split);
+    }
+    processNextStripe();
+    if (next_stripe_ >= current_->stripe_count)
+        closeSplit();
+    return true;
+}
+
+void
+Worker::openSplit(const Split &split)
+{
+    current_ = split;
+    next_stripe_ = 0;
+    source_ = warehouse_.cluster().open(split.file);
+    dwrf::ReadOptions read = master_.spec().read;
+    read.projection = master_.spec().projection;
+    read.verify_checksums = options_.verify_checksums;
+    reader_ = std::make_unique<dwrf::FileReader>(*source_, read);
+    dsi_assert(reader_->valid(), "worker %u: unreadable file '%s'",
+               id_, split.file.c_str());
+}
+
+namespace {
+
+/**
+ * Synthesize an injected (beta) feature column for a stripe. Values
+ * are a pure function of (feature id, absolute row) so every worker
+ * — and every retry — joins identical data, as a feature-store
+ * lookup would.
+ */
+void
+injectFeature(dwrf::RowBatch &batch, const warehouse::FeatureSpec &f,
+              RowId first_row)
+{
+    auto unit = [&](uint64_t row, uint64_t salt) {
+        uint64_t h = transforms::sigridHash64(first_row + row,
+                                              f.id * 1315423911u + salt);
+        return static_cast<double>(h >> 11) * 0x1.0p-53;
+    };
+    if (f.kind == warehouse::FeatureKind::Dense) {
+        dwrf::DenseColumn col;
+        col.id = f.id;
+        col.present.assign((batch.rows + 7) / 8, 0);
+        col.values.assign(batch.rows, 0.0f);
+        for (uint32_t r = 0; r < batch.rows; ++r) {
+            if (unit(r, 0) < f.coverage) {
+                col.setPresent(r);
+                col.values[r] = static_cast<float>(unit(r, 1));
+            }
+        }
+        batch.dense.push_back(std::move(col));
+        return;
+    }
+    dwrf::SparseColumn col;
+    col.id = f.id;
+    col.offsets.assign(batch.rows + 1, 0);
+    for (uint32_t r = 0; r < batch.rows; ++r) {
+        col.offsets[r + 1] = col.offsets[r];
+        if (unit(r, 0) >= f.coverage)
+            continue;
+        uint32_t len = 1 + static_cast<uint32_t>(
+                               unit(r, 2) * 2.0 * f.avg_length);
+        for (uint32_t k = 0; k < len; ++k) {
+            col.values.push_back(static_cast<int64_t>(
+                transforms::sigridHash64(first_row + r, k) %
+                f.cardinality));
+        }
+        col.offsets[r + 1] += len;
+    }
+    if (f.kind == warehouse::FeatureKind::ScoredSparse) {
+        col.scores.resize(col.values.size());
+        for (size_t i = 0; i < col.scores.size(); ++i)
+            col.scores[i] = static_cast<float>(
+                (transforms::sigridHash64(i, f.id) >> 40) / 16777216.0);
+    }
+    batch.sparse.push_back(std::move(col));
+}
+
+} // namespace
+
+void
+Worker::processNextStripe()
+{
+    const SessionSpec &spec = master_.spec();
+
+    // --- Extract one stripe ---
+    uint32_t stripe_index = current_->first_stripe + next_stripe_;
+    dwrf::RowBatch stripe = reader_->readStripe(stripe_index);
+    ++next_stripe_;
+    metrics_.inc("worker.rows_extracted", stripe.rows);
+
+    // --- Inject beta features (dynamic join, Section IV-C) ---
+    if (!spec.injected.empty()) {
+        RowId first_row =
+            reader_->footer().stripes[stripe_index].first_row;
+        for (const auto &f : spec.injected) {
+            injectFeature(stripe, f, first_row);
+            metrics_.inc("worker.features_injected");
+        }
+    }
+
+    // --- Transform + partial load, one mini-batch at a time
+    // (transforms are localized to each mini-batch).
+    for (uint32_t start = 0; start < stripe.rows;
+         start += spec.batch_size) {
+        dwrf::RowBatch batch =
+            dwrf::sliceBatch(stripe, start, spec.batch_size);
+        transform_stats_.merge(graph_->apply(batch));
+
+        TensorBatch tensor;
+        tensor.bytes = batch.payloadBytes();
+        tensor.data = std::move(batch);
+        metrics_.inc("worker.tensor_bytes",
+                     static_cast<double>(tensor.bytes));
+        metrics_.inc("worker.tensors");
+        buffered_bytes_ += tensor.bytes;
+        buffer_.push_back(std::move(tensor));
+    }
+}
+
+void
+Worker::closeSplit()
+{
+    // Fold this reader's extraction accounting into the totals.
+    const auto &rs = reader_->stats();
+    read_stats_.bytes_read += rs.bytes_read;
+    read_stats_.bytes_needed += rs.bytes_needed;
+    read_stats_.bytes_decompressed += rs.bytes_decompressed;
+    read_stats_.bytes_decrypted += rs.bytes_decrypted;
+    read_stats_.ios += rs.ios;
+    read_stats_.streams_decoded += rs.streams_decoded;
+
+    master_.completeSplit(id_, current_->id);
+    metrics_.inc("worker.splits");
+    reader_.reset();
+    source_.reset();
+    current_.reset();
+}
+
+bool
+Worker::drained() const
+{
+    return no_more_work_ && buffer_.empty();
+}
+
+std::optional<TensorBatch>
+Worker::popTensor()
+{
+    if (buffer_.empty())
+        return std::nullopt;
+    TensorBatch t = std::move(buffer_.front());
+    buffer_.pop_front();
+    buffered_bytes_ -= t.bytes;
+    metrics_.inc("worker.tensors_served");
+    return t;
+}
+
+} // namespace dsi::dpp

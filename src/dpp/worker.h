@@ -1,0 +1,121 @@
+/**
+ * @file
+ * DPP data plane: the Worker (Section III-B1).
+ *
+ * Stateless: a Worker only talks to the Master (to fetch splits and
+ * the transform program) and to Clients (to serve tensors). Per split
+ * it runs the full online ETL: extract (read + decrypt + decompress +
+ * decode + feature-filter the stored stripes), transform (apply the
+ * compiled graph per mini-batch), and partially load (batch rows into
+ * ready-to-load tensors buffered in memory).
+ */
+
+#ifndef DSI_DPP_WORKER_H
+#define DSI_DPP_WORKER_H
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "common/metrics.h"
+#include "dpp/master.h"
+#include "dpp/spec.h"
+#include "transforms/graph.h"
+#include "warehouse/table.h"
+
+namespace dsi::dpp {
+
+/** A preprocessed, ready-to-load tensor batch. */
+struct TensorBatch
+{
+    dwrf::RowBatch data;
+    Bytes bytes = 0; ///< materialized tensor payload size
+};
+
+/** Worker tuning knobs. */
+struct WorkerOptions
+{
+    /** Target depth of the in-memory tensor buffer. */
+    size_t buffer_capacity = 16;
+
+    /**
+     * Byte cap on buffered tensors (0 = unlimited). Production
+     * workers bound memory to avoid OOM — the reason RM3's thread
+     * pool is limited (Section VI-C).
+     */
+    Bytes buffer_bytes_capacity = 0;
+
+    /** Verify stream checksums during extraction. */
+    bool verify_checksums = true;
+};
+
+/** One DPP worker process. */
+class Worker
+{
+  public:
+    Worker(Master &master, const warehouse::Warehouse &warehouse,
+           WorkerOptions options = {});
+
+    WorkerId id() const { return id_; }
+
+    /**
+     * Make one unit of progress: if the buffer has room, process one
+     * *stripe* of the current split (fetching a new split from the
+     * Master when needed); the split completes when its last stripe
+     * is done. Returns false when the session has no more work for
+     * this worker (the buffer may still hold tensors).
+     */
+    bool pump();
+
+    /** True when no split remains and the buffer is empty. */
+    bool drained() const;
+
+    /** Clients pop tensors over (simulated) RPC. */
+    std::optional<TensorBatch> popTensor();
+
+    size_t buffered() const { return buffer_.size(); }
+    Bytes bufferedBytes() const { return buffered_bytes_; }
+    bool bufferFull() const
+    {
+        if (buffer_.size() >= options_.buffer_capacity)
+            return true;
+        return options_.buffer_bytes_capacity > 0 &&
+               buffered_bytes_ >= options_.buffer_bytes_capacity;
+    }
+
+    /** Cumulative extraction stats across processed splits. */
+    const dwrf::ReadStats &readStats() const { return read_stats_; }
+    const transforms::TransformStats &transformStats() const
+    {
+        return transform_stats_;
+    }
+    const Metrics &metrics() const { return metrics_; }
+
+  private:
+    void openSplit(const Split &split);
+    void processNextStripe();
+    void closeSplit();
+
+    Master &master_;
+    const warehouse::Warehouse &warehouse_;
+    WorkerOptions options_;
+    WorkerId id_;
+    std::unique_ptr<transforms::CompiledGraph> graph_;
+    std::deque<TensorBatch> buffer_;
+    Bytes buffered_bytes_ = 0;
+    bool no_more_work_ = false;
+
+    // In-progress split state (stripe-granular pipelining).
+    std::optional<Split> current_;
+    uint32_t next_stripe_ = 0;
+    std::unique_ptr<dwrf::RandomAccessSource> source_;
+    std::unique_ptr<dwrf::FileReader> reader_;
+
+    dwrf::ReadStats read_stats_;
+    transforms::TransformStats transform_stats_;
+    Metrics metrics_;
+};
+
+} // namespace dsi::dpp
+
+#endif // DSI_DPP_WORKER_H

@@ -1,0 +1,87 @@
+#include "worker_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dsi::dpp {
+
+WorkerSaturation
+saturateWorker(const warehouse::RmSpec &rm,
+               const sim::ComputeNodeSpec &node,
+               const WorkerModelOptions &options)
+{
+    WorkerSaturation s;
+
+    // Thread pool: capped by cores and by DRAM (OOM avoidance).
+    double mem_threads =
+        node.memory_gb * options.usable_memory_fraction /
+        rm.mem_gb_per_worker_thread;
+    s.threads = std::min(static_cast<double>(node.cores),
+                         std::floor(mem_threads));
+    dsi_assert(s.threads >= 1, "node cannot host a single thread");
+    s.mem_capacity_util =
+        s.threads * rm.mem_gb_per_worker_thread / node.memory_gb;
+
+    double cycles = rm.extract_cycles_per_sample +
+                    rm.transform_cycles_per_sample *
+                        options.transform_cycle_scale;
+    double cpu_rate = s.threads * node.ghz * 1e9 / cycles;
+
+    double nic_goodput =
+        node.nicBytesPerSec() * sim::kNicEfficiency;
+    double storage_rx = static_cast<double>(rm.storage_rx_per_sample) *
+                        options.storage_rx_scale;
+    double nic_in_rate = nic_goodput / storage_rx;
+    double nic_out_rate =
+        nic_goodput / static_cast<double>(rm.tensor_per_sample);
+
+    double membw_ceiling =
+        node.memBwBytesPerSec() * sim::kMemBwSaturation;
+    double membw_rate = membw_ceiling /
+                        (rm.membw_bytes_per_sample *
+                         options.membw_scale);
+
+    s.qps = cpu_rate;
+    s.bottleneck =
+        s.threads < node.cores ? "memory-capacity" : "cpu";
+    if (nic_in_rate < s.qps) {
+        s.qps = nic_in_rate;
+        s.bottleneck = "nic-in";
+    }
+    if (nic_out_rate < s.qps) {
+        s.qps = nic_out_rate;
+        s.bottleneck = "nic-out";
+    }
+    if (membw_rate < s.qps) {
+        s.qps = membw_rate;
+        s.bottleneck = "membw";
+    }
+
+    s.cpu_util = s.qps / cpu_rate;
+    s.nic_in_util = s.qps / nic_in_rate;
+    s.nic_out_util = s.qps / nic_out_rate;
+    s.membw_util = s.qps / membw_rate;
+
+    s.storage_rx_gbps = s.qps * storage_rx / 1e9;
+    s.transform_rx_gbps =
+        s.qps * static_cast<double>(rm.raw_per_sample) / 1e9;
+    s.transform_tx_gbps =
+        s.qps * static_cast<double>(rm.tensor_per_sample) / 1e9;
+
+    s.extract_share = rm.extract_cycles_per_sample / cycles;
+    s.transform_share = 1.0 - s.extract_share;
+    return s;
+}
+
+double
+workersPerTrainer(const warehouse::RmSpec &rm,
+                  const WorkerSaturation &saturation)
+{
+    double tensor_rate =
+        saturation.qps * static_cast<double>(rm.tensor_per_sample);
+    return rm.trainer_node_gbps * 1e9 / tensor_rate;
+}
+
+} // namespace dsi::dpp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Analytic DPP Worker saturation model (Tables IX & X, Figure 9).
+ *
+ * Given a model's per-sample costs (warehouse::RmSpec) and a compute
+ * node SKU (sim::ComputeNodeSpec), compute the Worker's saturation
+ * throughput as the minimum over its resource ceilings:
+ *
+ *  - CPU: thread pool (possibly memory-capacity limited to avoid
+ *    OOM, the RM3 situation) x clock / cycles-per-sample,
+ *  - ingress NIC: goodput / compressed storage bytes per sample,
+ *  - egress NIC: goodput / tensor bytes per sample,
+ *  - memory bandwidth: practical ceiling / bus bytes per sample.
+ *
+ * The per-sample costs are calibrated so that on C-v1 each RM
+ * saturates at the paper's measured kQPS with the paper's bottleneck
+ * (RM1: memBW+CPU, RM2: ingress NIC, RM3: memory capacity).
+ */
+
+#ifndef DSI_DPP_WORKER_MODEL_H
+#define DSI_DPP_WORKER_MODEL_H
+
+#include <string>
+
+#include "sim/device.h"
+#include "sim/tax.h"
+#include "warehouse/model_zoo.h"
+
+namespace dsi::dpp {
+
+/** Saturation point of one Worker on one node SKU. */
+struct WorkerSaturation
+{
+    double qps = 0;              ///< samples/second at saturation
+    std::string bottleneck;      ///< name of the binding resource
+
+    double threads = 0;          ///< usable worker threads
+    double cpu_util = 0;         ///< of the usable thread pool
+    double membw_util = 0;       ///< of the practical memBW ceiling
+    double nic_in_util = 0;      ///< of ingress goodput
+    double nic_out_util = 0;     ///< of egress goodput
+    double mem_capacity_util = 0;///< of node DRAM
+
+    /** Byte rates at saturation (GB/s), cf. Table IX. */
+    double storage_rx_gbps = 0;
+    double transform_rx_gbps = 0;
+    double transform_tx_gbps = 0;
+
+    /** CPU cycle split (of consumed cycles). */
+    double extract_share = 0;
+    double transform_share = 0;
+};
+
+/** Knobs for what-if studies (Section VII ablations). */
+struct WorkerModelOptions
+{
+    /** Fraction of DRAM usable by worker threads. */
+    double usable_memory_fraction = 0.90;
+    /** Multiplier on transform cycles (e.g. GPU offload). */
+    double transform_cycle_scale = 1.0;
+    /** Multiplier on memBW bytes (e.g. TLS offload, flatmaps). */
+    double membw_scale = 1.0;
+    /** Multiplier on storage RX bytes (e.g. over-read changes). */
+    double storage_rx_scale = 1.0;
+};
+
+/** Compute the saturation point. */
+WorkerSaturation saturateWorker(const warehouse::RmSpec &rm,
+                                const sim::ComputeNodeSpec &node,
+                                const WorkerModelOptions &options = {});
+
+/**
+ * Workers (nodes) needed so aggregate tensor egress matches one
+ * trainer node's demand (Table IX "# Nodes Req.").
+ */
+double workersPerTrainer(const warehouse::RmSpec &rm,
+                         const WorkerSaturation &saturation);
+
+} // namespace dsi::dpp
+
+#endif // DSI_DPP_WORKER_MODEL_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Umbrella header: the public API of the dsi library.
+ *
+ * A downstream user typically needs four things:
+ *   1. a warehouse with tables of training data
+ *      (warehouse/, dwrf/, storage/),
+ *   2. an offline data-generation pipeline to fill it
+ *      (scribe/, etl/),
+ *   3. a DPP session to stream preprocessed tensors to trainers
+ *      (dpp/, transforms/),
+ *   4. capacity/fleet models for planning studies
+ *      (sim/, sched/, trainer/).
+ */
+
+#ifndef DSI_DSI_H
+#define DSI_DSI_H
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+#include "sim/device.h"
+#include "sim/event_queue.h"
+#include "sim/power.h"
+#include "sim/resource.h"
+#include "sim/tax.h"
+
+#include "dwrf/reader.h"
+#include "dwrf/row.h"
+#include "dwrf/writer.h"
+
+#include "storage/provisioning.h"
+#include "storage/tectonic.h"
+
+#include "scribe/scribe.h"
+
+#include "etl/pipeline.h"
+
+#include "warehouse/datagen.h"
+#include "warehouse/lifecycle.h"
+#include "warehouse/model_zoo.h"
+#include "warehouse/query.h"
+#include "warehouse/table.h"
+
+#include "transforms/graph.h"
+#include "transforms/ops.h"
+
+#include "dpp/autoscaler.h"
+#include "dpp/session.h"
+#include "dpp/sim_session.h"
+#include "dpp/stream_session.h"
+#include "dpp/worker_model.h"
+
+#include "trainer/gpu_model.h"
+#include "trainer/trainer.h"
+
+#include "sched/fleet.h"
+#include "sched/release.h"
+
+#endif // DSI_DSI_H

@@ -1,0 +1,37 @@
+#include "checksum.h"
+
+namespace dsi::dwrf {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78; // CRC32-C, reflected
+
+struct Crc32Table
+{
+    uint32_t entries[256];
+
+    constexpr Crc32Table() : entries()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t crc = i;
+            for (int k = 0; k < 8; ++k)
+                crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+            entries[i] = crc;
+        }
+    }
+};
+
+constexpr Crc32Table kTable;
+
+} // namespace
+
+uint32_t
+crc32(ByteSpan data)
+{
+    uint32_t crc = 0xffffffff;
+    for (uint8_t b : data)
+        crc = (crc >> 8) ^ kTable.entries[(crc ^ b) & 0xff];
+    return crc ^ 0xffffffff;
+}
+
+} // namespace dsi::dwrf

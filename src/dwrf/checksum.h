@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CRC32 (Castagnoli polynomial) for stream integrity.
+ *
+ * Production storage verifies every stream read; a corrupted block is
+ * re-fetched from another replica. Our reader verifies each stored
+ * stream against the footer checksum and dies loudly on mismatch
+ * (tests inject corruption to exercise this).
+ */
+
+#ifndef DSI_DWRF_CHECKSUM_H
+#define DSI_DWRF_CHECKSUM_H
+
+#include <cstdint>
+
+#include "dwrf/encoding.h"
+
+namespace dsi::dwrf {
+
+/** CRC32-C of a byte span. */
+uint32_t crc32(ByteSpan data);
+
+} // namespace dsi::dwrf
+
+#endif // DSI_DWRF_CHECKSUM_H

@@ -1,0 +1,25 @@
+#include "cipher.h"
+
+#include "common/rng.h"
+
+namespace dsi::dwrf {
+
+void
+StreamCipher::apply(uint64_t nonce, Buffer &data) const
+{
+    Rng keystream(key_ ^ (nonce * 0x9e3779b97f4a7c15ULL));
+    size_t i = 0;
+    while (i + 8 <= data.size()) {
+        uint64_t ks = keystream.next();
+        for (int b = 0; b < 8; ++b)
+            data[i + b] ^= static_cast<uint8_t>(ks >> (8 * b));
+        i += 8;
+    }
+    if (i < data.size()) {
+        uint64_t ks = keystream.next();
+        for (int b = 0; i < data.size(); ++i, ++b)
+            data[i] ^= static_cast<uint8_t>(ks >> (8 * b));
+    }
+}
+
+} // namespace dsi::dwrf

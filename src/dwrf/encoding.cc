@@ -1,0 +1,288 @@
+#include "encoding.h"
+
+#include <cstring>
+#include <map>
+
+namespace dsi::dwrf {
+
+void
+putVarint(Buffer &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+bool
+getVarint(ByteSpan in, size_t &pos, uint64_t &v)
+{
+    v = 0;
+    int shift = 0;
+    while (pos < in.size() && shift < 64) {
+        uint8_t byte = in[pos++];
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+        shift += 7;
+    }
+    return false;
+}
+
+void
+putFloat(Buffer &out, float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU32(out, bits);
+}
+
+bool
+getFloat(ByteSpan in, size_t &pos, float &v)
+{
+    uint32_t bits;
+    if (!getU32(in, pos, bits))
+        return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+}
+
+void
+putU32(Buffer &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+bool
+getU32(ByteSpan in, size_t &pos, uint32_t &v)
+{
+    if (pos + 4 > in.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(in[pos + i]) << (8 * i);
+    pos += 4;
+    return true;
+}
+
+void
+putU64(Buffer &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+bool
+getU64(ByteSpan in, size_t &pos, uint64_t &v)
+{
+    if (pos + 8 > in.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(in[pos + i]) << (8 * i);
+    pos += 8;
+    return true;
+}
+
+namespace {
+
+// Stream grammar:
+//   0x00 <varint n> <base> <delta>   : run of n values base, base+d, ...
+//   0x01 <varint n> <n zigzag vals>  : literal group
+constexpr uint8_t kRunTag = 0x00;
+constexpr uint8_t kLiteralTag = 0x01;
+constexpr size_t kMinRun = 3;
+
+void
+flushLiterals(const std::vector<int64_t> &values, size_t begin, size_t end,
+              Buffer &out)
+{
+    if (begin >= end)
+        return;
+    out.push_back(kLiteralTag);
+    putVarint(out, end - begin);
+    for (size_t i = begin; i < end; ++i)
+        putSignedVarint(out, values[i]);
+}
+
+} // namespace
+
+void
+rleEncode(const std::vector<int64_t> &values, Buffer &out)
+{
+    size_t lit_begin = 0;
+    size_t i = 0;
+    const size_t n = values.size();
+    while (i < n) {
+        // Find the longest fixed-delta run starting at i.
+        size_t run_end = i + 1;
+        if (run_end < n) {
+            int64_t delta = values[run_end] - values[i];
+            while (run_end + 1 < n &&
+                   values[run_end + 1] - values[run_end] == delta) {
+                ++run_end;
+            }
+            ++run_end; // convert last-index to one-past-end
+            size_t run_len = run_end - i;
+            if (run_len >= kMinRun) {
+                flushLiterals(values, lit_begin, i, out);
+                out.push_back(kRunTag);
+                putVarint(out, run_len);
+                putSignedVarint(out, values[i]);
+                putSignedVarint(out, delta);
+                i = run_end;
+                lit_begin = i;
+                continue;
+            }
+        }
+        ++i;
+    }
+    flushLiterals(values, lit_begin, n, out);
+}
+
+bool
+rleDecode(ByteSpan in, std::vector<int64_t> &values)
+{
+    size_t pos = 0;
+    while (pos < in.size()) {
+        uint8_t tag = in[pos++];
+        uint64_t n;
+        if (!getVarint(in, pos, n))
+            return false;
+        if (tag == kRunTag) {
+            int64_t base, delta;
+            if (!getSignedVarint(in, pos, base) ||
+                !getSignedVarint(in, pos, delta)) {
+                return false;
+            }
+            int64_t v = base;
+            for (uint64_t k = 0; k < n; ++k) {
+                values.push_back(v);
+                v += delta;
+            }
+        } else if (tag == kLiteralTag) {
+            for (uint64_t k = 0; k < n; ++k) {
+                int64_t v;
+                if (!getSignedVarint(in, pos, v))
+                    return false;
+                values.push_back(v);
+            }
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+// encodeValues stream grammar:
+//   0x00 <varint n> <n zigzag varints>                      (direct)
+//   0x01 <varint n> <varint d> <d zigzag dict values>
+//        <n varint dict indices>                            (dict)
+constexpr uint8_t kDirectTag = 0x00;
+constexpr uint8_t kDictTag = 0x01;
+constexpr size_t kMaxDictSize = 4096;
+
+} // namespace
+
+namespace {
+
+/** Byte length of an unsigned varint. */
+size_t
+varintLen(uint64_t v)
+{
+    size_t n = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+void
+encodeValues(const std::vector<int64_t> &values, Buffer &out)
+{
+    // Count distinct values (bail out early past the dict cap) and
+    // size both representations.
+    std::map<int64_t, uint32_t> dict;
+    size_t direct_bytes = 0;
+    for (int64_t v : values) {
+        direct_bytes += varintLen(zigzagEncode(v));
+        dict.emplace(v, 0);
+        if (dict.size() > kMaxDictSize)
+            break;
+    }
+    bool use_dict = false;
+    if (dict.size() <= kMaxDictSize && dict.size() < values.size()) {
+        size_t dict_bytes = varintLen(dict.size());
+        for (const auto &[value, _] : dict)
+            dict_bytes += varintLen(zigzagEncode(value));
+        // Upper-bound index cost with the largest index.
+        dict_bytes += values.size() * varintLen(dict.size() - 1);
+        use_dict = dict_bytes < direct_bytes;
+    }
+    if (!use_dict) {
+        out.push_back(kDirectTag);
+        putVarint(out, values.size());
+        for (int64_t v : values)
+            putSignedVarint(out, v);
+        return;
+    }
+    out.push_back(kDictTag);
+    putVarint(out, values.size());
+    putVarint(out, dict.size());
+    uint32_t index = 0;
+    for (auto &[value, idx] : dict) {
+        idx = index++;
+        putSignedVarint(out, value);
+    }
+    for (int64_t v : values)
+        putVarint(out, dict.at(v));
+}
+
+bool
+decodeValues(ByteSpan in, std::vector<int64_t> &values)
+{
+    size_t pos = 0;
+    if (in.empty())
+        return false;
+    uint8_t tag = in[pos++];
+    uint64_t n;
+    if (!getVarint(in, pos, n))
+        return false;
+    values.clear();
+    values.reserve(n);
+    if (tag == kDirectTag) {
+        for (uint64_t i = 0; i < n; ++i) {
+            int64_t v;
+            if (!getSignedVarint(in, pos, v))
+                return false;
+            values.push_back(v);
+        }
+        return pos == in.size();
+    }
+    if (tag != kDictTag)
+        return false;
+    uint64_t d;
+    if (!getVarint(in, pos, d))
+        return false;
+    std::vector<int64_t> dict(d);
+    for (auto &v : dict) {
+        if (!getSignedVarint(in, pos, v))
+            return false;
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+        uint64_t idx;
+        if (!getVarint(in, pos, idx) || idx >= d)
+            return false;
+        values.push_back(dict[idx]);
+    }
+    return pos == in.size();
+}
+
+} // namespace dsi::dwrf

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Primitive stream encodings for the DWRF-like columnar format:
+ * varints, zigzag, run-length encoding of integers, and raw float
+ * packing. These are the building blocks of feature streams.
+ */
+
+#ifndef DSI_DWRF_ENCODING_H
+#define DSI_DWRF_ENCODING_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dsi::dwrf {
+
+using Buffer = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+/** Append an LEB128 varint. */
+void putVarint(Buffer &out, uint64_t v);
+
+/**
+ * Decode a varint at `pos`, advancing `pos`. Returns false on
+ * truncated/overlong input (pos is left unspecified on failure).
+ */
+bool getVarint(ByteSpan in, size_t &pos, uint64_t &v);
+
+/** Zigzag mapping of signed to unsigned (small magnitudes stay small). */
+inline uint64_t
+zigzagEncode(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t
+zigzagDecode(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/** Append a signed varint (zigzag + LEB128). */
+inline void
+putSignedVarint(Buffer &out, int64_t v)
+{
+    putVarint(out, zigzagEncode(v));
+}
+
+inline bool
+getSignedVarint(ByteSpan in, size_t &pos, int64_t &v)
+{
+    uint64_t u;
+    if (!getVarint(in, pos, u))
+        return false;
+    v = zigzagDecode(u);
+    return true;
+}
+
+/** Append a float as 4 little-endian bytes. */
+void putFloat(Buffer &out, float v);
+bool getFloat(ByteSpan in, size_t &pos, float &v);
+
+/** Append a fixed-width little-endian u32 / u64. */
+void putU32(Buffer &out, uint32_t v);
+bool getU32(ByteSpan in, size_t &pos, uint32_t &v);
+void putU64(Buffer &out, uint64_t v);
+bool getU64(ByteSpan in, size_t &pos, uint64_t &v);
+
+/**
+ * ORC-style run-length encoding of int64 sequences. Runs of >= 3 equal
+ * deltas are encoded as (run header, base, delta); other values are
+ * emitted as literal groups. Effective on sparse-length streams, which
+ * are dominated by zeros (absent features).
+ */
+void rleEncode(const std::vector<int64_t> &values, Buffer &out);
+
+/** Decode an RLE stream; returns false on malformed input. */
+bool rleDecode(ByteSpan in, std::vector<int64_t> &values);
+
+/**
+ * Categorical-value stream encoding with optional dictionary
+ * (ORC/DWRF-style). Zipf-skewed id lists repeat a small hot set; when
+ * the distinct-value count is low enough the values are stored as a
+ * dictionary plus small indices, otherwise as direct signed varints.
+ * The choice is embedded in the stream (self-describing).
+ */
+void encodeValues(const std::vector<int64_t> &values, Buffer &out);
+
+/** Decode an encodeValues() stream; false on malformed input. */
+bool decodeValues(ByteSpan in, std::vector<int64_t> &values);
+
+} // namespace dsi::dwrf
+
+#endif // DSI_DWRF_ENCODING_H

@@ -1,0 +1,82 @@
+#include "format.h"
+
+namespace dsi::dwrf {
+
+Buffer
+FileFooter::serialize() const
+{
+    Buffer out;
+    putVarint(out, total_rows);
+    out.push_back(static_cast<uint8_t>(codec));
+    out.push_back(encrypted ? 1 : 0);
+    out.push_back(flattened ? 1 : 0);
+    putVarint(out, stripes.size());
+    for (const auto &stripe : stripes) {
+        putVarint(out, stripe.first_row);
+        putVarint(out, stripe.rows);
+        putVarint(out, stripe.offset);
+        putVarint(out, stripe.length);
+        putVarint(out, stripe.streams.size());
+        for (const auto &s : stripe.streams) {
+            putVarint(out, s.feature);
+            out.push_back(static_cast<uint8_t>(s.kind));
+            putVarint(out, s.offset);
+            putVarint(out, s.length);
+            putVarint(out, s.raw_length);
+            putU32(out, s.checksum);
+            putVarint(out, s.value_count);
+        }
+    }
+    return out;
+}
+
+std::optional<FileFooter>
+FileFooter::deserialize(ByteSpan data)
+{
+    FileFooter f;
+    size_t pos = 0;
+    uint64_t v;
+    if (!getVarint(data, pos, f.total_rows))
+        return std::nullopt;
+    if (pos + 3 > data.size())
+        return std::nullopt;
+    f.codec = static_cast<Codec>(data[pos++]);
+    f.encrypted = data[pos++] != 0;
+    f.flattened = data[pos++] != 0;
+    if (!getVarint(data, pos, v))
+        return std::nullopt;
+    f.stripes.resize(v);
+    for (auto &stripe : f.stripes) {
+        uint64_t rows, nstreams;
+        if (!getVarint(data, pos, stripe.first_row) ||
+            !getVarint(data, pos, rows) ||
+            !getVarint(data, pos, stripe.offset) ||
+            !getVarint(data, pos, stripe.length) ||
+            !getVarint(data, pos, nstreams)) {
+            return std::nullopt;
+        }
+        stripe.rows = static_cast<uint32_t>(rows);
+        stripe.streams.resize(nstreams);
+        for (auto &s : stripe.streams) {
+            uint64_t feat;
+            if (!getVarint(data, pos, feat))
+                return std::nullopt;
+            s.feature = static_cast<FeatureId>(feat);
+            if (pos >= data.size())
+                return std::nullopt;
+            s.kind = static_cast<StreamKind>(data[pos++]);
+            if (!getVarint(data, pos, s.offset) ||
+                !getVarint(data, pos, s.length) ||
+                !getVarint(data, pos, s.raw_length) ||
+                !getU32(data, pos, s.checksum) ||
+                !getVarint(data, pos, s.value_count)) {
+                return std::nullopt;
+            }
+        }
+    }
+    if (pos != data.size())
+        return std::nullopt;
+    return f;
+}
+
+} // namespace dsi::dwrf

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * On-disk layout metadata for the DWRF-like columnar file format.
+ *
+ * A file is a sequence of stripes followed by a footer. Each stripe
+ * holds a number of rows encoded as streams. In *flattened* mode
+ * (the paper's feature-flattening optimization, Section VII) every
+ * feature gets its own logical column: per-feature streams that can be
+ * read selectively. In legacy *map* mode each stripe stores one blob
+ * stream per map column, so reading any feature reads the whole map.
+ *
+ * The footer indexes every stream (feature, kind, offset, length) so a
+ * reader with a feature projection can plan exactly which byte ranges
+ * it needs — the basis of selective reading (Section V-A) and
+ * coalesced IO planning (Section VII).
+ */
+
+#ifndef DSI_DWRF_FORMAT_H
+#define DSI_DWRF_FORMAT_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "dwrf/compress.h"
+#include "dwrf/encoding.h"
+
+namespace dsi::dwrf {
+
+/** Role of a stream within a stripe. */
+enum class StreamKind : uint8_t
+{
+    Labels = 0,        ///< float label per row
+    DensePresent = 1,  ///< presence bitmap for a dense feature
+    DenseValues = 2,   ///< float values for present rows
+    SparseLengths = 3, ///< per-row list lengths (RLE)
+    SparseValues = 4,  ///< concatenated categorical ids (varint)
+    SparseScores = 5,  ///< concatenated float scores
+    MapBlob = 6,       ///< legacy row-wise map column blob
+};
+
+/** Sentinel feature id for non-feature streams (labels, map blobs). */
+inline constexpr FeatureId kNoFeature = 0xffffffffu;
+
+/** Footer record describing one stream. */
+struct StreamInfo
+{
+    FeatureId feature = kNoFeature;
+    StreamKind kind = StreamKind::Labels;
+    Bytes offset = 0;     ///< absolute file offset
+    Bytes length = 0;     ///< stored (compressed+encrypted) length
+    Bytes raw_length = 0; ///< uncompressed length
+    uint32_t checksum = 0;     ///< CRC32-C of the stored bytes
+    uint64_t value_count = 0;  ///< decoded elements (values/rows)
+};
+
+/** Footer record describing one stripe. */
+struct StripeInfo
+{
+    RowId first_row = 0;
+    uint32_t rows = 0;
+    Bytes offset = 0; ///< absolute file offset of first stream
+    Bytes length = 0; ///< total stored bytes of all streams
+    std::vector<StreamInfo> streams;
+};
+
+/** File footer: the metadata needed to plan and decode reads. */
+struct FileFooter
+{
+    uint64_t total_rows = 0;
+    Codec codec = Codec::Lz;
+    bool encrypted = false;
+    bool flattened = true;
+    std::vector<StripeInfo> stripes;
+
+    /** Serialize to bytes (appended at end of file before the tail). */
+    Buffer serialize() const;
+
+    /** Parse a footer; nullopt on malformed input. */
+    static std::optional<FileFooter> deserialize(ByteSpan data);
+};
+
+/** Magic bytes terminating every DWRF file. */
+inline constexpr uint32_t kFileMagic = 0x44575246; // "DWRF"
+
+/**
+ * File tail layout: [footer bytes][u64 footer_len][u32 magic].
+ * Readers fetch the last kTailBytes, then the footer.
+ */
+inline constexpr Bytes kTailBytes = 12;
+
+} // namespace dsi::dwrf
+
+#endif // DSI_DWRF_FORMAT_H

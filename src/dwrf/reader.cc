@@ -1,0 +1,390 @@
+#include "reader.h"
+
+#include "dwrf/checksum.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace dsi::dwrf {
+
+std::vector<PlannedIo>
+planStripeReads(const StripeInfo &stripe,
+                const std::vector<size_t> &wanted, bool coalesce,
+                Bytes coalesce_gap)
+{
+    std::vector<size_t> order = wanted;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return stripe.streams[a].offset < stripe.streams[b].offset;
+    });
+
+    std::vector<PlannedIo> plan;
+    for (size_t idx : order) {
+        const auto &s = stripe.streams[idx];
+        if (coalesce && !plan.empty()) {
+            auto &last = plan.back();
+            Bytes last_end = last.offset + last.length;
+            dsi_assert(s.offset >= last.offset,
+                       "streams not sorted by offset");
+            if (s.offset <= last_end + coalesce_gap) {
+                Bytes new_end = std::max(last_end, s.offset + s.length);
+                last.length = new_end - last.offset;
+                last.stream_indices.push_back(idx);
+                continue;
+            }
+        }
+        plan.push_back({s.offset, s.length, {idx}});
+    }
+    return plan;
+}
+
+FileReader::FileReader(const RandomAccessSource &source,
+                       ReadOptions options)
+    : source_(source), options_(std::move(options)),
+      cipher_(options_.cipher_key)
+{
+    // Fetch the tail, then the footer it points at.
+    Bytes file_size = source_.size();
+    if (file_size < kTailBytes)
+        return;
+    Buffer tail;
+    source_.read(file_size - kTailBytes, kTailBytes, tail);
+    size_t pos = 0;
+    uint64_t footer_len;
+    uint32_t magic;
+    if (!getU64(tail, pos, footer_len) || !getU32(tail, pos, magic) ||
+        magic != kFileMagic ||
+        footer_len + kTailBytes > file_size) {
+        return;
+    }
+    Buffer footer_bytes;
+    source_.read(file_size - kTailBytes - footer_len, footer_len,
+                 footer_bytes);
+    footer_ = FileFooter::deserialize(footer_bytes);
+}
+
+std::vector<size_t>
+FileReader::selectStreams(const StripeInfo &stripe) const
+{
+    std::vector<size_t> wanted;
+    if (options_.projection.empty()) {
+        wanted.resize(stripe.streams.size());
+        for (size_t i = 0; i < wanted.size(); ++i)
+            wanted[i] = i;
+        return wanted;
+    }
+    std::unordered_set<FeatureId> proj(options_.projection.begin(),
+                                       options_.projection.end());
+    for (size_t i = 0; i < stripe.streams.size(); ++i) {
+        const auto &s = stripe.streams[i];
+        // Labels and map blobs are always needed; feature streams only
+        // when projected.
+        if (s.feature == kNoFeature || proj.count(s.feature))
+            wanted.push_back(i);
+    }
+    return wanted;
+}
+
+Buffer
+FileReader::fetchStream(const StripeInfo &stripe, size_t stream_idx,
+                        const std::vector<PlannedIo> &plan,
+                        const std::vector<Buffer> &io_data) const
+{
+    const auto &s = stripe.streams[stream_idx];
+    for (size_t p = 0; p < plan.size(); ++p) {
+        const auto &io = plan[p];
+        if (s.offset >= io.offset &&
+            s.offset + s.length <= io.offset + io.length) {
+            Bytes rel = s.offset - io.offset;
+            return Buffer(
+                io_data[p].begin() + static_cast<ptrdiff_t>(rel),
+                io_data[p].begin() +
+                    static_cast<ptrdiff_t>(rel + s.length));
+        }
+    }
+    dsi_panic("stream %zu not covered by IO plan", stream_idx);
+}
+
+RowBatch
+FileReader::readStripe(size_t stripe_index)
+{
+    dsi_assert(valid(), "reader is invalid");
+    dsi_assert(stripe_index < footer_->stripes.size(),
+               "stripe %zu out of range", stripe_index);
+    const StripeInfo &stripe = footer_->stripes[stripe_index];
+
+    std::vector<size_t> wanted = selectStreams(stripe);
+    auto plan = planStripeReads(stripe, wanted, options_.coalesce,
+                                options_.coalesce_gap);
+
+    std::vector<Buffer> io_data(plan.size());
+    for (size_t p = 0; p < plan.size(); ++p) {
+        source_.read(plan[p].offset, plan[p].length, io_data[p]);
+        stats_.bytes_read += plan[p].length;
+        ++stats_.ios;
+    }
+    for (size_t idx : wanted)
+        stats_.bytes_needed += stripe.streams[idx].length;
+
+    return footer_->flattened
+        ? decodeFlattened(stripe, wanted, plan, io_data)
+        : decodeMapBlob(stripe, wanted, plan, io_data);
+}
+
+namespace {
+
+/** Verify, decrypt, then decompress a fetched stream. */
+Buffer
+openStream(const StreamInfo &info, Buffer stored, bool encrypted,
+           const StreamCipher &cipher, Codec codec, bool verify,
+           ReadStats &stats)
+{
+    if (verify) {
+        dsi_assert(crc32(stored) == info.checksum,
+                   "checksum mismatch in stream at offset %llu "
+                   "(corrupt replica?)",
+                   static_cast<unsigned long long>(info.offset));
+    }
+    if (encrypted) {
+        cipher.apply(info.offset, stored);
+        stats.bytes_decrypted += stored.size();
+    }
+    auto raw = decompress(codec, stored);
+    dsi_assert(raw.has_value(), "stream at offset %llu failed to decode",
+               static_cast<unsigned long long>(info.offset));
+    dsi_assert(raw->size() == info.raw_length,
+               "stream raw length mismatch: %zu vs %llu", raw->size(),
+               static_cast<unsigned long long>(info.raw_length));
+    stats.bytes_decompressed += raw->size();
+    ++stats.streams_decoded;
+    return std::move(*raw);
+}
+
+} // namespace
+
+RowBatch
+FileReader::decodeFlattened(const StripeInfo &stripe,
+                            const std::vector<size_t> &wanted,
+                            const std::vector<PlannedIo> &plan,
+                            const std::vector<Buffer> &io_data)
+{
+    RowBatch batch;
+    batch.rows = stripe.rows;
+
+    // Group the wanted streams by feature so value/length/score
+    // streams of one feature decode together.
+    struct FeatureStreams
+    {
+        const StreamInfo *present = nullptr;
+        const StreamInfo *dense_values = nullptr;
+        const StreamInfo *lengths = nullptr;
+        const StreamInfo *sparse_values = nullptr;
+        const StreamInfo *scores = nullptr;
+        size_t present_idx = 0, dense_idx = 0, lengths_idx = 0,
+               values_idx = 0, scores_idx = 0;
+    };
+    std::vector<std::pair<FeatureId, FeatureStreams>> features;
+    auto feature_slot = [&](FeatureId id) -> FeatureStreams & {
+        for (auto &[fid, fs] : features)
+            if (fid == id)
+                return fs;
+        features.emplace_back(id, FeatureStreams{});
+        return features.back().second;
+    };
+
+    for (size_t idx : wanted) {
+        const auto &s = stripe.streams[idx];
+        switch (s.kind) {
+          case StreamKind::Labels: {
+            Buffer raw = openStream(
+                s, fetchStream(stripe, idx, plan, io_data),
+                footer_->encrypted, cipher_, footer_->codec,
+                options_.verify_checksums, stats_);
+            size_t pos = 0;
+            batch.labels.resize(stripe.rows);
+            for (uint32_t r = 0; r < stripe.rows; ++r) {
+                bool ok = getFloat(raw, pos, batch.labels[r]);
+                dsi_assert(ok, "label stream truncated");
+            }
+            break;
+          }
+          case StreamKind::DensePresent: {
+            auto &fs = feature_slot(s.feature);
+            fs.present = &s;
+            fs.present_idx = idx;
+            break;
+          }
+          case StreamKind::DenseValues: {
+            auto &fs = feature_slot(s.feature);
+            fs.dense_values = &s;
+            fs.dense_idx = idx;
+            break;
+          }
+          case StreamKind::SparseLengths: {
+            auto &fs = feature_slot(s.feature);
+            fs.lengths = &s;
+            fs.lengths_idx = idx;
+            break;
+          }
+          case StreamKind::SparseValues: {
+            auto &fs = feature_slot(s.feature);
+            fs.sparse_values = &s;
+            fs.values_idx = idx;
+            break;
+          }
+          case StreamKind::SparseScores: {
+            auto &fs = feature_slot(s.feature);
+            fs.scores = &s;
+            fs.scores_idx = idx;
+            break;
+          }
+          case StreamKind::MapBlob:
+            dsi_panic("map blob stream in a flattened file");
+        }
+    }
+
+    for (auto &[fid, fs] : features) {
+        if (fs.present && fs.dense_values) {
+            DenseColumn col;
+            col.id = fid;
+            Buffer present_raw = openStream(
+                *fs.present,
+                fetchStream(stripe, fs.present_idx, plan, io_data),
+                footer_->encrypted, cipher_, footer_->codec,
+                options_.verify_checksums, stats_);
+            col.present.assign(present_raw.begin(), present_raw.end());
+            dsi_assert(col.present.size() == (stripe.rows + 7) / 8,
+                       "present bitmap size mismatch");
+            Buffer values_raw = openStream(
+                *fs.dense_values,
+                fetchStream(stripe, fs.dense_idx, plan, io_data),
+                footer_->encrypted, cipher_, footer_->codec,
+                options_.verify_checksums, stats_);
+            col.values.assign(stripe.rows, 0.0f);
+            size_t pos = 0;
+            for (uint32_t r = 0; r < stripe.rows; ++r) {
+                if (col.isPresent(r)) {
+                    bool ok = getFloat(values_raw, pos, col.values[r]);
+                    dsi_assert(ok, "dense value stream truncated");
+                }
+            }
+            batch.dense.push_back(std::move(col));
+        } else if (fs.lengths && fs.sparse_values) {
+            SparseColumn col;
+            col.id = fid;
+            Buffer lengths_raw = openStream(
+                *fs.lengths,
+                fetchStream(stripe, fs.lengths_idx, plan, io_data),
+                footer_->encrypted, cipher_, footer_->codec,
+                options_.verify_checksums, stats_);
+            std::vector<int64_t> lengths;
+            bool ok = rleDecode(lengths_raw, lengths);
+            dsi_assert(ok && lengths.size() == stripe.rows,
+                       "length stream malformed");
+            col.offsets.assign(stripe.rows + 1, 0);
+            for (uint32_t r = 0; r < stripe.rows; ++r) {
+                col.offsets[r + 1] =
+                    col.offsets[r] + static_cast<uint32_t>(lengths[r]);
+            }
+            Buffer values_raw = openStream(
+                *fs.sparse_values,
+                fetchStream(stripe, fs.values_idx, plan, io_data),
+                footer_->encrypted, cipher_, footer_->codec,
+                options_.verify_checksums, stats_);
+            ok = decodeValues(values_raw, col.values);
+            dsi_assert(ok && col.values.size() ==
+                                 col.offsets[stripe.rows],
+                       "sparse value stream malformed");
+            if (fs.scores) {
+                Buffer scores_raw = openStream(
+                    *fs.scores,
+                    fetchStream(stripe, fs.scores_idx, plan, io_data),
+                    footer_->encrypted, cipher_, footer_->codec,
+                    options_.verify_checksums, stats_);
+                col.scores.resize(col.values.size());
+                size_t pos = 0;
+                for (auto &sc : col.scores) {
+                    ok = getFloat(scores_raw, pos, sc);
+                    dsi_assert(ok, "score stream truncated");
+                }
+            }
+            batch.sparse.push_back(std::move(col));
+        }
+        // A feature with only some of its streams projected (shouldn't
+        // happen through the public API) is silently skipped.
+    }
+    return batch;
+}
+
+RowBatch
+FileReader::decodeMapBlob(const StripeInfo &stripe,
+                          const std::vector<size_t> &wanted,
+                          const std::vector<PlannedIo> &plan,
+                          const std::vector<Buffer> &io_data)
+{
+    // Legacy path: decode every row of the blob, then drop unprojected
+    // features. This is the paper's "reading the entire row" baseline.
+    std::vector<Row> rows;
+    rows.reserve(stripe.rows);
+    std::unordered_set<FeatureId> proj(options_.projection.begin(),
+                                       options_.projection.end());
+    bool keep_all = proj.empty();
+
+    for (size_t idx : wanted) {
+        const auto &s = stripe.streams[idx];
+        if (s.kind != StreamKind::MapBlob)
+            continue;
+        Buffer raw = openStream(
+            s, fetchStream(stripe, idx, plan, io_data),
+            footer_->encrypted, cipher_, footer_->codec,
+                options_.verify_checksums, stats_);
+        size_t pos = 0;
+        for (uint32_t r = 0; r < stripe.rows; ++r) {
+            Row row;
+            bool ok = getFloat(raw, pos, row.label);
+            uint64_t ndense;
+            ok = ok && getVarint(raw, pos, ndense);
+            dsi_assert(ok, "map blob truncated");
+            for (uint64_t d = 0; d < ndense; ++d) {
+                uint64_t id;
+                float v;
+                ok = getVarint(raw, pos, id) && getFloat(raw, pos, v);
+                dsi_assert(ok, "map blob truncated");
+                if (keep_all || proj.count(static_cast<FeatureId>(id)))
+                    row.dense.push_back(
+                        {static_cast<FeatureId>(id), v});
+            }
+            uint64_t nsparse;
+            ok = getVarint(raw, pos, nsparse);
+            dsi_assert(ok, "map blob truncated");
+            for (uint64_t si = 0; si < nsparse; ++si) {
+                uint64_t id, len;
+                ok = getVarint(raw, pos, id) && getVarint(raw, pos, len);
+                dsi_assert(ok, "map blob truncated");
+                SparseFeature f;
+                f.id = static_cast<FeatureId>(id);
+                f.values.resize(len);
+                for (auto &v : f.values) {
+                    ok = getSignedVarint(raw, pos, v);
+                    dsi_assert(ok, "map blob truncated");
+                }
+                dsi_assert(pos < raw.size(), "map blob truncated");
+                bool scored = raw[pos++] != 0;
+                if (scored) {
+                    f.scores.resize(len);
+                    for (auto &sc : f.scores) {
+                        ok = getFloat(raw, pos, sc);
+                        dsi_assert(ok, "map blob truncated");
+                    }
+                }
+                if (keep_all || proj.count(f.id))
+                    row.sparse.push_back(std::move(f));
+            }
+            rows.push_back(std::move(row));
+        }
+    }
+    return batchFromRows(rows);
+}
+
+} // namespace dsi::dwrf

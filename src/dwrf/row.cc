@@ -1,0 +1,174 @@
+#include "row.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dsi::dwrf {
+
+RowBatch
+batchFromRows(const std::vector<Row> &rows)
+{
+    RowBatch batch;
+    batch.rows = static_cast<uint32_t>(rows.size());
+    batch.labels.reserve(rows.size());
+    for (const auto &r : rows)
+        batch.labels.push_back(r.label);
+
+    // Discover the feature set (ordered by id for determinism).
+    std::map<FeatureId, size_t> dense_idx;
+    std::map<FeatureId, size_t> sparse_idx;
+    for (const auto &r : rows) {
+        for (const auto &d : r.dense)
+            dense_idx.emplace(d.id, 0);
+        for (const auto &s : r.sparse)
+            sparse_idx.emplace(s.id, 0);
+    }
+    const uint32_t n = batch.rows;
+    batch.dense.reserve(dense_idx.size());
+    for (auto &[id, idx] : dense_idx) {
+        idx = batch.dense.size();
+        DenseColumn col;
+        col.id = id;
+        col.present.assign((n + 7) / 8, 0);
+        col.values.assign(n, 0.0f);
+        batch.dense.push_back(std::move(col));
+    }
+    batch.sparse.reserve(sparse_idx.size());
+    for (auto &[id, idx] : sparse_idx) {
+        idx = batch.sparse.size();
+        SparseColumn col;
+        col.id = id;
+        col.offsets.assign(n + 1, 0);
+        batch.sparse.push_back(std::move(col));
+    }
+
+    // Fill dense values.
+    for (uint32_t row = 0; row < n; ++row) {
+        for (const auto &d : rows[row].dense) {
+            auto &col = batch.dense[dense_idx[d.id]];
+            col.values[row] = d.value;
+            col.setPresent(row);
+        }
+    }
+
+    // Fill sparse lengths, then prefix-sum into offsets, then values.
+    for (uint32_t row = 0; row < n; ++row) {
+        for (const auto &s : rows[row].sparse) {
+            auto &col = batch.sparse[sparse_idx[s.id]];
+            col.offsets[row + 1] =
+                static_cast<uint32_t>(s.values.size());
+        }
+    }
+    for (auto &col : batch.sparse) {
+        for (uint32_t row = 0; row < n; ++row)
+            col.offsets[row + 1] += col.offsets[row];
+        col.values.assign(col.offsets[n], 0);
+    }
+    std::vector<bool> col_scored(batch.sparse.size(), false);
+    for (uint32_t row = 0; row < n; ++row) {
+        for (const auto &s : rows[row].sparse) {
+            size_t ci = sparse_idx[s.id];
+            auto &col = batch.sparse[ci];
+            uint32_t off = col.offsets[row];
+            std::copy(s.values.begin(), s.values.end(),
+                      col.values.begin() + off);
+            if (s.scored())
+                col_scored[ci] = true;
+        }
+    }
+    for (size_t ci = 0; ci < batch.sparse.size(); ++ci) {
+        if (!col_scored[ci])
+            continue;
+        auto &col = batch.sparse[ci];
+        col.scores.assign(col.values.size(), 0.0f);
+    }
+    for (uint32_t row = 0; row < n; ++row) {
+        for (const auto &s : rows[row].sparse) {
+            if (!s.scored())
+                continue;
+            auto &col = batch.sparse[sparse_idx[s.id]];
+            uint32_t off = col.offsets[row];
+            std::copy(s.scores.begin(), s.scores.end(),
+                      col.scores.begin() + off);
+        }
+    }
+    return batch;
+}
+
+RowBatch
+sliceBatch(const RowBatch &batch, uint32_t start, uint32_t count)
+{
+    RowBatch out;
+    if (start >= batch.rows)
+        return out;
+    count = std::min(count, batch.rows - start);
+    out.rows = count;
+    if (!batch.labels.empty()) {
+        out.labels.assign(batch.labels.begin() + start,
+                          batch.labels.begin() + start + count);
+    }
+    for (const auto &col : batch.dense) {
+        DenseColumn c;
+        c.id = col.id;
+        c.present.assign((count + 7) / 8, 0);
+        c.values.assign(count, 0.0f);
+        for (uint32_t r = 0; r < count; ++r) {
+            if (col.isPresent(start + r)) {
+                c.setPresent(r);
+                c.values[r] = col.values[start + r];
+            }
+        }
+        out.dense.push_back(std::move(c));
+    }
+    for (const auto &col : batch.sparse) {
+        SparseColumn c;
+        c.id = col.id;
+        c.offsets.assign(count + 1, 0);
+        uint32_t lo = col.offsets[start];
+        uint32_t hi = col.offsets[start + count];
+        c.values.assign(col.values.begin() + lo,
+                        col.values.begin() + hi);
+        if (!col.scores.empty()) {
+            c.scores.assign(col.scores.begin() + lo,
+                            col.scores.begin() + hi);
+        }
+        for (uint32_t r = 0; r <= count; ++r)
+            c.offsets[r] = col.offsets[start + r] - lo;
+        out.sparse.push_back(std::move(c));
+    }
+    return out;
+}
+
+std::vector<Row>
+RowBatch::toRows() const
+{
+    std::vector<Row> out(rows);
+    for (uint32_t r = 0; r < rows; ++r)
+        out[r].label = labels[r];
+    for (const auto &c : dense) {
+        for (uint32_t r = 0; r < rows; ++r) {
+            if (c.isPresent(r))
+                out[r].dense.push_back({c.id, c.values[r]});
+        }
+    }
+    for (const auto &c : sparse) {
+        for (uint32_t r = 0; r < rows; ++r) {
+            uint32_t lo = c.offsets[r];
+            uint32_t hi = c.offsets[r + 1];
+            if (lo == hi)
+                continue;
+            SparseFeature f;
+            f.id = c.id;
+            f.values.assign(c.values.begin() + lo,
+                            c.values.begin() + hi);
+            if (!c.scores.empty()) {
+                f.scores.assign(c.scores.begin() + lo,
+                                c.scores.begin() + hi);
+            }
+            out[r].sparse.push_back(std::move(f));
+        }
+    }
+    return out;
+}
+
+} // namespace dsi::dwrf

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Byte-addressed IO abstraction between the DWRF reader and whatever
+ * holds the file bytes (an in-memory buffer in tests, a Tectonic file
+ * spread over storage nodes in the full pipeline). Every read is
+ * recorded in an IoTrace so experiments can report IO-size
+ * distributions (Table VI) and storage-node IOPS.
+ */
+
+#ifndef DSI_DWRF_SOURCE_H
+#define DSI_DWRF_SOURCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dwrf/encoding.h"
+
+namespace dsi::dwrf {
+
+/** One recorded IO. */
+struct IoRecord
+{
+    Bytes offset;
+    Bytes length;
+};
+
+/** Accumulates the IOs issued against a source. */
+class IoTrace
+{
+  public:
+    void record(Bytes offset, Bytes length)
+    {
+        records_.push_back({offset, length});
+        total_bytes_ += length;
+    }
+
+    const std::vector<IoRecord> &records() const { return records_; }
+    uint64_t count() const { return records_.size(); }
+    Bytes totalBytes() const { return total_bytes_; }
+
+    /** Size distribution over all recorded IOs. */
+    PercentileSampler sizeDistribution() const
+    {
+        PercentileSampler p;
+        p.reserve(records_.size());
+        for (const auto &r : records_)
+            p.add(static_cast<double>(r.length));
+        return p;
+    }
+
+    void clear()
+    {
+        records_.clear();
+        total_bytes_ = 0;
+    }
+
+  private:
+    std::vector<IoRecord> records_;
+    Bytes total_bytes_ = 0;
+};
+
+/** Read-only random access to stored file bytes. */
+class RandomAccessSource
+{
+  public:
+    virtual ~RandomAccessSource() = default;
+
+    virtual Bytes size() const = 0;
+
+    /**
+     * Read `len` bytes at `offset` into `out` (resized by the callee).
+     * Implementations must record the IO in their trace.
+     */
+    virtual void read(Bytes offset, Bytes len, Buffer &out) const = 0;
+
+    /** Trace of IOs issued so far. */
+    virtual const IoTrace &trace() const = 0;
+    virtual void clearTrace() = 0;
+};
+
+/** In-memory source for tests and single-process pipelines. */
+class MemorySource : public RandomAccessSource
+{
+  public:
+    explicit MemorySource(Buffer data) : data_(std::move(data)) {}
+
+    Bytes size() const override { return data_.size(); }
+
+    void read(Bytes offset, Bytes len, Buffer &out) const override;
+
+    const IoTrace &trace() const override { return trace_; }
+    void clearTrace() override { trace_.clear(); }
+
+  private:
+    Buffer data_;
+    mutable IoTrace trace_;
+};
+
+} // namespace dsi::dwrf
+
+#endif // DSI_DWRF_SOURCE_H

@@ -1,0 +1,194 @@
+#include "writer.h"
+
+#include "dwrf/checksum.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace dsi::dwrf {
+
+FileWriter::FileWriter(WriterOptions options)
+    : options_(std::move(options)), cipher_(options_.cipher_key)
+{
+    dsi_assert(options_.rows_per_stripe > 0,
+               "rows_per_stripe must be positive");
+    footer_.codec = options_.codec;
+    footer_.encrypted = options_.encrypt;
+    footer_.flattened = options_.flatten;
+}
+
+void
+FileWriter::append(const Row &row)
+{
+    dsi_assert(!finished_, "append after finish");
+    pending_.push_back(row);
+    if (pending_.size() >= options_.rows_per_stripe)
+        flushStripe();
+}
+
+void
+FileWriter::appendRows(const std::vector<Row> &rows)
+{
+    for (const auto &r : rows)
+        append(r);
+}
+
+void
+FileWriter::writeStream(StripeInfo &stripe, FeatureId feature,
+                        StreamKind kind, const Buffer &raw,
+                        uint64_t value_count)
+{
+    Buffer stored;
+    compress(options_.codec, raw, stored);
+    Bytes offset = file_.size();
+    if (options_.encrypt)
+        cipher_.apply(offset, stored);
+    uint32_t checksum = crc32(stored);
+    file_.insert(file_.end(), stored.begin(), stored.end());
+    stripe.streams.push_back({feature, kind, offset, stored.size(),
+                              raw.size(), checksum, value_count});
+}
+
+std::vector<size_t>
+FileWriter::placementOrder(const RowBatch &batch, bool dense) const
+{
+    size_t n = dense ? batch.dense.size() : batch.sparse.size();
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    if (options_.popularity_order.empty())
+        return order; // columns are already in feature-id order
+
+    std::map<FeatureId, size_t> rank;
+    for (size_t i = 0; i < options_.popularity_order.size(); ++i)
+        rank.emplace(options_.popularity_order[i], i);
+    auto rank_of = [&](FeatureId id) {
+        auto it = rank.find(id);
+        // Unlisted features sort after all listed ones, by id.
+        return it == rank.end()
+            ? rank.size() + static_cast<size_t>(id)
+            : it->second;
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         FeatureId ida = dense ? batch.dense[a].id
+                                               : batch.sparse[a].id;
+                         FeatureId idb = dense ? batch.dense[b].id
+                                               : batch.sparse[b].id;
+                         return rank_of(ida) < rank_of(idb);
+                     });
+    return order;
+}
+
+void
+FileWriter::flushStripe()
+{
+    if (pending_.empty())
+        return;
+
+    StripeInfo stripe;
+    stripe.first_row = rows_flushed_;
+    stripe.rows = static_cast<uint32_t>(pending_.size());
+    stripe.offset = file_.size();
+
+    if (!options_.flatten) {
+        // Legacy map-column blob: the entire stripe row-wise.
+        Buffer raw;
+        for (const auto &row : pending_) {
+            putFloat(raw, row.label);
+            putVarint(raw, row.dense.size());
+            for (const auto &d : row.dense) {
+                putVarint(raw, d.id);
+                putFloat(raw, d.value);
+            }
+            putVarint(raw, row.sparse.size());
+            for (const auto &s : row.sparse) {
+                putVarint(raw, s.id);
+                putVarint(raw, s.values.size());
+                for (int64_t v : s.values)
+                    putSignedVarint(raw, v);
+                raw.push_back(s.scored() ? 1 : 0);
+                for (float sc : s.scores)
+                    putFloat(raw, sc);
+            }
+        }
+        writeStream(stripe, kNoFeature, StreamKind::MapBlob, raw,
+                    stripe.rows);
+    } else {
+        RowBatch batch = batchFromRows(pending_);
+
+        // Labels first.
+        Buffer labels_raw;
+        for (float v : batch.labels)
+            putFloat(labels_raw, v);
+        writeStream(stripe, kNoFeature, StreamKind::Labels,
+                    labels_raw, batch.labels.size());
+
+        // Dense feature streams in placement order.
+        for (size_t idx : placementOrder(batch, /*dense=*/true)) {
+            const auto &col = batch.dense[idx];
+            Buffer present_raw(col.present.begin(), col.present.end());
+            writeStream(stripe, col.id, StreamKind::DensePresent,
+                        present_raw, batch.rows);
+            Buffer values_raw;
+            uint64_t present_count = 0;
+            for (uint32_t r = 0; r < batch.rows; ++r) {
+                if (col.isPresent(r)) {
+                    putFloat(values_raw, col.values[r]);
+                    ++present_count;
+                }
+            }
+            writeStream(stripe, col.id, StreamKind::DenseValues,
+                        values_raw, present_count);
+        }
+
+        // Sparse feature streams in placement order.
+        for (size_t idx : placementOrder(batch, /*dense=*/false)) {
+            const auto &col = batch.sparse[idx];
+            std::vector<int64_t> lengths(batch.rows);
+            for (uint32_t r = 0; r < batch.rows; ++r)
+                lengths[r] = col.length(r);
+            Buffer lengths_raw;
+            rleEncode(lengths, lengths_raw);
+            writeStream(stripe, col.id, StreamKind::SparseLengths,
+                        lengths_raw, batch.rows);
+
+            Buffer values_raw;
+            encodeValues(col.values, values_raw);
+            writeStream(stripe, col.id, StreamKind::SparseValues,
+                        values_raw, col.values.size());
+
+            if (!col.scores.empty()) {
+                Buffer scores_raw;
+                for (float sc : col.scores)
+                    putFloat(scores_raw, sc);
+                writeStream(stripe, col.id, StreamKind::SparseScores,
+                            scores_raw, col.scores.size());
+            }
+        }
+    }
+
+    stripe.length = file_.size() - stripe.offset;
+    rows_flushed_ += stripe.rows;
+    footer_.stripes.push_back(std::move(stripe));
+    pending_.clear();
+}
+
+Buffer
+FileWriter::finish()
+{
+    dsi_assert(!finished_, "finish called twice");
+    flushStripe();
+    finished_ = true;
+    footer_.total_rows = rows_flushed_;
+
+    Buffer footer_bytes = footer_.serialize();
+    file_.insert(file_.end(), footer_bytes.begin(), footer_bytes.end());
+    putU64(file_, footer_bytes.size());
+    putU32(file_, kFileMagic);
+    return std::move(file_);
+}
+
+} // namespace dsi::dwrf

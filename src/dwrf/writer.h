@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DWRF file writer.
+ *
+ * Buffers rows, flushes them as stripes of encoded streams, and
+ * finishes with an indexed footer. Supports the write-path knobs the
+ * paper's co-design study (Section VII) exercises:
+ *  - feature flattening vs. legacy map-blob columns,
+ *  - rows-per-stripe sizing (larger stripes -> larger average IO),
+ *  - popularity-ordered stream placement (popular features adjacent so
+ *    coalesced reads over-read less),
+ *  - per-stream compression and at-rest encryption.
+ */
+
+#ifndef DSI_DWRF_WRITER_H
+#define DSI_DWRF_WRITER_H
+
+#include <vector>
+
+#include "dwrf/cipher.h"
+#include "dwrf/format.h"
+#include "dwrf/row.h"
+
+namespace dsi::dwrf {
+
+/** Configuration of a file writer. */
+struct WriterOptions
+{
+    uint32_t rows_per_stripe = 4096;
+    Codec codec = Codec::Lz;
+    bool flatten = true;
+    bool encrypt = false;
+    uint64_t cipher_key = 0x00d5f00dULL;
+
+    /**
+     * Optional stream placement order: features listed here (most
+     * popular first) have their streams written adjacently, before all
+     * unlisted features. Empty = feature-id order.
+     */
+    std::vector<FeatureId> popularity_order;
+};
+
+/** Writes one DWRF file into an in-memory buffer. */
+class FileWriter
+{
+  public:
+    explicit FileWriter(WriterOptions options);
+
+    /** Append one row; may trigger a stripe flush. */
+    void append(const Row &row);
+
+    /** Append many rows. */
+    void appendRows(const std::vector<Row> &rows);
+
+    /**
+     * Flush pending rows, write the footer, and return the complete
+     * file bytes. The writer must not be used afterwards.
+     */
+    Buffer finish();
+
+    /** Footer of the finished file (valid after finish()). */
+    const FileFooter &footer() const { return footer_; }
+
+    /** Rows appended so far. */
+    uint64_t rowsWritten() const
+    {
+        return rows_flushed_ + pending_.size();
+    }
+
+  private:
+    void flushStripe();
+    void writeStream(StripeInfo &stripe, FeatureId feature,
+                     StreamKind kind, const Buffer &raw,
+                     uint64_t value_count);
+    std::vector<size_t> placementOrder(const RowBatch &batch,
+                                       bool dense) const;
+
+    WriterOptions options_;
+    StreamCipher cipher_;
+    Buffer file_;
+    FileFooter footer_;
+    std::vector<Row> pending_;
+    uint64_t rows_flushed_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace dsi::dwrf
+
+#endif // DSI_DWRF_WRITER_H

@@ -1,0 +1,97 @@
+#include "entries.h"
+
+namespace dsi::etl {
+
+void
+encodeFeatures(const dwrf::Row &row, dwrf::Buffer &out)
+{
+    dwrf::putVarint(out, row.dense.size());
+    for (const auto &d : row.dense) {
+        dwrf::putVarint(out, d.id);
+        dwrf::putFloat(out, d.value);
+    }
+    dwrf::putVarint(out, row.sparse.size());
+    for (const auto &s : row.sparse) {
+        dwrf::putVarint(out, s.id);
+        dwrf::putVarint(out, s.values.size());
+        for (int64_t v : s.values)
+            dwrf::putSignedVarint(out, v);
+        out.push_back(s.scored() ? 1 : 0);
+        for (float sc : s.scores)
+            dwrf::putFloat(out, sc);
+    }
+}
+
+std::optional<dwrf::Row>
+decodeFeatures(dwrf::ByteSpan data)
+{
+    dwrf::Row row;
+    size_t pos = 0;
+    uint64_t ndense;
+    if (!dwrf::getVarint(data, pos, ndense))
+        return std::nullopt;
+    row.dense.reserve(ndense);
+    for (uint64_t i = 0; i < ndense; ++i) {
+        uint64_t id;
+        float v;
+        if (!dwrf::getVarint(data, pos, id) ||
+            !dwrf::getFloat(data, pos, v)) {
+            return std::nullopt;
+        }
+        row.dense.push_back({static_cast<FeatureId>(id), v});
+    }
+    uint64_t nsparse;
+    if (!dwrf::getVarint(data, pos, nsparse))
+        return std::nullopt;
+    row.sparse.reserve(nsparse);
+    for (uint64_t i = 0; i < nsparse; ++i) {
+        uint64_t id, len;
+        if (!dwrf::getVarint(data, pos, id) ||
+            !dwrf::getVarint(data, pos, len)) {
+            return std::nullopt;
+        }
+        dwrf::SparseFeature s;
+        s.id = static_cast<FeatureId>(id);
+        s.values.resize(len);
+        for (auto &v : s.values) {
+            if (!dwrf::getSignedVarint(data, pos, v))
+                return std::nullopt;
+        }
+        if (pos >= data.size())
+            return std::nullopt;
+        bool scored = data[pos++] != 0;
+        if (scored) {
+            s.scores.resize(len);
+            for (auto &sc : s.scores) {
+                if (!dwrf::getFloat(data, pos, sc))
+                    return std::nullopt;
+            }
+        }
+        row.sparse.push_back(std::move(s));
+    }
+    if (pos != data.size())
+        return std::nullopt;
+    return row;
+}
+
+void
+encodeEvent(const EventLogEntry &event, dwrf::Buffer &out)
+{
+    dwrf::putU64(out, event.request_id);
+    out.push_back(event.positive ? 1 : 0);
+}
+
+std::optional<EventLogEntry>
+decodeEvent(dwrf::ByteSpan data)
+{
+    EventLogEntry e;
+    size_t pos = 0;
+    if (!dwrf::getU64(data, pos, e.request_id) || pos >= data.size())
+        return std::nullopt;
+    e.positive = data[pos++] != 0;
+    if (pos != data.size())
+        return std::nullopt;
+    return e;
+}
+
+} // namespace dsi::etl

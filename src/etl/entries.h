@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Wire formats of the raw logs flowing through Scribe: feature logs
+ * (emitted by the model serving framework at inference time) and
+ * event logs (recommendation outcomes). Features and events are
+ * logged at *serving* time to avoid data leakage between serving and
+ * training (Section III-A).
+ */
+
+#ifndef DSI_ETL_ENTRIES_H
+#define DSI_ETL_ENTRIES_H
+
+#include <cstdint>
+#include <optional>
+
+#include "dwrf/encoding.h"
+#include "dwrf/row.h"
+
+namespace dsi::etl {
+
+/** Features generated while serving one (user, item) request. */
+struct FeatureLogEntry
+{
+    uint64_t request_id = 0;
+    dwrf::Row features; ///< label field unused here
+};
+
+/** Outcome of one served recommendation. */
+struct EventLogEntry
+{
+    uint64_t request_id = 0;
+    bool positive = false; ///< e.g. the user clicked / interacted
+};
+
+/** Serialize a row's feature payload (no label). */
+void encodeFeatures(const dwrf::Row &row, dwrf::Buffer &out);
+
+/** Decode a feature payload; nullopt on malformed input. */
+std::optional<dwrf::Row> decodeFeatures(dwrf::ByteSpan data);
+
+void encodeEvent(const EventLogEntry &event, dwrf::Buffer &out);
+std::optional<EventLogEntry> decodeEvent(dwrf::ByteSpan data);
+
+} // namespace dsi::etl
+
+#endif // DSI_ETL_ENTRIES_H

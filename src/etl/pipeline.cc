@@ -1,0 +1,211 @@
+#include "pipeline.h"
+
+#include "common/logging.h"
+
+namespace dsi::etl {
+
+ServingSimulator::ServingSimulator(scribe::LogDevice &device,
+                                   const warehouse::TableSchema &schema,
+                                   ServingOptions options)
+    : daemon_(device), generator_(schema, options.seed),
+      options_(std::move(options)), rng_(options_.seed ^ 0xabcdef)
+{
+}
+
+uint64_t
+ServingSimulator::serve(uint64_t n, SimTime time)
+{
+    for (uint64_t i = 0; i < n; ++i) {
+        uint64_t request = next_request_++;
+        dwrf::Row features = generator_.next();
+
+        dwrf::Buffer feat_payload;
+        encodeFeatures(features, feat_payload);
+        daemon_.log(options_.feature_stream, time, request,
+                    std::move(feat_payload));
+        metrics_.inc("serving.features_logged");
+
+        if (rng_.nextBool(options_.event_loss_rate)) {
+            metrics_.inc("serving.events_lost");
+            continue;
+        }
+        EventLogEntry event;
+        event.request_id = request;
+        event.positive = rng_.nextBool(options_.positive_rate);
+        dwrf::Buffer ev_payload;
+        encodeEvent(event, ev_payload);
+        SimTime ev_time =
+            time + rng_.nextDouble() * options_.max_event_delay;
+        daemon_.log(options_.event_stream, ev_time, request,
+                    std::move(ev_payload));
+        metrics_.inc("serving.events_logged");
+        if (event.positive)
+            metrics_.inc("serving.positives");
+    }
+    return next_request_ - 1;
+}
+
+StreamingJoiner::StreamingJoiner(scribe::LogDevice &device,
+                                 JoinOptions options)
+    : device_(device), feature_reader_(device, options.feature_stream),
+      event_reader_(device, options.event_stream),
+      options_(std::move(options)), rng_(options_.seed)
+{
+}
+
+uint64_t
+StreamingJoiner::pump(SimTime now)
+{
+    // Ingest new feature logs.
+    for (;;) {
+        auto records = feature_reader_.poll();
+        if (records.empty())
+            break;
+        for (auto &rec : records) {
+            pending_.emplace(
+                rec.key,
+                PendingSample{rec.timestamp, std::move(rec.payload)});
+            metrics_.inc("join.features_in");
+        }
+    }
+    // Ingest new events and remember the ones whose features are
+    // still in flight (events can arrive first with batched daemons).
+    for (;;) {
+        auto records = event_reader_.poll();
+        if (records.empty())
+            break;
+        for (const auto &rec : records) {
+            auto event = decodeEvent(rec.payload);
+            if (!event) {
+                metrics_.inc("join.malformed_events");
+                continue;
+            }
+            early_events_[event->request_id] = event->positive;
+            metrics_.inc("join.events_in");
+        }
+    }
+
+    uint64_t emitted = 0;
+    auto emit = [&](uint64_t request, PendingSample &sample,
+                    bool positive) {
+        if (!positive &&
+            !rng_.nextBool(options_.negative_keep_rate)) {
+            metrics_.inc("join.negatives_dropped");
+            return;
+        }
+        // Labeled payload: label byte + features.
+        dwrf::Buffer payload;
+        payload.push_back(positive ? 1 : 0);
+        payload.insert(payload.end(), sample.features.begin(),
+                       sample.features.end());
+        device_.append(options_.labeled_stream, now, request,
+                       std::move(payload));
+        metrics_.inc(positive ? "join.positives_out"
+                              : "join.negatives_out");
+        ++emitted;
+    };
+
+    // Join: any pending sample with a matched event emits now; any
+    // sample past the window emits as a negative.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        auto ev = early_events_.find(it->first);
+        if (ev != early_events_.end()) {
+            emit(it->first, it->second, ev->second);
+            early_events_.erase(ev);
+            it = pending_.erase(it);
+        } else if (now - it->second.logged_at >= options_.join_window) {
+            metrics_.inc("join.window_expired");
+            emit(it->first, it->second, false);
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return emitted;
+}
+
+void
+StreamingJoiner::trimConsumed()
+{
+    device_.trim(options_.feature_stream, feature_reader_.position());
+    device_.trim(options_.event_stream, event_reader_.position());
+}
+
+PartitionMaterializer::PartitionMaterializer(
+    scribe::LogDevice &device, warehouse::Warehouse &warehouse,
+    std::string labeled_stream, MaterializeOptions options)
+    : device_(device), warehouse_(warehouse),
+      reader_(device, labeled_stream),
+      labeled_stream_(std::move(labeled_stream)),
+      options_(std::move(options))
+{
+}
+
+uint64_t
+PartitionMaterializer::materialize(warehouse::Table &table,
+                                   PartitionId id)
+{
+    warehouse::Partition partition;
+    partition.id = id;
+
+    uint64_t file_index = 0;
+    uint64_t rows_in_file = 0;
+    std::unique_ptr<dwrf::FileWriter> writer;
+
+    auto file_name = [&](uint64_t index) {
+        return table.name() + "/part-" + std::to_string(id) + "/file-" +
+               std::to_string(index) + ".dwrf";
+    };
+    auto close_file = [&]() {
+        if (!writer || rows_in_file == 0) {
+            writer.reset();
+            return;
+        }
+        dwrf::Buffer bytes = writer->finish();
+        std::string name = file_name(file_index++);
+        partition.stored_bytes += bytes.size();
+        warehouse_.cluster().put(name, bytes);
+        partition.files.push_back(name);
+        metrics_.inc("materialize.files");
+        writer.reset();
+        rows_in_file = 0;
+    };
+
+    for (;;) {
+        auto records = reader_.poll();
+        if (records.empty())
+            break;
+        for (const auto &rec : records) {
+            if (rec.payload.empty()) {
+                metrics_.inc("materialize.malformed");
+                continue;
+            }
+            auto features = decodeFeatures(dwrf::ByteSpan(
+                rec.payload.data() + 1, rec.payload.size() - 1));
+            if (!features) {
+                metrics_.inc("materialize.malformed");
+                continue;
+            }
+            dwrf::Row row = std::move(*features);
+            row.label = rec.payload[0] ? 1.0f : 0.0f;
+            if (!writer) {
+                writer = std::make_unique<dwrf::FileWriter>(
+                    options_.writer);
+            }
+            writer->append(row);
+            ++partition.rows;
+            metrics_.inc("materialize.rows");
+            if (++rows_in_file >= options_.rows_per_file)
+                close_file();
+        }
+    }
+    close_file();
+    device_.trim(labeled_stream_, reader_.position());
+
+    uint64_t rows = partition.rows;
+    if (partition.rows > 0)
+        table.addPartition(std::move(partition));
+    return rows;
+}
+
+} // namespace dsi::etl

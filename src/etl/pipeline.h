@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Offline data generation (Section III-A1): the serving simulator
+ * that produces raw feature/event logs, the streaming joiner that
+ * labels them, and the batch materializer that writes partitions of
+ * DWRF files into the warehouse.
+ */
+
+#ifndef DSI_ETL_PIPELINE_H
+#define DSI_ETL_PIPELINE_H
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "dwrf/writer.h"
+#include "etl/entries.h"
+#include "scribe/scribe.h"
+#include "warehouse/datagen.h"
+#include "warehouse/table.h"
+
+namespace dsi::etl {
+
+/** Configuration of the serving-side log producer. */
+struct ServingOptions
+{
+    std::string feature_stream = "features";
+    std::string event_stream = "events";
+    double positive_rate = 0.03;   ///< P(user interacts)
+    double event_loss_rate = 0.02; ///< events that never arrive
+    double max_event_delay = 30.0; ///< seconds after serving
+    uint64_t seed = 21;
+};
+
+/**
+ * Stand-in for the model serving framework: for each request it logs
+ * a feature row and (usually) an outcome event, through a per-host
+ * Scribe daemon.
+ */
+class ServingSimulator
+{
+  public:
+    ServingSimulator(scribe::LogDevice &device,
+                     const warehouse::TableSchema &schema,
+                     ServingOptions options);
+
+    /** Serve `n` requests starting at `time`; returns last req id. */
+    uint64_t serve(uint64_t n, SimTime time = 0.0);
+
+    /** Flush the daemon's buffered logs. */
+    void flush() { daemon_.flush(); }
+
+    const Metrics &metrics() const { return metrics_; }
+
+  private:
+    scribe::ScribeDaemon daemon_;
+    warehouse::RowGenerator generator_;
+    ServingOptions options_;
+    Rng rng_;
+    uint64_t next_request_ = 1;
+    Metrics metrics_;
+};
+
+/** Configuration of the streaming join. */
+struct JoinOptions
+{
+    std::string feature_stream = "features";
+    std::string event_stream = "events";
+    std::string labeled_stream = "labeled";
+    double join_window = 120.0;  ///< seconds to wait for an event
+    /** Keep this fraction of negatives (downsampling). */
+    double negative_keep_rate = 1.0;
+    uint64_t seed = 22;
+};
+
+/**
+ * Streaming ETL: joins feature and event logs by request id within a
+ * window, labels the sample, optionally downsamples negatives, and
+ * publishes labeled samples to an output stream. Unmatched features
+ * past the window become negatives (no interaction observed).
+ */
+class StreamingJoiner
+{
+  public:
+    StreamingJoiner(scribe::LogDevice &device, JoinOptions options);
+
+    /**
+     * Consume any new raw records and emit labeled samples whose join
+     * window has closed as of `now`. Returns samples emitted.
+     */
+    uint64_t pump(SimTime now);
+
+    /** Trim consumed prefixes of the raw streams. */
+    void trimConsumed();
+
+    const Metrics &metrics() const { return metrics_; }
+
+  private:
+    scribe::LogDevice &device_;
+    scribe::StreamReader feature_reader_;
+    scribe::StreamReader event_reader_;
+    JoinOptions options_;
+    Rng rng_;
+    Metrics metrics_;
+
+    struct PendingSample
+    {
+        SimTime logged_at;
+        dwrf::Buffer features;
+    };
+    std::map<uint64_t, PendingSample> pending_; ///< by request id
+    std::map<uint64_t, bool> early_events_;     ///< event before feature
+};
+
+/** Configuration of the batch partition writer. */
+struct MaterializeOptions
+{
+    uint64_t rows_per_file = 8192;
+    dwrf::WriterOptions writer;
+};
+
+/**
+ * Batch ETL: drains a labeled stream into a new partition of DWRF
+ * files in Tectonic and registers it with the table. Production runs
+ * this hourly/daily (Spark in the paper); here it is invoked per
+ * simulated partition.
+ */
+class PartitionMaterializer
+{
+  public:
+    PartitionMaterializer(scribe::LogDevice &device,
+                          warehouse::Warehouse &warehouse,
+                          std::string labeled_stream,
+                          MaterializeOptions options);
+
+    /**
+     * Drain all available labeled samples into partition `id` of
+     * `table`. Returns rows written.
+     */
+    uint64_t materialize(warehouse::Table &table, PartitionId id);
+
+    const Metrics &metrics() const { return metrics_; }
+
+  private:
+    scribe::LogDevice &device_;
+    warehouse::Warehouse &warehouse_;
+    scribe::StreamReader reader_;
+    std::string labeled_stream_;
+    MaterializeOptions options_;
+    Metrics metrics_;
+};
+
+} // namespace dsi::etl
+
+#endif // DSI_ETL_PIPELINE_H

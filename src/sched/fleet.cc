@@ -1,0 +1,169 @@
+#include "fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dsi::sched {
+
+DemandSeries::DemandSeries(double start_day, double end_day, double step)
+    : start_(start_day), step_(step)
+{
+    dsi_assert(end_day > start_day && step > 0,
+               "bad demand series bounds");
+    size_t n = static_cast<size_t>(
+        std::ceil((end_day - start_day) / step));
+    days_.resize(n);
+    demand_.assign(n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        days_[i] = start_day + static_cast<double>(i) * step;
+}
+
+void
+DemandSeries::addJob(const TrainingJob &job)
+{
+    if (job.end_day <= start_)
+        return;
+    for (size_t i = 0; i < days_.size(); ++i) {
+        double lo = days_[i];
+        double hi = lo + step_;
+        double overlap =
+            std::min(hi, job.end_day) - std::max(lo, job.start_day);
+        if (overlap > 0)
+            demand_[i] += job.compute_demand * overlap / step_;
+    }
+}
+
+void
+DemandSeries::addJobs(const std::vector<TrainingJob> &jobs)
+{
+    for (const auto &j : jobs)
+        addJob(j);
+}
+
+double
+DemandSeries::peak() const
+{
+    double p = 0;
+    for (double d : demand_)
+        p = std::max(p, d);
+    return p;
+}
+
+double
+DemandSeries::mean() const
+{
+    if (demand_.empty())
+        return 0;
+    double s = 0;
+    for (double d : demand_)
+        s += d;
+    return s / static_cast<double>(demand_.size());
+}
+
+Placement
+GlobalScheduler::place(const std::vector<ModelDemand> &models,
+                       PlacementPolicy policy) const
+{
+    Placement out;
+    dsi_assert(!regions_.empty(), "no regions configured");
+
+    if (policy == PlacementPolicy::BalanceAllRegions) {
+        // Spread every model across every region proportionally to
+        // region capacity; every region needs every dataset.
+        double total_capacity = 0;
+        for (const auto &r : regions_)
+            total_capacity += r.compute_capacity;
+        for (const auto &m : models) {
+            for (const auto &r : regions_) {
+                double share = r.compute_capacity / total_capacity;
+                out.demand[m.model][r.name] = m.mean_demand * share;
+                out.replicas[m.model].push_back(r.name);
+            }
+            out.total_storage_pb +=
+                m.dataset_pb * static_cast<double>(regions_.size());
+        }
+        return out;
+    }
+
+    // BinPack: models in decreasing peak order; each is confined to
+    // the fewest regions (greedy, most-free-first) whose remaining
+    // capacity covers its peak.
+    std::vector<double> free(regions_.size());
+    for (size_t r = 0; r < regions_.size(); ++r)
+        free[r] = regions_[r].compute_capacity;
+
+    std::vector<const ModelDemand *> order;
+    for (const auto &m : models)
+        order.push_back(&m);
+    std::sort(order.begin(), order.end(),
+              [](const ModelDemand *a, const ModelDemand *b) {
+                  return a->peak_demand > b->peak_demand;
+              });
+
+    for (const ModelDemand *m : order) {
+        double remaining = m->peak_demand;
+        // Regions sorted by free capacity, take until peak is covered.
+        std::vector<size_t> ridx(regions_.size());
+        for (size_t i = 0; i < ridx.size(); ++i)
+            ridx[i] = i;
+        std::sort(ridx.begin(), ridx.end(), [&](size_t a, size_t b) {
+            return free[a] > free[b];
+        });
+        std::vector<std::pair<size_t, double>> picks;
+        for (size_t r : ridx) {
+            if (remaining <= 0)
+                break;
+            if (free[r] <= 0)
+                continue;
+            double take = std::min(free[r], remaining);
+            picks.emplace_back(r, take);
+            remaining -= take;
+        }
+        if (remaining > 1e-9) {
+            out.feasible = false;
+            // Place what fits; the caller sees the infeasibility.
+        }
+        double placed_peak = m->peak_demand - std::max(0.0, remaining);
+        for (auto &[r, take] : picks) {
+            free[r] -= take;
+            double mean_share =
+                placed_peak > 0
+                    ? m->mean_demand * (take / placed_peak)
+                    : 0.0;
+            out.demand[m->model][regions_[r].name] = mean_share;
+            out.replicas[m->model].push_back(regions_[r].name);
+        }
+        out.total_storage_pb +=
+            m->dataset_pb * static_cast<double>(picks.size());
+    }
+    return out;
+}
+
+namespace {
+
+/** Quarterly factor giving `total` growth over `years` years. */
+double
+quarterlyFactor(double total, double years)
+{
+    return std::pow(total, 1.0 / (years * 4.0));
+}
+
+} // namespace
+
+double
+datasetGrowthFactor(uint32_t quarters)
+{
+    // > 2x over two years (Fig. 2): 2.2x compounded.
+    return std::pow(quarterlyFactor(2.2, 2.0), quarters);
+}
+
+double
+bandwidthGrowthFactor(uint32_t quarters)
+{
+    // > 4x over two years (Fig. 2): 4.4x compounded.
+    return std::pow(quarterlyFactor(4.4, 2.0), quarters);
+}
+
+} // namespace dsi::sched

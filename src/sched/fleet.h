@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Global fleet demand and scheduling (Sections IV-B, VII).
+ *
+ * The fleet runs hundreds of models' release iterations across
+ * regions. DemandSeries turns job sets into a per-day compute demand
+ * curve (Fig. 5). GlobalScheduler places per-model demand across
+ * regions under two policies — balance (the production default: every
+ * region carries every model's dataset) and bin-pack (each model is
+ * confined to the fewest regions that fit its peak, reducing dataset
+ * replicas; the Section VII opportunity) — and reports per-region
+ * demand (Fig. 6) and dataset-replica storage cost.
+ */
+
+#ifndef DSI_SCHED_FLEET_H
+#define DSI_SCHED_FLEET_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/release.h"
+
+namespace dsi::sched {
+
+/** Per-day aggregate compute demand (normalized units). */
+class DemandSeries
+{
+  public:
+    DemandSeries(double start_day, double end_day, double step = 1.0);
+
+    /** Add one job's demand over its run interval. */
+    void addJob(const TrainingJob &job);
+    void addJobs(const std::vector<TrainingJob> &jobs);
+
+    const std::vector<double> &days() const { return days_; }
+    const std::vector<double> &demand() const { return demand_; }
+
+    double peak() const;
+    double mean() const;
+    /** Peak-to-mean ratio: how bursty combo windows make the fleet. */
+    double burstiness() const
+    {
+        double m = mean();
+        return m > 0 ? peak() / m : 0.0;
+    }
+
+  private:
+    double start_;
+    double step_;
+    std::vector<double> days_;
+    std::vector<double> demand_;
+};
+
+/** One model's footprint for global scheduling. */
+struct ModelDemand
+{
+    std::string model;
+    double peak_demand = 0;   ///< normalized peak compute
+    double mean_demand = 0;
+    double dataset_pb = 0;    ///< dataset size (one replica)
+};
+
+/** A geographic region with training+DSI capacity. */
+struct Region
+{
+    std::string name;
+    double compute_capacity = 0; ///< normalized units
+};
+
+/** Placement result. */
+struct Placement
+{
+    /** demand[model][region] = placed mean demand. */
+    std::map<std::string, std::map<std::string, double>> demand;
+    /** Regions that must hold a replica of each model's dataset. */
+    std::map<std::string, std::vector<std::string>> replicas;
+    double total_storage_pb = 0; ///< sum over models of replicas x PB
+    bool feasible = true;
+
+    uint32_t replicaCount(const std::string &model) const
+    {
+        auto it = replicas.find(model);
+        return it == replicas.end()
+            ? 0
+            : static_cast<uint32_t>(it->second.size());
+    }
+};
+
+/** Scheduling policy (Section VII discussion). */
+enum class PlacementPolicy
+{
+    BalanceAllRegions, ///< production default: spread every model
+    BinPack,           ///< fewest regions per model that fit its peak
+};
+
+class GlobalScheduler
+{
+  public:
+    explicit GlobalScheduler(std::vector<Region> regions)
+        : regions_(std::move(regions))
+    {
+    }
+
+    Placement place(const std::vector<ModelDemand> &models,
+                    PlacementPolicy policy) const;
+
+    const std::vector<Region> &regions() const { return regions_; }
+
+  private:
+    std::vector<Region> regions_;
+};
+
+/**
+ * Fleet growth model (Fig. 2): dataset size grew > 2x and ingestion
+ * bandwidth > 4x over the two years before publication. Returns the
+ * multiplier after `quarters` quarters of compounding growth.
+ */
+double datasetGrowthFactor(uint32_t quarters);
+double bandwidthGrowthFactor(uint32_t quarters);
+
+} // namespace dsi::sched
+
+#endif // DSI_SCHED_FLEET_H

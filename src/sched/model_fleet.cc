@@ -1,0 +1,29 @@
+#include "model_fleet.h"
+
+#include <cmath>
+
+namespace dsi::sched {
+
+std::vector<Region>
+fiveRegions()
+{
+    return {{"R1", 120}, {"R2", 100}, {"R3", 90}, {"R4", 80},
+            {"R5", 60}};
+}
+
+std::vector<ModelDemand>
+tenModelFleet()
+{
+    std::vector<ModelDemand> models;
+    for (int i = 0; i < 10; ++i) {
+        ModelDemand m;
+        m.model = std::string(1, static_cast<char>('A' + i));
+        m.peak_demand = 40.0 * std::pow(0.72, i) + 2.0;
+        m.mean_demand = m.peak_demand * 0.45;
+        m.dataset_pb = 2.0 + i * 0.5;
+        models.push_back(m);
+    }
+    return models;
+}
+
+} // namespace dsi::sched

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The reference fleet used by Figures 5 and 6: five global regions
+ * and the ten most commonly-run models A-J with demand normalized to
+ * J (the paper does not publish absolute numbers; the decay profile
+ * reproduces the figure's shape).
+ */
+
+#ifndef DSI_SCHED_MODEL_FLEET_H
+#define DSI_SCHED_MODEL_FLEET_H
+
+#include "sched/fleet.h"
+
+namespace dsi::sched {
+
+/** Regions R1-R5 with decreasing training capacity. */
+std::vector<Region> fiveRegions();
+
+/** Models A-J: demand decays ~0.72x per rank, datasets grow with
+ *  rank (bigger teams keep more features). */
+std::vector<ModelDemand> tenModelFleet();
+
+} // namespace dsi::sched
+
+#endif // DSI_SCHED_MODEL_FLEET_H

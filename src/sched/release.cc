@@ -1,0 +1,139 @@
+#include "release.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace dsi::sched {
+
+const char *
+jobPhaseName(JobPhase phase)
+{
+    switch (phase) {
+      case JobPhase::Exploratory:
+        return "exploratory";
+      case JobPhase::Combo:
+        return "combo";
+      case JobPhase::ReleaseCandidate:
+        return "release-candidate";
+    }
+    return "?";
+}
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Succeeded:
+        return "succeeded";
+      case JobStatus::Failed:
+        return "failed";
+      case JobStatus::Killed:
+        return "killed";
+    }
+    return "?";
+}
+
+double
+iterationLengthDays(const ReleaseParams &params)
+{
+    return params.explore_window_days + params.combo_window_days +
+           params.rc_window_days;
+}
+
+std::vector<TrainingJob>
+generateIteration(const std::string &model, const ReleaseParams &params,
+                  double start_day, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<TrainingJob> jobs;
+    JobId next_id = 1;
+
+    // --- Exploratory phase: many small jobs spread over the window.
+    for (uint32_t i = 0; i < params.exploratory_jobs; ++i) {
+        TrainingJob job;
+        job.id = next_id++;
+        job.model = model;
+        job.phase = JobPhase::Exploratory;
+        job.submit_day = start_day +
+                         rng.nextDouble() * params.explore_window_days;
+        job.start_day = job.submit_day;
+        double dur = rng.nextLogNormal(params.explore_mean_days, 0.7);
+        job.end_day = job.start_day + dur;
+        // Exploration is cheap to kill: most ideas do not pan out.
+        double u = rng.nextDouble();
+        job.status = u < 0.55 ? JobStatus::Failed
+                   : u < 0.70 ? JobStatus::Killed
+                              : JobStatus::Succeeded;
+        job.compute_demand = params.explore_demand;
+        job.table_fraction = params.explore_table_fraction *
+                             (0.5 + rng.nextDouble());
+        jobs.push_back(job);
+    }
+
+    // --- Combo phase: slot-limited asynchronous launches. Engineers
+    // submit eagerly; each job starts when a slot frees, so early
+    // finishers (failed/killed) pull later jobs forward — the large
+    // temporal skew of Fig. 4.
+    double combo_start = start_day + params.explore_window_days;
+    std::priority_queue<double, std::vector<double>,
+                        std::greater<double>>
+        slot_free;
+    for (uint32_t s = 0; s < params.combo_slots; ++s)
+        slot_free.push(combo_start);
+
+    for (uint32_t i = 0; i < params.combo_jobs; ++i) {
+        TrainingJob job;
+        job.id = next_id++;
+        job.model = model;
+        job.phase = JobPhase::Combo;
+        job.submit_day = combo_start +
+                         rng.nextDouble() * 2.0; // near-simultaneous
+        double slot = slot_free.top();
+        slot_free.pop();
+        job.start_day = std::max(job.submit_day, slot);
+
+        double planned = rng.nextLogNormal(params.combo_mean_days,
+                                           params.combo_sigma);
+        double u = rng.nextDouble();
+        if (u < params.combo_fail_rate) {
+            job.status = JobStatus::Failed;
+            // Failures usually surface early in training.
+            planned *= 0.3 + 0.5 * rng.nextDouble();
+        } else if (u < params.combo_fail_rate + params.combo_kill_rate) {
+            job.status = JobStatus::Killed;
+            planned *= 0.2 + 0.6 * rng.nextDouble();
+        } else {
+            job.status = JobStatus::Succeeded;
+        }
+        job.end_day = job.start_day + std::max(0.2, planned);
+        slot_free.push(job.end_day);
+
+        job.compute_demand = 1.0;
+        job.table_fraction =
+            params.combo_table_fraction * (0.85 + 0.3 * rng.nextDouble());
+        jobs.push_back(job);
+    }
+
+    // --- Release candidates: few, large, trained on fresh data.
+    double rc_start = combo_start + params.combo_window_days;
+    for (uint32_t i = 0; i < params.release_candidates; ++i) {
+        TrainingJob job;
+        job.id = next_id++;
+        job.model = model;
+        job.phase = JobPhase::ReleaseCandidate;
+        job.submit_day = rc_start + rng.nextDouble() * 2.0;
+        job.start_day = job.submit_day;
+        job.end_day = job.start_day +
+                      rng.nextLogNormal(params.rc_mean_days, 0.4);
+        // Exactly one candidate ships; the rest are close seconds.
+        job.status = i == 0 ? JobStatus::Succeeded : JobStatus::Killed;
+        job.compute_demand = params.rc_demand;
+        job.table_fraction = params.rc_table_fraction;
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+} // namespace dsi::sched

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The collaborative model-release process (Section IV-A).
+ *
+ * Each production model iterates through three phases: hundreds of
+ * small *exploratory* jobs (< 5% of the table each), a window of tens
+ * of large *combo* jobs combining the promising ideas (most of the
+ * table, massive parallelism, many failed/killed, asynchronous
+ * launches causing heavy temporal skew — Fig. 4), and a few *release
+ * candidate* jobs. The generator produces one iteration's job set
+ * with calibrated duration/status/skew distributions.
+ */
+
+#ifndef DSI_SCHED_RELEASE_H
+#define DSI_SCHED_RELEASE_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dsi::sched {
+
+/** Phase of a training job in the release process. */
+enum class JobPhase : uint8_t
+{
+    Exploratory,
+    Combo,
+    ReleaseCandidate,
+};
+
+/** Terminal status of a job (Fig. 4 legend). */
+enum class JobStatus : uint8_t
+{
+    Succeeded,
+    Failed,  ///< model quality lackluster / training error
+    Killed,  ///< engineer superseded it with a better idea
+};
+
+const char *jobPhaseName(JobPhase phase);
+const char *jobStatusName(JobStatus status);
+
+/** One training job. Times are in days from iteration start. */
+struct TrainingJob
+{
+    JobId id = 0;
+    std::string model;
+    JobPhase phase = JobPhase::Exploratory;
+    JobStatus status = JobStatus::Succeeded;
+    double submit_day = 0;
+    double start_day = 0;
+    double end_day = 0;
+    /** Normalized accelerator demand while running (combo job = 1). */
+    double compute_demand = 0;
+    /** Fraction of the model's table the job reads. */
+    double table_fraction = 0;
+
+    double duration() const { return end_day - start_day; }
+};
+
+/** Calibrated knobs of one release iteration. */
+struct ReleaseParams
+{
+    uint32_t exploratory_jobs = 600;
+    uint32_t combo_jobs = 82;       ///< Fig. 4 shows 82 for RM1
+    uint32_t release_candidates = 4;
+
+    double explore_window_days = 28;
+    double combo_window_days = 30;
+    double rc_window_days = 14;
+
+    /** Combo durations: log-normal, long tail past 10 days (Fig. 4). */
+    double combo_mean_days = 5.5;
+    double combo_sigma = 0.85;
+    double explore_mean_days = 1.2;
+    double rc_mean_days = 8.0;
+
+    double combo_fail_rate = 0.30;
+    double combo_kill_rate = 0.21;
+
+    /** Concurrent combo slots: jobs queue and launch asynchronously
+     *  as capacity frees, producing the temporal skew of Fig. 4. */
+    uint32_t combo_slots = 24;
+
+    double explore_demand = 0.08; ///< vs combo job = 1.0
+    double rc_demand = 1.6;
+    double explore_table_fraction = 0.04; ///< "< 5% of the table"
+    double combo_table_fraction = 0.80;
+    double rc_table_fraction = 0.89;      ///< Table III used/total
+};
+
+/**
+ * Generate one release iteration for `model` starting at
+ * `start_day`. Jobs appear in phase order; combo jobs are scheduled
+ * through the slot-limited asynchronous launch policy.
+ */
+std::vector<TrainingJob> generateIteration(const std::string &model,
+                                           const ReleaseParams &params,
+                                           double start_day,
+                                           uint64_t seed);
+
+/** Duration of one full iteration (for chaining iterations). */
+double iterationLengthDays(const ReleaseParams &params);
+
+} // namespace dsi::sched
+
+#endif // DSI_SCHED_RELEASE_H

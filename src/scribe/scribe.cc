@@ -1,0 +1,141 @@
+#include "scribe.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dsi::scribe {
+
+uint64_t
+LogDevice::append(const std::string &stream, SimTime timestamp,
+                  uint64_t key, dwrf::Buffer payload)
+{
+    Stream &s = streams_[stream];
+    LogRecord rec;
+    rec.seq = s.next_seq++;
+    rec.timestamp = timestamp;
+    rec.key = key;
+    s.payload_bytes += payload.size();
+    rec.payload = std::move(payload);
+    s.records.push_back(std::move(rec));
+    return s.records.back().seq;
+}
+
+std::vector<LogRecord>
+LogDevice::read(const std::string &stream, uint64_t from_seq,
+                uint64_t max) const
+{
+    std::vector<LogRecord> out;
+    auto it = streams_.find(stream);
+    if (it == streams_.end())
+        return out;
+    const Stream &s = it->second;
+    uint64_t start = std::max(from_seq, s.trim_point);
+    if (start >= s.next_seq)
+        return out;
+    // records are dense in [trim_point, next_seq).
+    size_t idx = start - s.trim_point;
+    for (; idx < s.records.size() && out.size() < max; ++idx)
+        out.push_back(s.records[idx]);
+    return out;
+}
+
+void
+LogDevice::trim(const std::string &stream, uint64_t upto_seq)
+{
+    auto it = streams_.find(stream);
+    if (it == streams_.end())
+        return;
+    Stream &s = it->second;
+    while (!s.records.empty() && s.records.front().seq < upto_seq) {
+        s.payload_bytes -= s.records.front().payload.size();
+        s.records.pop_front();
+        ++s.trim_point;
+    }
+    s.trim_point = std::max(s.trim_point, std::min(upto_seq, s.next_seq));
+}
+
+uint64_t
+LogDevice::tailSeq(const std::string &stream) const
+{
+    auto it = streams_.find(stream);
+    return it == streams_.end() ? 0 : it->second.next_seq;
+}
+
+uint64_t
+LogDevice::trimPoint(const std::string &stream) const
+{
+    auto it = streams_.find(stream);
+    return it == streams_.end() ? 0 : it->second.trim_point;
+}
+
+uint64_t
+LogDevice::recordCount(const std::string &stream) const
+{
+    auto it = streams_.find(stream);
+    return it == streams_.end() ? 0 : it->second.records.size();
+}
+
+Bytes
+LogDevice::payloadBytes(const std::string &stream) const
+{
+    auto it = streams_.find(stream);
+    return it == streams_.end() ? 0 : it->second.payload_bytes;
+}
+
+std::vector<std::string>
+LogDevice::streams() const
+{
+    std::vector<std::string> out;
+    out.reserve(streams_.size());
+    for (const auto &[name, _] : streams_)
+        out.push_back(name);
+    return out;
+}
+
+void
+ScribeDaemon::log(const std::string &category, SimTime timestamp,
+                  uint64_t key, dwrf::Buffer payload)
+{
+    auto &buf = buffers_[category];
+    buf.push_back({timestamp, key, std::move(payload)});
+    if (buf.size() >= flush_batch_) {
+        for (auto &p : buf)
+            device_.append(category, p.timestamp, p.key,
+                           std::move(p.payload));
+        buf.clear();
+    }
+}
+
+void
+ScribeDaemon::flush()
+{
+    for (auto &[category, buf] : buffers_) {
+        for (auto &p : buf)
+            device_.append(category, p.timestamp, p.key,
+                           std::move(p.payload));
+        buf.clear();
+    }
+}
+
+uint64_t
+ScribeDaemon::buffered() const
+{
+    uint64_t n = 0;
+    for (const auto &[_, buf] : buffers_)
+        n += buf.size();
+    return n;
+}
+
+std::vector<LogRecord>
+StreamReader::poll(uint64_t max)
+{
+    auto records = device_.read(stream_, next_seq_, max);
+    if (!records.empty())
+        next_seq_ = records.back().seq + 1;
+    else
+        next_seq_ = std::max(next_seq_, device_.trimPoint(stream_));
+    return records;
+}
+
+} // namespace dsi::scribe

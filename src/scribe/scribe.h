@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Scribe + LogDevice substrate: the fleet-wide message bus that
+ * transports raw feature and event logs (Section III-A1).
+ *
+ * Scribe groups records into named category streams; every stream is
+ * backed by LogDevice, a reliable append-only, trimmable record store.
+ * Services call a per-host ScribeDaemon which batches and forwards
+ * records; readers tail streams by sequence number.
+ */
+
+#ifndef DSI_SCRIBE_SCRIBE_H
+#define DSI_SCRIBE_SCRIBE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "dwrf/encoding.h"
+
+namespace dsi::scribe {
+
+/** One durable record in a stream. */
+struct LogRecord
+{
+    uint64_t seq = 0;       ///< per-stream sequence number
+    SimTime timestamp = 0;  ///< producer-side log time
+    uint64_t key = 0;       ///< join key (e.g. serving request id)
+    dwrf::Buffer payload;
+};
+
+/**
+ * Append-only trimmable stream store (the LogDevice model). Each
+ * stream is a sequence of records; trimming drops a prefix while
+ * sequence numbers stay stable.
+ */
+class LogDevice
+{
+  public:
+    /** Append a record, assigning its sequence number. */
+    uint64_t append(const std::string &stream, SimTime timestamp,
+                    uint64_t key, dwrf::Buffer payload);
+
+    /**
+     * Read records with seq in [from_seq, from_seq + max). Returns
+     * fewer if the stream is shorter or trimmed past from_seq.
+     */
+    std::vector<LogRecord> read(const std::string &stream,
+                                uint64_t from_seq, uint64_t max) const;
+
+    /** Drop all records with seq < upto_seq. */
+    void trim(const std::string &stream, uint64_t upto_seq);
+
+    /** Next sequence number that will be assigned. */
+    uint64_t tailSeq(const std::string &stream) const;
+
+    /** Smallest readable sequence number (moves up with trim). */
+    uint64_t trimPoint(const std::string &stream) const;
+
+    uint64_t recordCount(const std::string &stream) const;
+    Bytes payloadBytes(const std::string &stream) const;
+    std::vector<std::string> streams() const;
+
+  private:
+    struct Stream
+    {
+        uint64_t next_seq = 0;
+        uint64_t trim_point = 0;
+        Bytes payload_bytes = 0;
+        std::deque<LogRecord> records;
+    };
+    std::map<std::string, Stream> streams_;
+};
+
+/**
+ * Per-host Scribe daemon: buffers records per category and flushes
+ * them into LogDevice in batches, as the production daemon does.
+ */
+class ScribeDaemon
+{
+  public:
+    ScribeDaemon(LogDevice &device, size_t flush_batch = 64)
+        : device_(device), flush_batch_(flush_batch)
+    {
+    }
+
+    /** Log a record into a category (may buffer). */
+    void log(const std::string &category, SimTime timestamp,
+             uint64_t key, dwrf::Buffer payload);
+
+    /** Flush all buffered records. */
+    void flush();
+
+    uint64_t buffered() const;
+
+  private:
+    struct Pending
+    {
+        SimTime timestamp;
+        uint64_t key;
+        dwrf::Buffer payload;
+    };
+    LogDevice &device_;
+    size_t flush_batch_;
+    std::map<std::string, std::vector<Pending>> buffers_;
+};
+
+/**
+ * Tail cursor over one stream: remembers the last consumed sequence
+ * number so repeated polls see each record exactly once.
+ */
+class StreamReader
+{
+  public:
+    StreamReader(const LogDevice &device, std::string stream)
+        : device_(device), stream_(std::move(stream))
+    {
+    }
+
+    /** Pull up to `max` new records. */
+    std::vector<LogRecord> poll(uint64_t max = 1024);
+
+    uint64_t position() const { return next_seq_; }
+
+  private:
+    const LogDevice &device_;
+    std::string stream_;
+    uint64_t next_seq_ = 0;
+};
+
+} // namespace dsi::scribe
+
+#endif // DSI_SCRIBE_SCRIBE_H

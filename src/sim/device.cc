@@ -1,0 +1,23 @@
+#include "device.h"
+
+namespace dsi::sim {
+
+ComputeNodeSpec
+computeNodeV1()
+{
+    return ComputeNodeSpec{"C-v1", 18, 12.5, 64.0, 75.0, 2.5, 250.0};
+}
+
+ComputeNodeSpec
+computeNodeV2()
+{
+    return ComputeNodeSpec{"C-v2", 26, 25.0, 64.0, 92.0, 2.5, 285.0};
+}
+
+ComputeNodeSpec
+computeNodeV3()
+{
+    return ComputeNodeSpec{"C-v3", 36, 25.0, 64.0, 83.0, 2.5, 320.0};
+}
+
+} // namespace dsi::sim

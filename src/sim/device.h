@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Calibrated device models: HDD/SSD storage media, compute-node SKUs
+ * (Table X), and trainer hosts.
+ *
+ * Where the paper gives hardware numbers we use them directly (Table X
+ * node generations, the 2-socket/8-V100 trainer, 1.25 MiB coalescing).
+ * Where it gives only ratios (SSD = 326% IOPS/W and 9% capacity/W vs.
+ * HDD), device parameters are chosen so those ratios emerge; see
+ * DESIGN.md's substitution table.
+ */
+
+#ifndef DSI_SIM_DEVICE_H
+#define DSI_SIM_DEVICE_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace dsi::sim {
+
+/** Rotating-media storage node model (per-node, multi-spindle). */
+struct HddNodeModel
+{
+    std::string name = "hdd-node";
+    uint32_t spindles = 36;
+    Bytes capacity_per_spindle = 10000000000000ULL; // 10 TB
+    double avg_seek_s = 0.008;          // average seek
+    double avg_rotational_s = 0.00416;  // 7200 rpm half rotation
+    double seq_bw_bps = 190e6;          // per-spindle sequential B/s
+    double node_power_w = 540.0;        // spindles + host
+
+    Bytes capacity() const { return spindles * capacity_per_spindle; }
+
+    /** Service time of one random IO of `bytes` on one spindle. */
+    double ioTime(Bytes bytes) const
+    {
+        return avg_seek_s + avg_rotational_s +
+               static_cast<double>(bytes) / seq_bw_bps;
+    }
+
+    /** Peak random-IO rate of the whole node for IOs of `bytes`. */
+    double iops(Bytes bytes) const
+    {
+        return static_cast<double>(spindles) / ioTime(bytes);
+    }
+
+    /** Effective node read throughput (B/s) at a given IO size. */
+    double throughput(Bytes io_size) const
+    {
+        return iops(io_size) * static_cast<double>(io_size);
+    }
+
+    double iopsPerWatt(Bytes io_size = 4096) const
+    {
+        return iops(io_size) / node_power_w;
+    }
+    double capacityPerWatt() const
+    {
+        return static_cast<double>(capacity()) / node_power_w;
+    }
+};
+
+/** Flash storage node model (QoS-limited fleet configuration). */
+struct SsdNodeModel
+{
+    std::string name = "ssd-node";
+    Bytes capacity_bytes = 32000000000000ULL; // 32 TB
+    double max_iops = 9700.0;   // sustained, QoS-limited
+    double seq_bw_bps = 6.0e9;
+    double node_power_w = 535.0;
+
+    Bytes capacity() const { return capacity_bytes; }
+
+    double ioTime(Bytes bytes) const
+    {
+        double fixed = 1.0 / max_iops;
+        return fixed + static_cast<double>(bytes) / seq_bw_bps;
+    }
+
+    double iops(Bytes bytes) const { return 1.0 / ioTime(bytes); }
+
+    double throughput(Bytes io_size) const
+    {
+        return iops(io_size) * static_cast<double>(io_size);
+    }
+
+    double iopsPerWatt(Bytes io_size = 4096) const
+    {
+        return iops(io_size) / node_power_w;
+    }
+    double capacityPerWatt() const
+    {
+        return static_cast<double>(capacity()) / node_power_w;
+    }
+};
+
+/** General-purpose compute-node SKU (paper Table X). */
+struct ComputeNodeSpec
+{
+    std::string name;
+    uint32_t cores;
+    double nic_gbps;        // bidirectional NIC line rate
+    double memory_gb;
+    double mem_bw_gbps;     // GB/s
+    double ghz = 2.5;       // per-core clock
+    double power_w = 250.0;
+
+    double cyclesPerSec() const { return cores * ghz * 1e9; }
+    double nicBytesPerSec() const { return nic_gbps * 1e9 / 8.0; }
+    double memBwBytesPerSec() const { return mem_bw_gbps * 1e9; }
+};
+
+/** The three compute-server generations of Table X. */
+ComputeNodeSpec computeNodeV1();
+ComputeNodeSpec computeNodeV2();
+ComputeNodeSpec computeNodeV3();
+
+/**
+ * Trainer host: 2x 28-core sockets, 2x 100 Gbps front-end NICs,
+ * 8 V100 GPUs (the Section VI measurement platform).
+ */
+struct TrainerHostSpec
+{
+    std::string name = "trainer-v100x8";
+    uint32_t cores = 56;
+    double ghz = 2.5;
+    double nic_gbps = 200.0;       // 2 x 100 Gbps front-end
+    double mem_bw_gbps = 256.0;    // 2 sockets x 6ch DDR4
+    uint32_t gpus = 8;
+    double gpu_power_w = 300.0;    // V100 board power
+    double host_power_w = 900.0;   // CPUs, DRAM, NICs, fans
+
+    double cyclesPerSec() const { return cores * ghz * 1e9; }
+    double nicBytesPerSec() const { return nic_gbps * 1e9 / 8.0; }
+    double memBwBytesPerSec() const { return mem_bw_gbps * 1e9; }
+    double totalPowerW() const
+    {
+        return gpus * gpu_power_w + host_power_w;
+    }
+};
+
+/**
+ * Memory bandwidth saturates below line rate in practice; the paper
+ * notes ~70% of peak is the practical ceiling (Section VI-B).
+ */
+inline constexpr double kMemBwSaturation = 0.70;
+
+/** Goodput fraction of NIC line rate (headers, RPC framing, jitter). */
+inline constexpr double kNicEfficiency = 0.77;
+
+} // namespace dsi::sim
+
+#endif // DSI_SIM_DEVICE_H

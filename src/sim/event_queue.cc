@@ -1,0 +1,46 @@
+#include "event_queue.h"
+
+#include "common/logging.h"
+
+namespace dsi::sim {
+
+void
+EventQueue::schedule(SimTime t, Callback cb)
+{
+    dsi_assert(t >= now_, "cannot schedule in the past (t=%f, now=%f)",
+               t, now_);
+    queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+uint64_t
+EventQueue::run()
+{
+    uint64_t executed = 0;
+    while (!queue_.empty()) {
+        // The callback may schedule more events, so pop before invoking.
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        now_ = ev.time;
+        ev.cb();
+        ++executed;
+    }
+    return executed;
+}
+
+uint64_t
+EventQueue::runUntil(SimTime t)
+{
+    uint64_t executed = 0;
+    while (!queue_.empty() && queue_.top().time <= t) {
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        now_ = ev.time;
+        ev.cb();
+        ++executed;
+    }
+    if (now_ < t)
+        now_ = t;
+    return executed;
+}
+
+} // namespace dsi::sim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal discrete-event simulation engine.
+ *
+ * dsi uses discrete-event simulation for datacenter-scale behaviour that
+ * cannot run natively (hundred-worker DPP sessions, fleet demand over a
+ * year, device-level IO timing). Events are closures scheduled at
+ * absolute simulated times; ties are broken by insertion order so runs
+ * are deterministic.
+ */
+
+#ifndef DSI_SIM_EVENT_QUEUE_H
+#define DSI_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dsi::sim {
+
+/** Deterministic discrete-event executor. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in seconds. */
+    SimTime now() const { return now_; }
+
+    /** Schedule `cb` at absolute time `t` (>= now). */
+    void schedule(SimTime t, Callback cb);
+
+    /** Schedule `cb` after `delay` seconds. */
+    void scheduleAfter(SimTime delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Run until the queue drains. Returns number of events executed. */
+    uint64_t run();
+
+    /**
+     * Run until the queue drains or simulated time would exceed `t`.
+     * Events scheduled at exactly `t` are executed; time ends at `t`.
+     */
+    uint64_t runUntil(SimTime t);
+
+    bool empty() const { return queue_.empty(); }
+    size_t pending() const { return queue_.size(); }
+
+  private:
+    struct Event
+    {
+        SimTime time;
+        uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    SimTime now_ = 0.0;
+    uint64_t next_seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace dsi::sim
+
+#endif // DSI_SIM_EVENT_QUEUE_H

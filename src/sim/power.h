@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fleet power accounting (Figure 1).
+ *
+ * Training capacity is constrained by fixed datacenter power budgets;
+ * the paper's Figure 1 shows storage + preprocessing power can exceed
+ * the trainers' own power. This model aggregates per-component node
+ * counts x per-node watts into the storage/preprocessing/training
+ * breakdown the figure reports.
+ */
+
+#ifndef DSI_SIM_POWER_H
+#define DSI_SIM_POWER_H
+
+#include <string>
+#include <vector>
+
+namespace dsi::sim {
+
+/** One power component: `count` nodes drawing `watts_each`. */
+struct PowerComponent
+{
+    std::string name;
+    double count;
+    double watts_each;
+
+    double watts() const { return count * watts_each; }
+};
+
+/** Power breakdown for a training deployment. */
+class PowerBreakdown
+{
+  public:
+    void add(const std::string &category, double count, double watts_each)
+    {
+        components_.push_back({category, count, watts_each});
+    }
+
+    double total() const
+    {
+        double w = 0.0;
+        for (const auto &c : components_)
+            w += c.watts();
+        return w;
+    }
+
+    double categoryWatts(const std::string &category) const
+    {
+        double w = 0.0;
+        for (const auto &c : components_)
+            if (c.name == category)
+                w += c.watts();
+        return w;
+    }
+
+    /** Fraction of total power a category draws, in [0, 1]. */
+    double fraction(const std::string &category) const
+    {
+        double t = total();
+        return t > 0 ? categoryWatts(category) / t : 0.0;
+    }
+
+    const std::vector<PowerComponent> &components() const
+    {
+        return components_;
+    }
+
+  private:
+    std::vector<PowerComponent> components_;
+};
+
+} // namespace dsi::sim
+
+#endif // DSI_SIM_POWER_H

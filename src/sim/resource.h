@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Analytic shared-resource models.
+ *
+ * A RateResource is a capacity in units/second (CPU cycles, NIC bytes,
+ * memory-bandwidth bytes). Loads are offered as rates; the resource
+ * reports utilization and the achievable (possibly throttled) rate.
+ * A UtilizationTracker integrates utilization over simulated time so
+ * benches can report time-weighted averages like Figs. 8 and 9.
+ */
+
+#ifndef DSI_SIM_RESOURCE_H
+#define DSI_SIM_RESOURCE_H
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace dsi::sim {
+
+/** A shared resource with a fixed service capacity in units/second. */
+class RateResource
+{
+  public:
+    RateResource(std::string name, double capacity)
+        : name_(std::move(name)), capacity_(capacity)
+    {
+        dsi_assert(capacity > 0, "resource capacity must be positive");
+    }
+
+    const std::string &name() const { return name_; }
+    double capacity() const { return capacity_; }
+
+    /** Add/remove offered load (units/second). */
+    void offer(double rate) { offered_ += rate; }
+    void release(double rate)
+    {
+        offered_ -= rate;
+        if (offered_ < 0)
+            offered_ = 0;
+    }
+    void resetOffered() { offered_ = 0; }
+
+    double offered() const { return offered_; }
+
+    /** Utilization in [0, 1]: offered load clipped at capacity. */
+    double utilization() const
+    {
+        double u = offered_ / capacity_;
+        return u > 1.0 ? 1.0 : u;
+    }
+
+    /** Demand as a fraction of capacity; may exceed 1 when saturated. */
+    double demandRatio() const { return offered_ / capacity_; }
+
+    /** True when offered load exceeds capacity. */
+    bool saturated() const { return offered_ > capacity_; }
+
+    /**
+     * Achievable share for a flow offering `rate`, under fair
+     * proportional throttling when the resource is saturated.
+     */
+    double achievable(double rate) const
+    {
+        if (offered_ <= capacity_ || offered_ <= 0)
+            return rate;
+        return rate * (capacity_ / offered_);
+    }
+
+  private:
+    std::string name_;
+    double capacity_;
+    double offered_ = 0.0;
+};
+
+/** Integrates a utilization signal over simulated time. */
+class UtilizationTracker
+{
+  public:
+    /** Record that utilization was `u` from the last sample until `t`. */
+    void sample(SimTime t, double u)
+    {
+        if (has_last_ && t > last_t_) {
+            area_ += last_u_ * (t - last_t_);
+            span_ += t - last_t_;
+        }
+        last_t_ = t;
+        last_u_ = u;
+        has_last_ = true;
+        if (u > peak_)
+            peak_ = u;
+    }
+
+    /** Time-weighted mean utilization. */
+    double average() const { return span_ > 0 ? area_ / span_ : 0.0; }
+    double peak() const { return peak_; }
+    double span() const { return span_; }
+
+  private:
+    bool has_last_ = false;
+    SimTime last_t_ = 0.0;
+    double last_u_ = 0.0;
+    double area_ = 0.0;
+    double span_ = 0.0;
+    double peak_ = 0.0;
+};
+
+} // namespace dsi::sim
+
+#endif // DSI_SIM_RESOURCE_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Datacenter storage provisioning math (Section VII).
+ *
+ * Given a dataset size, a required aggregate read throughput, and a
+ * characteristic IO size, compute how many storage nodes are needed
+ * for capacity vs. for IOPS. The ratio is the paper's
+ * "throughput-to-storage gap" (over 8x on HDDs after triplicate
+ * replication): IOPS demand, not bytes, dictates node counts.
+ */
+
+#ifndef DSI_STORAGE_PROVISIONING_H
+#define DSI_STORAGE_PROVISIONING_H
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.h"
+#include "sim/device.h"
+#include "storage/tectonic.h"
+
+namespace dsi::storage {
+
+/** Result of a provisioning calculation for one node type. */
+struct ProvisioningPlan
+{
+    double nodes_for_capacity = 0; ///< nodes to hold replicated bytes
+    double nodes_for_iops = 0;     ///< nodes to serve the IO rate
+    double nodes_required = 0;     ///< max of the two
+    double gap = 0;                ///< iops-driven / capacity-driven
+    double power_watts = 0;        ///< nodes_required x node power
+};
+
+/** Inputs shared by both tiers. */
+struct ProvisioningDemand
+{
+    Bytes dataset_bytes = 0;       ///< logical dataset size
+    uint32_t replication = 3;
+    double read_throughput_bps = 0;///< aggregate bytes/second
+    Bytes avg_io_bytes = 4096;     ///< characteristic IO size
+};
+
+inline ProvisioningPlan
+provisionHdd(const ProvisioningDemand &d,
+             const sim::HddNodeModel &node = {})
+{
+    ProvisioningPlan p;
+    double replicated =
+        static_cast<double>(d.dataset_bytes) * d.replication;
+    p.nodes_for_capacity =
+        replicated / static_cast<double>(node.capacity());
+    double io_rate =
+        d.read_throughput_bps / static_cast<double>(d.avg_io_bytes);
+    p.nodes_for_iops = io_rate / node.iops(d.avg_io_bytes);
+    p.nodes_required = std::max(p.nodes_for_capacity, p.nodes_for_iops);
+    p.gap = p.nodes_for_capacity > 0
+        ? p.nodes_for_iops / p.nodes_for_capacity
+        : 0.0;
+    p.power_watts = p.nodes_required * node.node_power_w;
+    return p;
+}
+
+inline ProvisioningPlan
+provisionSsd(const ProvisioningDemand &d,
+             const sim::SsdNodeModel &node = {})
+{
+    ProvisioningPlan p;
+    double replicated =
+        static_cast<double>(d.dataset_bytes) * d.replication;
+    p.nodes_for_capacity =
+        replicated / static_cast<double>(node.capacity());
+    double io_rate =
+        d.read_throughput_bps / static_cast<double>(d.avg_io_bytes);
+    p.nodes_for_iops = io_rate / node.iops(d.avg_io_bytes);
+    p.nodes_required = std::max(p.nodes_for_capacity, p.nodes_for_iops);
+    p.gap = p.nodes_for_capacity > 0
+        ? p.nodes_for_iops / p.nodes_for_capacity
+        : 0.0;
+    p.power_watts = p.nodes_required * node.node_power_w;
+    return p;
+}
+
+/**
+ * Tiered plan: a fraction of traffic (the hot share, cf. Fig. 7) is
+ * served by SSD nodes sized for that traffic, the rest (and all
+ * capacity) stays on HDD.
+ */
+struct TieredPlan
+{
+    ProvisioningPlan hdd;
+    ProvisioningPlan ssd;
+    double power_watts = 0;
+};
+
+inline TieredPlan
+provisionTiered(const ProvisioningDemand &d, double hot_traffic_share,
+                double hot_byte_share)
+{
+    TieredPlan t;
+    ProvisioningDemand hdd_d = d;
+    hdd_d.read_throughput_bps =
+        d.read_throughput_bps * (1.0 - hot_traffic_share);
+    t.hdd = provisionHdd(hdd_d);
+
+    ProvisioningDemand ssd_d = d;
+    ssd_d.dataset_bytes = static_cast<Bytes>(
+        static_cast<double>(d.dataset_bytes) * hot_byte_share);
+    ssd_d.replication = 1; // cache copy; durability stays on HDD
+    ssd_d.read_throughput_bps =
+        d.read_throughput_bps * hot_traffic_share;
+    t.ssd = provisionSsd(ssd_d);
+
+    t.power_watts = t.hdd.power_watts + t.ssd.power_watts;
+    return t;
+}
+
+} // namespace dsi::storage
+
+#endif // DSI_STORAGE_PROVISIONING_H

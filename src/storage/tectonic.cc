@@ -1,0 +1,287 @@
+#include "tectonic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dsi::storage {
+
+StorageNode::StorageNode(NodeId id, Tier tier) : id_(id), tier_(tier)
+{
+}
+
+void
+StorageNode::recordIo(Bytes bytes)
+{
+    ++io_count_;
+    bytes_served_ += bytes;
+    busy_seconds_ +=
+        tier_ == Tier::Hdd ? hdd_.ioTime(bytes) / hdd_.spindles
+                           : ssd_.ioTime(bytes);
+}
+
+Bytes
+StorageNode::capacity() const
+{
+    return tier_ == Tier::Hdd ? hdd_.capacity() : ssd_.capacity();
+}
+
+double
+StorageNode::powerWatts() const
+{
+    return tier_ == Tier::Hdd ? hdd_.node_power_w : ssd_.node_power_w;
+}
+
+double
+StorageNode::peakIops(Bytes io_size) const
+{
+    return tier_ == Tier::Hdd ? hdd_.iops(io_size) : ssd_.iops(io_size);
+}
+
+void
+StorageNode::resetAccounting()
+{
+    io_count_ = 0;
+    bytes_served_ = 0;
+    busy_seconds_ = 0.0;
+}
+
+TectonicCluster::TectonicCluster(StorageOptions options)
+    : options_(options), rng_(options.seed)
+{
+    dsi_assert(options_.block_size > 0, "block size must be positive");
+    dsi_assert(options_.hdd_nodes + options_.ssd_nodes > 0,
+               "cluster needs at least one node");
+    dsi_assert(options_.replication >= 1, "replication must be >= 1");
+    NodeId id = 0;
+    for (uint32_t i = 0; i < options_.hdd_nodes; ++i)
+        nodes_.emplace_back(id++, Tier::Hdd);
+    for (uint32_t i = 0; i < options_.ssd_nodes; ++i)
+        nodes_.emplace_back(id++, Tier::Ssd);
+    if (options_.cache_blocks > 0) {
+        cache_node_ = std::make_unique<StorageNode>(id++, Tier::Ssd);
+    }
+    node_down_.assign(nodes_.size(), false);
+}
+
+void
+TectonicCluster::failNode(NodeId id)
+{
+    dsi_assert(id < nodes_.size(), "no node %u", id);
+    node_down_[id] = true;
+}
+
+void
+TectonicCluster::recoverNode(NodeId id)
+{
+    dsi_assert(id < nodes_.size(), "no node %u", id);
+    node_down_[id] = false;
+}
+
+uint32_t
+TectonicCluster::liveNodes() const
+{
+    uint32_t n = 0;
+    for (bool down : node_down_)
+        n += !down;
+    return n;
+}
+
+void
+TectonicCluster::create(const std::string &name)
+{
+    auto it = files_.find(name);
+    if (it != files_.end()) {
+        logical_bytes_ -= it->second.data.size();
+        files_.erase(it);
+    }
+    files_.emplace(name, FileState{});
+}
+
+void
+TectonicCluster::placeBlocks(FileState &file)
+{
+    uint64_t blocks_needed =
+        (file.data.size() + options_.block_size - 1) /
+        options_.block_size;
+    uint32_t n = static_cast<uint32_t>(nodes_.size());
+    uint32_t replicas = std::min(options_.replication, n);
+    while (file.blocks.size() < blocks_needed) {
+        BlockLocation loc;
+        uint32_t first = static_cast<uint32_t>(rng_.nextUint(n));
+        for (uint32_t r = 0; r < replicas; ++r)
+            loc.replicas.push_back((first + r) % n);
+        file.blocks.push_back(std::move(loc));
+    }
+}
+
+void
+TectonicCluster::append(const std::string &name, dwrf::ByteSpan data)
+{
+    auto it = files_.find(name);
+    dsi_assert(it != files_.end(), "append to missing file '%s'",
+               name.c_str());
+    it->second.data.insert(it->second.data.end(), data.begin(),
+                           data.end());
+    logical_bytes_ += data.size();
+    placeBlocks(it->second);
+}
+
+void
+TectonicCluster::remove(const std::string &name)
+{
+    auto it = files_.find(name);
+    dsi_assert(it != files_.end(), "remove of missing file '%s'",
+               name.c_str());
+    logical_bytes_ -= it->second.data.size();
+    files_.erase(it);
+    // Evict any cached blocks of the file.
+    std::string prefix = name + "#";
+    for (auto c = cache_index_.begin(); c != cache_index_.end();) {
+        if (c->first.compare(0, prefix.size(), prefix) == 0)
+            c = cache_index_.erase(c);
+        else
+            ++c;
+    }
+}
+
+Bytes
+TectonicCluster::fileSize(const std::string &name) const
+{
+    auto it = files_.find(name);
+    dsi_assert(it != files_.end(), "missing file '%s'", name.c_str());
+    return it->second.data.size();
+}
+
+std::vector<std::string>
+TectonicCluster::listFiles() const
+{
+    std::vector<std::string> out;
+    out.reserve(files_.size());
+    for (const auto &[name, _] : files_)
+        out.push_back(name);
+    return out;
+}
+
+std::unique_ptr<TectonicSource>
+TectonicCluster::open(const std::string &name) const
+{
+    dsi_assert(files_.count(name), "missing file '%s'", name.c_str());
+    return std::make_unique<TectonicSource>(*this, name);
+}
+
+Bytes
+TectonicCluster::rawCapacity() const
+{
+    Bytes c = 0;
+    for (const auto &n : nodes_)
+        c += n.capacity();
+    return c;
+}
+
+double
+TectonicCluster::totalPowerWatts() const
+{
+    double w = 0.0;
+    for (const auto &n : nodes_)
+        w += n.powerWatts();
+    if (cache_node_)
+        w += cache_node_->powerWatts();
+    return w;
+}
+
+void
+TectonicCluster::resetAccounting()
+{
+    for (auto &n : nodes_)
+        n.resetAccounting();
+    if (cache_node_)
+        cache_node_->resetAccounting();
+    cache_hits_ = 0;
+    cache_misses_ = 0;
+}
+
+void
+TectonicCluster::routeBlockRead(const std::string &name,
+                                const FileState &file,
+                                uint64_t block_index, Bytes bytes) const
+{
+    if (cache_node_) {
+        std::string key = name + "#" + std::to_string(block_index);
+        auto it = cache_index_.find(key);
+        if (it != cache_index_.end()) {
+            it->second = ++cache_tick_;
+            ++cache_hits_;
+            cache_node_->recordIo(bytes);
+            return;
+        }
+        ++cache_misses_;
+        // Admit with LRU eviction.
+        if (cache_index_.size() >= options_.cache_blocks) {
+            auto victim = cache_index_.begin();
+            for (auto v = cache_index_.begin(); v != cache_index_.end();
+                 ++v) {
+                if (v->second < victim->second)
+                    victim = v;
+            }
+            cache_index_.erase(victim);
+        }
+        cache_index_.emplace(key, ++cache_tick_);
+    }
+    const auto &loc = file.blocks.at(block_index);
+    // Rotate across replicas, skipping dead nodes.
+    for (size_t attempt = 0; attempt < loc.replicas.size(); ++attempt) {
+        NodeId replica =
+            loc.replicas[next_replica_++ % loc.replicas.size()];
+        if (node_down_[replica])
+            continue;
+        const_cast<StorageNode &>(nodes_.at(replica))
+            .recordIo(bytes);
+        return;
+    }
+    dsi_fatal("block %llu of '%s' lost: all replicas down",
+              static_cast<unsigned long long>(block_index),
+              name.c_str());
+}
+
+TectonicSource::TectonicSource(const TectonicCluster &cluster,
+                               std::string name)
+    : cluster_(cluster), name_(std::move(name))
+{
+}
+
+Bytes
+TectonicSource::size() const
+{
+    return cluster_.fileSize(name_);
+}
+
+void
+TectonicSource::read(Bytes offset, Bytes len, dwrf::Buffer &out) const
+{
+    auto it = cluster_.files_.find(name_);
+    dsi_assert(it != cluster_.files_.end(), "file vanished: '%s'",
+               name_.c_str());
+    const auto &file = it->second;
+    dsi_assert(offset + len <= file.data.size(),
+               "read past EOF in '%s'", name_.c_str());
+
+    out.assign(file.data.begin() + static_cast<ptrdiff_t>(offset),
+               file.data.begin() + static_cast<ptrdiff_t>(offset + len));
+    trace_.record(offset, len);
+
+    // Fan the logical IO out to the blocks it touches.
+    Bytes bs = cluster_.options_.block_size;
+    Bytes pos = offset;
+    Bytes remaining = len;
+    while (remaining > 0) {
+        uint64_t block = pos / bs;
+        Bytes within = pos % bs;
+        Bytes chunk = std::min(remaining, bs - within);
+        cluster_.routeBlockRead(name_, file, block, chunk);
+        pos += chunk;
+        remaining -= chunk;
+    }
+}
+
+} // namespace dsi::storage

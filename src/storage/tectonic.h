@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tectonic-like distributed append-only filesystem simulator.
+ *
+ * Files are split into fixed-size blocks placed (with replication)
+ * across storage nodes. Each node models an HDD or SSD device
+ * (sim/device.h) and accounts every IO's service time, so experiments
+ * can report node IOPS, utilization, the HDD throughput-to-storage gap
+ * (Section VII), and storage power (Figure 1).
+ *
+ * File bytes are held once in cluster memory; block placement is
+ * metadata used for routing and accounting. An optional SSD cache tier
+ * absorbs reads of popular blocks (the Section VII heterogeneous-
+ * storage opportunity).
+ */
+
+#ifndef DSI_STORAGE_TECTONIC_H
+#define DSI_STORAGE_TECTONIC_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "dwrf/source.h"
+#include "sim/device.h"
+
+namespace dsi::storage {
+
+/** Storage media tier of a node. */
+enum class Tier
+{
+    Hdd,
+    Ssd,
+};
+
+/** One storage node: a device model plus cumulative IO accounting. */
+class StorageNode
+{
+  public:
+    StorageNode(NodeId id, Tier tier);
+
+    NodeId id() const { return id_; }
+    Tier tier() const { return tier_; }
+
+    /** Account one IO of `bytes` against this node's device. */
+    void recordIo(Bytes bytes);
+
+    uint64_t ioCount() const { return io_count_; }
+    Bytes bytesServed() const { return bytes_served_; }
+
+    /** Total device-busy seconds implied by the recorded IOs. */
+    double busySeconds() const { return busy_seconds_; }
+
+    /** Node capacity and power from the device model. */
+    Bytes capacity() const;
+    double powerWatts() const;
+
+    /** Peak random-IOPS of this node at a given IO size. */
+    double peakIops(Bytes io_size) const;
+
+    void resetAccounting();
+
+  private:
+    NodeId id_;
+    Tier tier_;
+    sim::HddNodeModel hdd_;
+    sim::SsdNodeModel ssd_;
+    uint64_t io_count_ = 0;
+    Bytes bytes_served_ = 0;
+    double busy_seconds_ = 0.0;
+};
+
+/** Cluster-wide configuration. */
+struct StorageOptions
+{
+    Bytes block_size = 8_MiB;
+    uint32_t replication = 3;
+    uint32_t hdd_nodes = 8;
+    uint32_t ssd_nodes = 0;
+
+    /** Blocks the SSD cache can hold; 0 disables the cache. */
+    uint64_t cache_blocks = 0;
+    uint64_t seed = 1;
+};
+
+class TectonicCluster;
+
+/**
+ * Read adapter exposing one stored file as a dwrf::RandomAccessSource.
+ * Reads are routed to block replicas (and the cache) with full
+ * accounting; a logical IO spanning blocks fans out to each node.
+ */
+class TectonicSource : public dwrf::RandomAccessSource
+{
+  public:
+    TectonicSource(const TectonicCluster &cluster, std::string name);
+
+    Bytes size() const override;
+    void read(Bytes offset, Bytes len, dwrf::Buffer &out) const override;
+    const dwrf::IoTrace &trace() const override { return trace_; }
+    void clearTrace() override { trace_.clear(); }
+
+  private:
+    const TectonicCluster &cluster_;
+    std::string name_;
+    mutable dwrf::IoTrace trace_;
+};
+
+/** The distributed filesystem: files, placement, nodes, cache. */
+class TectonicCluster
+{
+  public:
+    explicit TectonicCluster(StorageOptions options);
+
+    /** Create (or truncate) an append-only file. */
+    void create(const std::string &name);
+
+    /** Append bytes; blocks are placed as they fill. */
+    void append(const std::string &name, dwrf::ByteSpan data);
+
+    /** Store a whole file in one call. */
+    void put(const std::string &name, dwrf::ByteSpan data)
+    {
+        create(name);
+        append(name, data);
+    }
+
+    bool exists(const std::string &name) const
+    {
+        return files_.count(name) != 0;
+    }
+
+    /**
+     * Delete a file (retention / reaping). Frees logical bytes and
+     * invalidates any open TectonicSource for it.
+     */
+    void remove(const std::string &name);
+    Bytes fileSize(const std::string &name) const;
+    std::vector<std::string> listFiles() const;
+
+    /** Open a file for reading. */
+    std::unique_ptr<TectonicSource> open(const std::string &name) const;
+
+    // --- accounting ---
+    /** Logical bytes stored (pre-replication). */
+    Bytes logicalBytes() const { return logical_bytes_; }
+    /** Physical bytes including replication. */
+    Bytes physicalBytes() const
+    {
+        return logical_bytes_ * options_.replication;
+    }
+    /** Raw capacity across all (non-cache) nodes. */
+    Bytes rawCapacity() const;
+
+    const std::vector<StorageNode> &nodes() const { return nodes_; }
+    std::vector<StorageNode> &nodes() { return nodes_; }
+
+    uint64_t cacheHits() const { return cache_hits_; }
+    uint64_t cacheMisses() const { return cache_misses_; }
+    double cacheHitRate() const
+    {
+        uint64_t total = cache_hits_ + cache_misses_;
+        return total ? static_cast<double>(cache_hits_) / total : 0.0;
+    }
+
+    /**
+     * Mark a storage node dead (maintenance / failure). Reads route
+     * to surviving replicas; dies only if every replica of a needed
+     * block is down (triplicate replication makes that rare).
+     */
+    void failNode(NodeId id);
+    void recoverNode(NodeId id);
+    uint32_t liveNodes() const;
+
+    /** Aggregate node power (plus the cache device if enabled). */
+    double totalPowerWatts() const;
+
+    void resetAccounting();
+
+    const StorageOptions &options() const { return options_; }
+
+  private:
+    friend class TectonicSource;
+
+    struct BlockLocation
+    {
+        std::vector<NodeId> replicas;
+    };
+    struct FileState
+    {
+        dwrf::Buffer data;
+        std::vector<BlockLocation> blocks;
+    };
+
+    /** Route one intra-block read, handling cache and replica choice. */
+    void routeBlockRead(const std::string &name, const FileState &file,
+                        uint64_t block_index, Bytes bytes) const;
+
+    void placeBlocks(FileState &file);
+
+    StorageOptions options_;
+    mutable Rng rng_;
+    std::map<std::string, FileState> files_;
+    std::vector<StorageNode> nodes_;
+    std::vector<bool> node_down_;
+    Bytes logical_bytes_ = 0;
+
+    // SSD cache over (file, block) keys with LRU eviction.
+    mutable std::map<std::string, uint64_t> cache_index_; // key -> tick
+    mutable uint64_t cache_tick_ = 0;
+    mutable uint64_t cache_hits_ = 0;
+    mutable uint64_t cache_misses_ = 0;
+    mutable std::unique_ptr<StorageNode> cache_node_;
+    mutable uint32_t next_replica_ = 0;
+};
+
+} // namespace dsi::storage
+
+#endif // DSI_STORAGE_TECTONIC_H

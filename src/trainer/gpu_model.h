@@ -1,0 +1,69 @@
+/**
+ * @file
+ * GPU compute model connecting model operational intensity to
+ * ingestion demand (Table VIII).
+ *
+ * The paper attributes the >6x spread in per-node throughput to
+ * "variations in operational intensity (compute per sample) across
+ * models" plus synchronization overheads. This model makes the
+ * relation explicit: a trainer node's sample rate is its effective
+ * FLOP rate divided by the model's FLOPs/sample, and ingestion
+ * bandwidth is that rate times the tensor bytes/sample.
+ */
+
+#ifndef DSI_TRAINER_GPU_MODEL_H
+#define DSI_TRAINER_GPU_MODEL_H
+
+#include "warehouse/model_zoo.h"
+
+namespace dsi::trainer {
+
+/** The 8xV100 trainer node's accelerator complex. */
+struct GpuNodeSpec
+{
+    uint32_t gpus = 8;
+    double peak_flops_per_gpu = 15.7e12; ///< V100 fp32 peak
+    /** Achieved fraction of peak (sync, memory, launch overheads). */
+    double efficiency = 0.35;
+
+    double effectiveFlops() const
+    {
+        return gpus * peak_flops_per_gpu * efficiency;
+    }
+};
+
+/**
+ * FLOPs/sample implied by a model's published per-node throughput —
+ * its operational intensity on this node.
+ */
+inline double
+modelFlopsPerSample(const warehouse::RmSpec &rm,
+                    const GpuNodeSpec &node = {})
+{
+    return node.effectiveFlops() / rm.trainerSamplesPerSec();
+}
+
+/** Samples/s a node sustains for a model of given FLOPs/sample. */
+inline double
+samplesPerSec(double flops_per_sample, const GpuNodeSpec &node = {})
+{
+    return node.effectiveFlops() / flops_per_sample;
+}
+
+/**
+ * Ingestion bandwidth (B/s) demanded by a model with the given
+ * intensity and tensor size on this node — how faster accelerators
+ * (or more efficient kernels) translate directly into DSI demand
+ * (the paper's projected 3.5x growth).
+ */
+inline double
+ingestDemandBps(double flops_per_sample, Bytes tensor_bytes,
+                const GpuNodeSpec &node = {})
+{
+    return samplesPerSec(flops_per_sample, node) *
+           static_cast<double>(tensor_bytes);
+}
+
+} // namespace dsi::trainer
+
+#endif // DSI_TRAINER_GPU_MODEL_H

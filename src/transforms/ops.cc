@@ -1,0 +1,728 @@
+#include "ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace dsi::transforms {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Cartesian:
+        return "Cartesian";
+      case OpKind::Bucketize:
+        return "Bucketize";
+      case OpKind::ComputeScore:
+        return "ComputeScore";
+      case OpKind::Enumerate:
+        return "Enumerate";
+      case OpKind::PositiveModulus:
+        return "PositiveModulus";
+      case OpKind::IdListTransform:
+        return "IdListTransform";
+      case OpKind::BoxCox:
+        return "BoxCox";
+      case OpKind::Logit:
+        return "Logit";
+      case OpKind::MapId:
+        return "MapId";
+      case OpKind::FirstX:
+        return "FirstX";
+      case OpKind::GetLocalHour:
+        return "GetLocalHour";
+      case OpKind::SigridHash:
+        return "SigridHash";
+      case OpKind::NGram:
+        return "NGram";
+      case OpKind::Onehot:
+        return "Onehot";
+      case OpKind::Clamp:
+        return "Clamp";
+      case OpKind::Sampling:
+        return "Sampling";
+    }
+    return "?";
+}
+
+OpClass
+opClassOf(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Cartesian:
+      case OpKind::Bucketize:
+      case OpKind::ComputeScore:
+      case OpKind::Enumerate:
+      case OpKind::IdListTransform:
+      case OpKind::MapId:
+      case OpKind::GetLocalHour:
+      case OpKind::NGram:
+        return OpClass::FeatureGeneration;
+      case OpKind::PositiveModulus:
+      case OpKind::FirstX:
+      case OpKind::SigridHash:
+        return OpClass::SparseNormalization;
+      case OpKind::BoxCox:
+      case OpKind::Logit:
+      case OpKind::Onehot:
+      case OpKind::Clamp:
+        return OpClass::DenseNormalization;
+      case OpKind::Sampling:
+        return OpClass::Sampling;
+    }
+    return OpClass::Sampling;
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::FeatureGeneration:
+        return "feature-generation";
+      case OpClass::SparseNormalization:
+        return "sparse-normalization";
+      case OpClass::DenseNormalization:
+        return "dense-normalization";
+      case OpClass::Sampling:
+        return "sampling";
+    }
+    return "?";
+}
+
+void
+TransformSpec::serialize(dwrf::Buffer &out) const
+{
+    out.push_back(static_cast<uint8_t>(kind));
+    dwrf::putVarint(out, output);
+    dwrf::putVarint(out, inputs.size());
+    for (FeatureId f : inputs)
+        dwrf::putVarint(out, f);
+    dwrf::putFloat(out, static_cast<float>(p0));
+    dwrf::putFloat(out, static_cast<float>(p1));
+    dwrf::putVarint(out, u0);
+    dwrf::putVarint(out, u1);
+}
+
+bool
+TransformSpec::deserialize(dwrf::ByteSpan data, size_t &pos,
+                           TransformSpec &spec)
+{
+    if (pos >= data.size())
+        return false;
+    spec.kind = static_cast<OpKind>(data[pos++]);
+    uint64_t out_id, n;
+    if (!dwrf::getVarint(data, pos, out_id) ||
+        !dwrf::getVarint(data, pos, n)) {
+        return false;
+    }
+    spec.output = static_cast<FeatureId>(out_id);
+    spec.inputs.resize(n);
+    for (auto &f : spec.inputs) {
+        uint64_t id;
+        if (!dwrf::getVarint(data, pos, id))
+            return false;
+        f = static_cast<FeatureId>(id);
+    }
+    float a, b;
+    if (!dwrf::getFloat(data, pos, a) || !dwrf::getFloat(data, pos, b))
+        return false;
+    spec.p0 = a;
+    spec.p1 = b;
+    if (!dwrf::getVarint(data, pos, spec.u0) ||
+        !dwrf::getVarint(data, pos, spec.u1)) {
+        return false;
+    }
+    return true;
+}
+
+void
+TransformStats::merge(const TransformStats &other)
+{
+    values_produced += other.values_produced;
+    values_consumed += other.values_consumed;
+    rows_in += other.rows_in;
+    rows_out += other.rows_out;
+    for (int i = 0; i < 4; ++i)
+        class_values[i] += other.class_values[i];
+}
+
+double
+TransformStats::classShare(OpClass cls) const
+{
+    uint64_t total = 0;
+    for (int i = 0; i < 4; ++i)
+        total += class_values[i];
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(class_values[static_cast<int>(cls)]) /
+           static_cast<double>(total);
+}
+
+uint64_t
+sigridHash64(uint64_t value, uint64_t salt)
+{
+    uint64_t z = value + salt * 0x9e3779b97f4a7c15ULL +
+                 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+/** Shared base: holds the spec and stats plumbing. */
+class TransformBase : public Transform
+{
+  public:
+    explicit TransformBase(TransformSpec spec) : spec_(std::move(spec))
+    {
+    }
+    const TransformSpec &spec() const override { return spec_; }
+
+  protected:
+    void
+    account(TransformStats &stats, uint64_t consumed,
+            uint64_t produced) const
+    {
+        stats.values_consumed += consumed;
+        stats.values_produced += produced;
+        stats.class_values[static_cast<int>(opClass())] += consumed;
+    }
+
+    TransformSpec spec_;
+};
+
+/** Base for ops mapping one dense input to one dense output. */
+class DenseUnaryOp : public TransformBase
+{
+  public:
+    using TransformBase::TransformBase;
+
+    virtual float map(float x) const = 0;
+
+    void
+    apply(dwrf::RowBatch &batch, TransformStats &stats) const override
+    {
+        const dwrf::DenseColumn *in = batch.findDense(spec_.inputs[0]);
+        if (!in)
+            return;
+        dwrf::DenseColumn out;
+        out.id = spec_.output;
+        out.present = in->present;
+        out.values.assign(batch.rows, 0.0f);
+        uint64_t n = 0;
+        for (uint32_t r = 0; r < batch.rows; ++r) {
+            if (in->isPresent(r)) {
+                out.values[r] = map(in->values[r]);
+                ++n;
+            }
+        }
+        account(stats, n, n);
+        batch.dense.push_back(std::move(out));
+    }
+};
+
+class BucketizeOp : public DenseUnaryOp
+{
+  public:
+    using DenseUnaryOp::DenseUnaryOp;
+
+    float
+    map(float x) const override
+    {
+        // Borders start at p0 with width p1, u0 buckets total.
+        double width = spec_.p1 > 0 ? spec_.p1 : 1.0;
+        double idx = std::floor((x - spec_.p0) / width);
+        double hi = static_cast<double>(
+            spec_.u0 > 0 ? spec_.u0 - 1 : 0);
+        return static_cast<float>(std::clamp(idx, 0.0, hi));
+    }
+};
+
+class BoxCoxOp : public DenseUnaryOp
+{
+  public:
+    using DenseUnaryOp::DenseUnaryOp;
+
+    float
+    map(float x) const override
+    {
+        // lambda = p0, shift = p1 keeps the argument positive.
+        double v = std::max(1e-9, static_cast<double>(x) + spec_.p1);
+        if (std::abs(spec_.p0) < 1e-9)
+            return static_cast<float>(std::log(v));
+        return static_cast<float>(
+            (std::pow(v, spec_.p0) - 1.0) / spec_.p0);
+    }
+};
+
+class LogitOp : public DenseUnaryOp
+{
+  public:
+    using DenseUnaryOp::DenseUnaryOp;
+
+    float
+    map(float x) const override
+    {
+        double eps = spec_.p0 > 0 ? spec_.p0 : 1e-6;
+        double p = std::clamp(static_cast<double>(x), eps, 1.0 - eps);
+        return static_cast<float>(std::log(p / (1.0 - p)));
+    }
+};
+
+class ClampOp : public DenseUnaryOp
+{
+  public:
+    using DenseUnaryOp::DenseUnaryOp;
+
+    float
+    map(float x) const override
+    {
+        return std::clamp(x, static_cast<float>(spec_.p0),
+                          static_cast<float>(spec_.p1));
+    }
+};
+
+class GetLocalHourOp : public DenseUnaryOp
+{
+  public:
+    using DenseUnaryOp::DenseUnaryOp;
+
+    float
+    map(float x) const override
+    {
+        // x is a unix timestamp; u0 is the timezone offset in hours.
+        double shifted =
+            static_cast<double>(x) + static_cast<double>(spec_.u0) *
+                                         3600.0;
+        double seconds = std::fmod(shifted, 86400.0);
+        if (seconds < 0)
+            seconds += 86400.0;
+        return static_cast<float>(std::floor(seconds / 3600.0));
+    }
+};
+
+/** Onehot: dense value -> single categorical id (bucket index). */
+class OnehotOp : public TransformBase
+{
+  public:
+    using TransformBase::TransformBase;
+
+    void
+    apply(dwrf::RowBatch &batch, TransformStats &stats) const override
+    {
+        const dwrf::DenseColumn *in = batch.findDense(spec_.inputs[0]);
+        if (!in)
+            return;
+        dwrf::SparseColumn out;
+        out.id = spec_.output;
+        out.offsets.assign(batch.rows + 1, 0);
+        uint64_t buckets = spec_.u0 > 0 ? spec_.u0 : 2;
+        double width = spec_.p1 > 0 ? spec_.p1 : 1.0;
+        uint64_t n = 0;
+        for (uint32_t r = 0; r < batch.rows; ++r) {
+            out.offsets[r + 1] = out.offsets[r];
+            if (!in->isPresent(r))
+                continue;
+            double idx =
+                std::floor((in->values[r] - spec_.p0) / width);
+            int64_t bucket = static_cast<int64_t>(std::clamp(
+                idx, 0.0, static_cast<double>(buckets - 1)));
+            out.values.push_back(bucket);
+            ++out.offsets[r + 1];
+            ++n;
+        }
+        account(stats, n, n);
+        batch.sparse.push_back(std::move(out));
+    }
+};
+
+/** Base for ops mapping one sparse input to one sparse output. */
+class SparseUnaryOp : public TransformBase
+{
+  public:
+    using TransformBase::TransformBase;
+
+    /** Transform one row's list into the output list. */
+    virtual void mapList(const int64_t *values, const float *scores,
+                         uint32_t len, dwrf::SparseColumn &out) const
+        = 0;
+
+    void
+    apply(dwrf::RowBatch &batch, TransformStats &stats) const override
+    {
+        const dwrf::SparseColumn *in =
+            batch.findSparse(spec_.inputs[0]);
+        if (!in)
+            return;
+        dwrf::SparseColumn out;
+        out.id = spec_.output;
+        out.offsets.assign(batch.rows + 1, 0);
+        uint64_t consumed = 0;
+        for (uint32_t r = 0; r < batch.rows; ++r) {
+            uint32_t lo = in->offsets[r];
+            uint32_t len = in->offsets[r + 1] - lo;
+            consumed += len;
+            mapList(in->values.data() + lo,
+                    in->scores.empty() ? nullptr
+                                       : in->scores.data() + lo,
+                    len, out);
+            out.offsets[r + 1] =
+                static_cast<uint32_t>(out.values.size());
+        }
+        account(stats, consumed, out.values.size());
+        batch.sparse.push_back(std::move(out));
+    }
+};
+
+class SigridHashOp : public SparseUnaryOp
+{
+  public:
+    using SparseUnaryOp::SparseUnaryOp;
+
+    void
+    mapList(const int64_t *values, const float *, uint32_t len,
+            dwrf::SparseColumn &out) const override
+    {
+        uint64_t max_value = spec_.u1 > 0 ? spec_.u1 : (1ULL << 31);
+        for (uint32_t i = 0; i < len; ++i) {
+            uint64_t h = sigridHash64(
+                static_cast<uint64_t>(values[i]), spec_.u0);
+            out.values.push_back(static_cast<int64_t>(h % max_value));
+        }
+    }
+};
+
+class PositiveModulusOp : public SparseUnaryOp
+{
+  public:
+    using SparseUnaryOp::SparseUnaryOp;
+
+    void
+    mapList(const int64_t *values, const float *, uint32_t len,
+            dwrf::SparseColumn &out) const override
+    {
+        int64_t m = spec_.u0 > 0 ? static_cast<int64_t>(spec_.u0)
+                                 : 1000000;
+        for (uint32_t i = 0; i < len; ++i) {
+            int64_t v = values[i] % m;
+            out.values.push_back(v < 0 ? v + m : v);
+        }
+    }
+};
+
+class FirstXOp : public SparseUnaryOp
+{
+  public:
+    using SparseUnaryOp::SparseUnaryOp;
+
+    void
+    mapList(const int64_t *values, const float *scores, uint32_t len,
+            dwrf::SparseColumn &out) const override
+    {
+        uint32_t keep = std::min<uint32_t>(
+            len, spec_.u0 > 0 ? static_cast<uint32_t>(spec_.u0) : 1);
+        for (uint32_t i = 0; i < keep; ++i) {
+            out.values.push_back(values[i]);
+            if (scores)
+                out.scores.push_back(scores[i]);
+        }
+    }
+};
+
+class MapIdOp : public SparseUnaryOp
+{
+  public:
+    using SparseUnaryOp::SparseUnaryOp;
+
+    void
+    mapList(const int64_t *values, const float *, uint32_t len,
+            dwrf::SparseColumn &out) const override
+    {
+        // Fixed mapping: ids below u0 keep a remapped identity; all
+        // others collapse to the default id u1.
+        int64_t dict = static_cast<int64_t>(spec_.u0);
+        for (uint32_t i = 0; i < len; ++i) {
+            out.values.push_back(values[i] < dict
+                                     ? values[i] + 1
+                                     : static_cast<int64_t>(spec_.u1));
+        }
+    }
+};
+
+class NGramOp : public SparseUnaryOp
+{
+  public:
+    using SparseUnaryOp::SparseUnaryOp;
+
+    void
+    mapList(const int64_t *values, const float *, uint32_t len,
+            dwrf::SparseColumn &out) const override
+    {
+        uint32_t n = spec_.u0 >= 2 ? static_cast<uint32_t>(spec_.u0)
+                                   : 2;
+        if (len < n)
+            return;
+        for (uint32_t i = 0; i + n <= len; ++i) {
+            uint64_t h = spec_.u1; // salt
+            for (uint32_t k = 0; k < n; ++k)
+                h = sigridHash64(static_cast<uint64_t>(values[i + k]),
+                                 h);
+            out.values.push_back(
+                static_cast<int64_t>(h >> 1)); // keep positive
+        }
+    }
+};
+
+class EnumerateOp : public SparseUnaryOp
+{
+  public:
+    using SparseUnaryOp::SparseUnaryOp;
+
+    void
+    mapList(const int64_t *values, const float *, uint32_t len,
+            dwrf::SparseColumn &out) const override
+    {
+        for (uint32_t i = 0; i < len; ++i) {
+            out.values.push_back(values[i]);
+            out.scores.push_back(static_cast<float>(i));
+        }
+    }
+};
+
+class ComputeScoreOp : public SparseUnaryOp
+{
+  public:
+    using SparseUnaryOp::SparseUnaryOp;
+
+    void
+    mapList(const int64_t *values, const float *scores, uint32_t len,
+            dwrf::SparseColumn &out) const override
+    {
+        // score' = score * p0 + p1 (score defaults to 1 if absent)
+        for (uint32_t i = 0; i < len; ++i) {
+            out.values.push_back(values[i]);
+            double s = scores ? scores[i] : 1.0;
+            out.scores.push_back(
+                static_cast<float>(s * spec_.p0 + spec_.p1));
+        }
+    }
+};
+
+/** Base for ops combining two sparse inputs. */
+class SparseBinaryOp : public TransformBase
+{
+  public:
+    using TransformBase::TransformBase;
+
+    virtual void mapLists(const int64_t *a, uint32_t alen,
+                          const int64_t *b, uint32_t blen,
+                          dwrf::SparseColumn &out) const = 0;
+
+    void
+    apply(dwrf::RowBatch &batch, TransformStats &stats) const override
+    {
+        const dwrf::SparseColumn *a = batch.findSparse(spec_.inputs[0]);
+        const dwrf::SparseColumn *b = batch.findSparse(spec_.inputs[1]);
+        if (!a || !b)
+            return;
+        dwrf::SparseColumn out;
+        out.id = spec_.output;
+        out.offsets.assign(batch.rows + 1, 0);
+        uint64_t consumed = 0;
+        for (uint32_t r = 0; r < batch.rows; ++r) {
+            uint32_t alo = a->offsets[r];
+            uint32_t alen = a->offsets[r + 1] - alo;
+            uint32_t blo = b->offsets[r];
+            uint32_t blen = b->offsets[r + 1] - blo;
+            consumed += alen + blen;
+            mapLists(a->values.data() + alo, alen,
+                     b->values.data() + blo, blen, out);
+            out.offsets[r + 1] =
+                static_cast<uint32_t>(out.values.size());
+        }
+        account(stats, consumed, out.values.size());
+        batch.sparse.push_back(std::move(out));
+    }
+};
+
+class CartesianOp : public SparseBinaryOp
+{
+  public:
+    using SparseBinaryOp::SparseBinaryOp;
+
+    void
+    mapLists(const int64_t *a, uint32_t alen, const int64_t *b,
+             uint32_t blen, dwrf::SparseColumn &out) const override
+    {
+        uint64_t cap = spec_.u0 > 0 ? spec_.u0 : 128;
+        uint64_t emitted = 0;
+        for (uint32_t i = 0; i < alen && emitted < cap; ++i) {
+            for (uint32_t j = 0; j < blen && emitted < cap; ++j) {
+                uint64_t h = sigridHash64(
+                    static_cast<uint64_t>(a[i]),
+                    static_cast<uint64_t>(b[j]) ^ spec_.u1);
+                out.values.push_back(static_cast<int64_t>(h >> 1));
+                ++emitted;
+            }
+        }
+    }
+};
+
+class IdListTransformOp : public SparseBinaryOp
+{
+  public:
+    using SparseBinaryOp::SparseBinaryOp;
+
+    void
+    mapLists(const int64_t *a, uint32_t alen, const int64_t *b,
+             uint32_t blen, dwrf::SparseColumn &out) const override
+    {
+        // Intersection of the two id lists, preserving a's order.
+        std::unordered_set<int64_t> bset(b, b + blen);
+        std::unordered_set<int64_t> emitted;
+        for (uint32_t i = 0; i < alen; ++i) {
+            if (bset.count(a[i]) && emitted.insert(a[i]).second)
+                out.values.push_back(a[i]);
+        }
+    }
+};
+
+/** Batch-level random row sampling (keep rate p0, salt u0). */
+class SamplingOp : public TransformBase
+{
+  public:
+    using TransformBase::TransformBase;
+
+    void
+    apply(dwrf::RowBatch &batch, TransformStats &stats) const override
+    {
+        stats.rows_in += batch.rows;
+        std::vector<uint32_t> keep;
+        keep.reserve(batch.rows);
+        for (uint32_t r = 0; r < batch.rows; ++r) {
+            uint64_t h = sigridHash64(sample_counter_ + r, spec_.u0);
+            double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+            if (u < spec_.p0)
+                keep.push_back(r);
+        }
+        sample_counter_ += batch.rows;
+
+        dwrf::RowBatch out;
+        out.rows = static_cast<uint32_t>(keep.size());
+        out.labels.reserve(keep.size());
+        for (uint32_t r : keep)
+            out.labels.push_back(batch.labels.empty() ? 0.0f
+                                                      : batch.labels[r]);
+        for (const auto &col : batch.dense) {
+            dwrf::DenseColumn c;
+            c.id = col.id;
+            c.present.assign((out.rows + 7) / 8, 0);
+            c.values.assign(out.rows, 0.0f);
+            for (uint32_t i = 0; i < out.rows; ++i) {
+                if (col.isPresent(keep[i])) {
+                    c.setPresent(i);
+                    c.values[i] = col.values[keep[i]];
+                }
+            }
+            out.dense.push_back(std::move(c));
+        }
+        for (const auto &col : batch.sparse) {
+            dwrf::SparseColumn c;
+            c.id = col.id;
+            c.offsets.assign(out.rows + 1, 0);
+            for (uint32_t i = 0; i < out.rows; ++i) {
+                uint32_t lo = col.offsets[keep[i]];
+                uint32_t hi = col.offsets[keep[i] + 1];
+                c.values.insert(c.values.end(),
+                                col.values.begin() + lo,
+                                col.values.begin() + hi);
+                if (!col.scores.empty()) {
+                    c.scores.insert(c.scores.end(),
+                                    col.scores.begin() + lo,
+                                    col.scores.begin() + hi);
+                }
+                c.offsets[i + 1] =
+                    static_cast<uint32_t>(c.values.size());
+            }
+            out.sparse.push_back(std::move(c));
+        }
+        account(stats, batch.rows, out.rows);
+        stats.rows_out += out.rows;
+        batch = std::move(out);
+    }
+
+  private:
+    mutable uint64_t sample_counter_ = 0;
+};
+
+void
+requireInputs(const TransformSpec &spec, size_t n)
+{
+    dsi_assert(spec.inputs.size() == n,
+               "%s expects %zu inputs, got %zu",
+               opKindName(spec.kind), n, spec.inputs.size());
+}
+
+} // namespace
+
+std::unique_ptr<Transform>
+compileTransform(const TransformSpec &spec)
+{
+    switch (spec.kind) {
+      case OpKind::Cartesian:
+        requireInputs(spec, 2);
+        return std::make_unique<CartesianOp>(spec);
+      case OpKind::Bucketize:
+        requireInputs(spec, 1);
+        return std::make_unique<BucketizeOp>(spec);
+      case OpKind::ComputeScore:
+        requireInputs(spec, 1);
+        return std::make_unique<ComputeScoreOp>(spec);
+      case OpKind::Enumerate:
+        requireInputs(spec, 1);
+        return std::make_unique<EnumerateOp>(spec);
+      case OpKind::PositiveModulus:
+        requireInputs(spec, 1);
+        return std::make_unique<PositiveModulusOp>(spec);
+      case OpKind::IdListTransform:
+        requireInputs(spec, 2);
+        return std::make_unique<IdListTransformOp>(spec);
+      case OpKind::BoxCox:
+        requireInputs(spec, 1);
+        return std::make_unique<BoxCoxOp>(spec);
+      case OpKind::Logit:
+        requireInputs(spec, 1);
+        return std::make_unique<LogitOp>(spec);
+      case OpKind::MapId:
+        requireInputs(spec, 1);
+        return std::make_unique<MapIdOp>(spec);
+      case OpKind::FirstX:
+        requireInputs(spec, 1);
+        return std::make_unique<FirstXOp>(spec);
+      case OpKind::GetLocalHour:
+        requireInputs(spec, 1);
+        return std::make_unique<GetLocalHourOp>(spec);
+      case OpKind::SigridHash:
+        requireInputs(spec, 1);
+        return std::make_unique<SigridHashOp>(spec);
+      case OpKind::NGram:
+        requireInputs(spec, 1);
+        return std::make_unique<NGramOp>(spec);
+      case OpKind::Onehot:
+        requireInputs(spec, 1);
+        return std::make_unique<OnehotOp>(spec);
+      case OpKind::Clamp:
+        requireInputs(spec, 1);
+        return std::make_unique<ClampOp>(spec);
+      case OpKind::Sampling:
+        requireInputs(spec, 0);
+        return std::make_unique<SamplingOp>(spec);
+    }
+    dsi_panic("unknown op kind %d", static_cast<int>(spec.kind));
+}
+
+} // namespace dsi::transforms

@@ -1,0 +1,209 @@
+#include "datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace dsi::warehouse {
+
+TableSchema
+makeSchema(const SchemaParams &params)
+{
+    dsi_assert(params.float_features + params.sparse_features > 0,
+               "schema needs features");
+    Rng rng(params.seed);
+    TableSchema schema;
+    schema.name = params.name;
+    schema.features.reserve(params.float_features +
+                            params.sparse_features);
+
+    FeatureId next_id = 1;
+    for (uint32_t i = 0; i < params.float_features; ++i) {
+        FeatureSpec f;
+        f.id = next_id++;
+        f.kind = FeatureKind::Dense;
+        // Dense features are near-universally logged.
+        f.coverage = std::clamp(0.85 + 0.15 * rng.nextDouble(), 0.0, 1.0);
+        schema.features.push_back(f);
+    }
+    for (uint32_t i = 0; i < params.sparse_features; ++i) {
+        FeatureSpec f;
+        f.id = next_id++;
+        f.kind = rng.nextBool(params.scored_fraction)
+            ? FeatureKind::ScoredSparse
+            : FeatureKind::Sparse;
+        // Per-feature coverage scattered around the table mean U.
+        f.coverage = std::clamp(
+            params.coverage_u * rng.nextLogNormal(1.0, 0.55), 0.01,
+            1.0);
+        f.avg_length =
+            std::max(1.0, rng.nextLogNormal(params.avg_length, 0.8));
+        f.cardinality = params.cardinality;
+        schema.features.push_back(f);
+    }
+    // Keep the realized sparse means close to the requested table
+    // statistics by rescaling (the lognormal draws wander).
+    double u = schema.sparseCoverage();
+    double len = schema.sparseAvgLength();
+    if (u > 0 && len > 0 && params.sparse_features > 0) {
+        for (auto &f : schema.features) {
+            if (!f.isSparse())
+                continue;
+            f.coverage = std::clamp(
+                f.coverage * params.coverage_u / u, 0.01, 1.0);
+            f.avg_length =
+                std::max(1.0, f.avg_length * params.avg_length / len);
+        }
+    }
+    return schema;
+}
+
+std::vector<double>
+featurePopularity(const TableSchema &schema, double alpha,
+                  uint64_t seed)
+{
+    Rng rng(seed);
+    const size_t n = schema.features.size();
+
+    // Popular (frequently projected) features tend to be the ones with
+    // larger coverage and length — "stronger signals" (Section V-A) —
+    // so the popularity rank is a noisy ordering by expected bytes.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::vector<double> score(n);
+    for (size_t i = 0; i < n; ++i) {
+        double bytes = schema.features[i].expectedBytesPerRow();
+        score[i] = 2.8 * std::log(bytes + 1e-9) + rng.nextGaussian() * 0.9;
+    }
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return score[a] > score[b]; });
+
+    std::vector<double> pop(n);
+    for (size_t rank = 0; rank < n; ++rank) {
+        pop[order[rank]] =
+            std::pow(static_cast<double>(rank + 1), -alpha);
+    }
+    return pop;
+}
+
+RowGenerator::RowGenerator(const TableSchema &schema, uint64_t seed)
+    : schema_(schema), rng_(seed)
+{
+    // One Zipf sampler per distinct cardinality; features index into
+    // the shared sampler table.
+    std::map<uint64_t, size_t> by_card;
+    sampler_index_.resize(schema_.features.size(), 0);
+    for (size_t i = 0; i < schema_.features.size(); ++i) {
+        const auto &f = schema_.features[i];
+        if (!f.isSparse())
+            continue;
+        auto it = by_card.find(f.cardinality);
+        if (it == by_card.end()) {
+            it = by_card.emplace(f.cardinality, value_samplers_.size())
+                     .first;
+            value_samplers_.emplace_back(f.cardinality, 1.08);
+        }
+        sampler_index_[i] = it->second;
+    }
+}
+
+dwrf::Row
+RowGenerator::next()
+{
+    dwrf::Row row;
+    row.label = rng_.nextBool(0.03) ? 1.0f : 0.0f;
+    for (size_t fi = 0; fi < schema_.features.size(); ++fi) {
+        const auto &f = schema_.features[fi];
+        if (!rng_.nextBool(f.coverage))
+            continue;
+        if (f.kind == FeatureKind::Dense) {
+            // Quantized log-normal-ish values: compressible but varied.
+            float v = static_cast<float>(
+                std::round(rng_.nextLogNormal(100.0, 1.0)) / 4.0);
+            row.dense.push_back({f.id, v});
+            continue;
+        }
+        dwrf::SparseFeature s;
+        s.id = f.id;
+        uint64_t len = std::max<uint64_t>(
+            1, static_cast<uint64_t>(
+                   std::llround(rng_.nextLogNormal(f.avg_length, 0.7))));
+        len = std::min<uint64_t>(len,
+                                 static_cast<uint64_t>(f.avg_length) *
+                                         20 +
+                                     50);
+        const auto &sampler = value_samplers_[sampler_index_[fi]];
+        s.values.reserve(len);
+        for (uint64_t k = 0; k < len; ++k)
+            s.values.push_back(
+                static_cast<int64_t>(sampler.sample(rng_)));
+        if (f.kind == FeatureKind::ScoredSparse) {
+            s.scores.reserve(len);
+            for (uint64_t k = 0; k < len; ++k)
+                s.scores.push_back(
+                    static_cast<float>(rng_.nextDouble()));
+        }
+        row.sparse.push_back(std::move(s));
+    }
+    return row;
+}
+
+std::vector<dwrf::Row>
+RowGenerator::batch(uint32_t n)
+{
+    std::vector<dwrf::Row> rows;
+    rows.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        rows.push_back(next());
+    return rows;
+}
+
+std::vector<FeatureId>
+chooseProjection(const TableSchema &schema,
+                 const std::vector<double> &pop, uint32_t dense_used,
+                 uint32_t sparse_used, uint64_t seed)
+{
+    dsi_assert(pop.size() == schema.features.size(),
+               "popularity vector mismatched with schema");
+    Rng rng(seed);
+
+    // Weighted sampling without replacement via exponential keys:
+    // the k smallest (-log u / w) keys are a weighted sample.
+    struct Keyed
+    {
+        double key;
+        size_t idx;
+    };
+    std::vector<Keyed> dense_keys, sparse_keys;
+    for (size_t i = 0; i < schema.features.size(); ++i) {
+        double u = rng.nextDouble();
+        if (u < 1e-300)
+            u = 1e-300;
+        double key = -std::log(u) / std::max(pop[i], 1e-12);
+        if (schema.features[i].isSparse())
+            sparse_keys.push_back({key, i});
+        else
+            dense_keys.push_back({key, i});
+    }
+    auto take = [&](std::vector<Keyed> &keys, uint32_t count,
+                    std::vector<FeatureId> &out) {
+        count = std::min<uint32_t>(count,
+                                   static_cast<uint32_t>(keys.size()));
+        std::partial_sort(keys.begin(), keys.begin() + count,
+                          keys.end(), [](const Keyed &a, const Keyed &b) {
+                              return a.key < b.key;
+                          });
+        for (uint32_t i = 0; i < count; ++i)
+            out.push_back(schema.features[keys[i].idx].id);
+    };
+    std::vector<FeatureId> projection;
+    take(dense_keys, dense_used, projection);
+    take(sparse_keys, sparse_used, projection);
+    std::sort(projection.begin(), projection.end());
+    return projection;
+}
+
+} // namespace dsi::warehouse

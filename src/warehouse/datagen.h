@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Synthetic dataset generation calibrated to the paper's published
+ * per-model statistics (Tables IV & V).
+ *
+ * We cannot use Meta's production logs, so rows are generated with the
+ * same *statistics* the characterization depends on: feature counts,
+ * per-feature coverage, sparse list lengths, and Zipfian popularity of
+ * both feature usage and categorical values. See DESIGN.md's
+ * substitution table.
+ */
+
+#ifndef DSI_WAREHOUSE_DATAGEN_H
+#define DSI_WAREHOUSE_DATAGEN_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dwrf/row.h"
+#include "warehouse/schema.h"
+
+namespace dsi::warehouse {
+
+/** Parameters of a schema synthesizer. */
+struct SchemaParams
+{
+    std::string name = "table";
+    uint32_t float_features = 100;  ///< Table V "# Float Feats."
+    uint32_t sparse_features = 20;  ///< Table V "# Sparse Feats."
+    double scored_fraction = 0.25;  ///< sparse features with scores
+    double coverage_u = 0.45;       ///< Table V "U": mean coverage
+    double avg_length = 25.0;       ///< Table V "Avg. Len."
+    uint64_t cardinality = 1u << 20;
+    /** Zipf skew of per-feature popularity weights (job reuse). */
+    double popularity_alpha = 1.05;
+    uint64_t seed = 7;
+};
+
+/**
+ * Build a schema whose aggregate statistics match `params`: coverage
+ * is drawn per feature around coverage_u, lengths around avg_length,
+ * and each feature receives a popularity weight used when jobs choose
+ * projections (Section V-B).
+ */
+TableSchema makeSchema(const SchemaParams &params);
+
+/**
+ * Popularity weight per feature (index-aligned with schema.features).
+ * Used to pick projections so that jobs collectively favor the same
+ * "hot" features, reproducing the Fig. 7 reuse CDF.
+ */
+std::vector<double> featurePopularity(const TableSchema &schema,
+                                      double alpha, uint64_t seed);
+
+/** Generates rows matching a schema's statistics. */
+class RowGenerator
+{
+  public:
+    RowGenerator(const TableSchema &schema, uint64_t seed);
+
+    /** Generate the next row. */
+    dwrf::Row next();
+
+    /** Generate a batch of rows. */
+    std::vector<dwrf::Row> batch(uint32_t n);
+
+  private:
+    const TableSchema &schema_;
+    Rng rng_;
+    std::vector<ZipfSampler> value_samplers_;
+    std::vector<size_t> sampler_index_; ///< per-feature sampler slot
+};
+
+/**
+ * Choose a feature projection of `dense_used` dense and `sparse_used`
+ * sparse features, sampling without replacement proportionally to
+ * popularity. Models how ML engineers favor strong-signal features.
+ */
+std::vector<FeatureId> chooseProjection(const TableSchema &schema,
+                                        const std::vector<double> &pop,
+                                        uint32_t dense_used,
+                                        uint32_t sparse_used,
+                                        uint64_t seed);
+
+} // namespace dsi::warehouse
+
+#endif // DSI_WAREHOUSE_DATAGEN_H

@@ -1,0 +1,184 @@
+#include "lifecycle.h"
+
+#include "warehouse/schema.h"
+
+#include "common/logging.h"
+
+namespace dsi::warehouse {
+
+const char *
+featureStateName(FeatureState s)
+{
+    switch (s) {
+      case FeatureState::Beta:
+        return "Beta";
+      case FeatureState::Experimental:
+        return "Experimental";
+      case FeatureState::Active:
+        return "Active";
+      case FeatureState::Deprecated:
+        return "Deprecated";
+      case FeatureState::Reaped:
+        return "Reaped";
+    }
+    return "?";
+}
+
+void
+FeatureRegistry::propose(FeatureId id)
+{
+    dsi_assert(!states_.count(id), "feature %u already registered", id);
+    states_.emplace(id, FeatureState::Beta);
+}
+
+void
+FeatureRegistry::transition(FeatureId id, FeatureState to)
+{
+    auto it = states_.find(id);
+    dsi_assert(it != states_.end(), "unknown feature %u", id);
+    FeatureState from = it->second;
+    bool legal = false;
+    switch (from) {
+      case FeatureState::Beta:
+        legal = to == FeatureState::Experimental ||
+                to == FeatureState::Reaped;
+        break;
+      case FeatureState::Experimental:
+        legal = to == FeatureState::Active ||
+                to == FeatureState::Deprecated;
+        break;
+      case FeatureState::Active:
+        legal = to == FeatureState::Deprecated;
+        break;
+      case FeatureState::Deprecated:
+        legal = to == FeatureState::Reaped;
+        break;
+      case FeatureState::Reaped:
+        legal = false;
+        break;
+    }
+    dsi_assert(legal, "illegal transition %s -> %s for feature %u",
+               featureStateName(from), featureStateName(to), id);
+    it->second = to;
+}
+
+FeatureState
+FeatureRegistry::state(FeatureId id) const
+{
+    auto it = states_.find(id);
+    dsi_assert(it != states_.end(), "unknown feature %u", id);
+    return it->second;
+}
+
+uint64_t
+FeatureRegistry::count(FeatureState s) const
+{
+    uint64_t n = 0;
+    for (const auto &[_, st] : states_)
+        n += st == s;
+    return n;
+}
+
+std::vector<FeatureId>
+FeatureRegistry::featuresIn(FeatureState s) const
+{
+    std::vector<FeatureId> out;
+    for (const auto &[id, st] : states_)
+        if (st == s)
+            out.push_back(id);
+    return out;
+}
+
+LifecycleCensus
+simulateCohort(const LifecycleRates &rates, uint32_t window_months,
+               uint32_t followup_months, uint64_t seed,
+               FeatureRegistry *registry_out)
+{
+    Rng rng(seed);
+    FeatureRegistry registry;
+    std::vector<FeatureId> cohort;
+    FeatureId next_id = 1;
+
+    uint32_t total_months = window_months + followup_months;
+    for (uint32_t month = 0; month < total_months; ++month) {
+        // New proposals only during the census window.
+        if (month < window_months) {
+            uint64_t n = rng.nextPoisson(rates.proposals_per_month);
+            for (uint64_t i = 0; i < n; ++i) {
+                FeatureId id = next_id++;
+                registry.propose(id);
+                cohort.push_back(id);
+            }
+        }
+        // Evolve every cohort feature by one month.
+        for (FeatureId id : cohort) {
+            switch (registry.state(id)) {
+              case FeatureState::Beta:
+                if (rng.nextBool(rates.beta_to_experimental))
+                    registry.transition(id,
+                                        FeatureState::Experimental);
+                else if (rng.nextBool(rates.beta_to_reaped))
+                    registry.transition(id, FeatureState::Reaped);
+                break;
+              case FeatureState::Experimental:
+                if (rng.nextBool(rates.experimental_to_active))
+                    registry.transition(id, FeatureState::Active);
+                else if (rng.nextBool(
+                             rates.experimental_to_deprecated))
+                    registry.transition(id, FeatureState::Deprecated);
+                break;
+              case FeatureState::Active:
+                if (rng.nextBool(rates.active_to_deprecated))
+                    registry.transition(id, FeatureState::Deprecated);
+                break;
+              case FeatureState::Deprecated:
+                if (rng.nextBool(rates.deprecated_to_reaped))
+                    registry.transition(id, FeatureState::Reaped);
+                break;
+              case FeatureState::Reaped:
+                break;
+            }
+        }
+    }
+
+    LifecycleCensus census;
+    for (FeatureId id : cohort) {
+        switch (registry.state(id)) {
+          case FeatureState::Beta:
+            ++census.beta;
+            break;
+          case FeatureState::Experimental:
+            ++census.experimental;
+            break;
+          case FeatureState::Active:
+            ++census.active;
+            break;
+          case FeatureState::Deprecated:
+            ++census.deprecated;
+            break;
+          case FeatureState::Reaped:
+            ++census.reaped;
+            break;
+        }
+    }
+    if (registry_out)
+        *registry_out = std::move(registry);
+    return census;
+}
+
+TableSchema
+writtenSchema(const TableSchema &schema,
+              const FeatureRegistry &registry)
+{
+    TableSchema out;
+    out.name = schema.name;
+    for (const auto &f : schema.features) {
+        if (!registry.contains(f.id) ||
+            FeatureRegistry::activelyWritten(registry.state(f.id))) {
+            out.features.push_back(f);
+        }
+    }
+    return out;
+}
+
+} // namespace dsi::warehouse

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Feature lifecycle management (Section IV-C, Table II).
+ *
+ * Features move through a release pipeline: proposed as *beta* (not
+ * actively logged; back-filled per exploratory job), promoted to
+ * *experimental* when used by combo/RC jobs, to *active* when their
+ * model version ships, and eventually *deprecated* (still written) or
+ * *reaped* (removed, e.g. for privacy). The FeatureRegistry tracks
+ * states; LifecycleSimulator evolves a population month by month with
+ * calibrated transition rates so the Table II census emerges.
+ */
+
+#ifndef DSI_WAREHOUSE_LIFECYCLE_H
+#define DSI_WAREHOUSE_LIFECYCLE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dsi::warehouse {
+
+/** Lifecycle state of a feature. */
+enum class FeatureState : uint8_t
+{
+    Beta,         ///< proposed; injected per-job, not logged
+    Experimental, ///< used by combo / release-candidate jobs
+    Active,       ///< part of the production model; logged
+    Deprecated,   ///< superseded but still written
+    Reaped,       ///< physically removed (privacy / cleanup)
+};
+
+const char *featureStateName(FeatureState s);
+
+/** Tracks the state of every feature of one table. */
+class FeatureRegistry
+{
+  public:
+    /** Register a newly-proposed feature (Beta). */
+    void propose(FeatureId id);
+
+    /** Move a feature to a new state (transitions are validated). */
+    void transition(FeatureId id, FeatureState to);
+
+    FeatureState state(FeatureId id) const;
+    bool contains(FeatureId id) const { return states_.count(id) != 0; }
+
+    /** Is the feature written to new partitions in this state? */
+    static bool activelyWritten(FeatureState s)
+    {
+        return s == FeatureState::Experimental ||
+               s == FeatureState::Active ||
+               s == FeatureState::Deprecated;
+    }
+
+    uint64_t count(FeatureState s) const;
+    uint64_t total() const { return states_.size(); }
+
+    std::vector<FeatureId> featuresIn(FeatureState s) const;
+
+  private:
+    std::map<FeatureId, FeatureState> states_;
+};
+
+/** Monthly transition probabilities of the lifecycle Markov model. */
+struct LifecycleRates
+{
+    /** New features proposed per month (Table II: 14614 / 6 months). */
+    double proposals_per_month = 2436.0;
+    double beta_to_experimental = 0.036;
+    double beta_to_reaped = 0.002;
+    double experimental_to_active = 0.20;
+    double experimental_to_deprecated = 0.22;
+    double active_to_deprecated = 0.015;
+    double deprecated_to_reaped = 0.002;
+
+    /**
+     * Fraction of promoted experimental features that come from
+     * *older* cohorts already in the table (the census of Table II
+     * only counts features created inside the window).
+     */
+    double churn_noise = 0.15;
+};
+
+/** Census of a feature cohort after simulation (cf. Table II). */
+struct LifecycleCensus
+{
+    uint64_t beta = 0;
+    uint64_t experimental = 0;
+    uint64_t active = 0;
+    uint64_t deprecated = 0;
+    uint64_t reaped = 0;
+
+    uint64_t total() const
+    {
+        return beta + experimental + active + deprecated + reaped;
+    }
+    /** Total as Table II reports it (reaped features disappear). */
+    uint64_t visibleTotal() const { return total() - reaped; }
+};
+
+/**
+ * Simulate `window_months` of proposals followed by `followup_months`
+ * of further evolution, and report the census of the features created
+ * during the window — the exact Table II experiment.
+ */
+LifecycleCensus simulateCohort(const LifecycleRates &rates,
+                               uint32_t window_months,
+                               uint32_t followup_months, uint64_t seed,
+                               FeatureRegistry *registry_out = nullptr);
+
+// Forward declaration (schema.h is already included transitively by
+// users; kept explicit here).
+struct TableSchema;
+
+/**
+ * The schema actually *written* to new partitions: only features in
+ * actively-written lifecycle states (beta features are injected
+ * per-job instead, reaped features are gone). Features missing from
+ * the registry are treated as active legacy features.
+ */
+TableSchema writtenSchema(const TableSchema &schema,
+                          const FeatureRegistry &registry);
+
+} // namespace dsi::warehouse
+
+#endif // DSI_WAREHOUSE_LIFECYCLE_H

@@ -1,0 +1,153 @@
+#include "model_zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsi::warehouse {
+
+SchemaParams
+RmSpec::schemaParams(uint64_t seed) const
+{
+    SchemaParams p;
+    p.name = name;
+    p.float_features = table_float_features;
+    p.sparse_features = table_sparse_features;
+    p.coverage_u = coverage_u;
+    p.avg_length = avg_length;
+    p.popularity_alpha = popularity_alpha;
+    p.seed = seed;
+    return p;
+}
+
+SchemaParams
+RmSpec::scaledSchemaParams(double scale, uint64_t seed) const
+{
+    SchemaParams p = schemaParams(seed);
+    p.float_features = std::max<uint32_t>(
+        1, static_cast<uint32_t>(
+               std::lround(table_float_features * scale)));
+    p.sparse_features = std::max<uint32_t>(
+        1, static_cast<uint32_t>(
+               std::lround(table_sparse_features * scale)));
+    return p;
+}
+
+RmSpec
+rm1()
+{
+    RmSpec rm;
+    rm.name = "RM1";
+    // Table V
+    rm.table_float_features = 12115;
+    rm.table_sparse_features = 1763;
+    rm.coverage_u = 0.45;
+    rm.avg_length = 25.97;
+    rm.paper_pct_feats_used = 11.0;
+    rm.paper_pct_bytes_used = 37.0;
+    // Table IV
+    rm.dense_used = 1221;
+    rm.sparse_used = 298;
+    rm.derived_features = 304;
+    // Table III: 13.45 PB total, 0.15 PB each, 11.95 PB used
+    rm.each_partition_pb = 0.15;
+    rm.total_partitions = 90;
+    rm.used_partitions = 80;
+    // Table VIII
+    rm.trainer_node_gbps = 16.50;
+    // Table IX byte flows: 0.8 / 1.37 / 0.68 GB/s at 11.623 kQPS
+    rm.storage_rx_per_sample = 68800;
+    rm.raw_per_sample = 117900;
+    rm.tensor_per_sample = 58500;
+    // Calibration: memory-bandwidth + CPU bound on C-v1 (Fig. 9)
+    rm.extract_cycles_per_sample = 0.85e6;
+    rm.transform_cycles_per_sample = 2.55e6;
+    rm.membw_bytes_per_sample = 4.5e6;
+    rm.mem_gb_per_worker_thread = 2.5;
+    // Fig. 7: 39% of bytes serve 80% of traffic
+    rm.popularity_alpha = 1.00;
+    rm.paper_hot_fraction_80 = 0.39;
+    rm.paper_worker_kqps = 11.623;
+    rm.paper_nodes_required = 24.16;
+    return rm;
+}
+
+RmSpec
+rm2()
+{
+    RmSpec rm;
+    rm.name = "RM2";
+    rm.table_float_features = 12596;
+    rm.table_sparse_features = 1817;
+    rm.coverage_u = 0.41;
+    rm.avg_length = 25.57;
+    rm.paper_pct_feats_used = 10.0;
+    rm.paper_pct_bytes_used = 34.0;
+    rm.dense_used = 1113;
+    rm.sparse_used = 306;
+    rm.derived_features = 317;
+    // Table III: 29.18 PB total, 0.32 PB each, 25.94 PB used
+    rm.each_partition_pb = 0.32;
+    rm.total_partitions = 91;
+    rm.used_partitions = 81;
+    rm.trainer_node_gbps = 4.69;
+    // Table IX: 1.2 / 0.96 / 0.50 GB/s at 7.995 kQPS. Storage RX
+    // exceeds raw bytes: coalesced reads over-read unused features.
+    rm.storage_rx_per_sample = 150100;
+    rm.raw_per_sample = 120100;
+    rm.tensor_per_sample = 62500;
+    // Calibration: ingress-NIC bound on C-v1 (Table IX text)
+    rm.extract_cycles_per_sample = 0.80e6;
+    rm.transform_cycles_per_sample = 1.80e6;
+    rm.membw_bytes_per_sample = 4.15e6;
+    rm.mem_gb_per_worker_thread = 2.5;
+    rm.popularity_alpha = 1.02;
+    rm.paper_hot_fraction_80 = 0.37;
+    rm.paper_worker_kqps = 7.995;
+    rm.paper_nodes_required = 9.44;
+    return rm;
+}
+
+RmSpec
+rm3()
+{
+    RmSpec rm;
+    rm.name = "RM3";
+    rm.table_float_features = 5707;
+    rm.table_sparse_features = 188;
+    rm.coverage_u = 0.29;
+    rm.avg_length = 19.64;
+    rm.paper_pct_feats_used = 9.0;
+    rm.paper_pct_bytes_used = 21.0;
+    rm.dense_used = 504;
+    rm.sparse_used = 42;
+    rm.derived_features = 1;
+    // Table III: 2.93 PB total, 0.07 PB each, 1.95 PB used
+    rm.each_partition_pb = 0.07;
+    rm.total_partitions = 42;
+    rm.used_partitions = 28;
+    rm.trainer_node_gbps = 12.00;
+    // Table IX: 0.8 / 1.01 / 0.22 GB/s at 36.921 kQPS
+    rm.storage_rx_per_sample = 21700;
+    rm.raw_per_sample = 27400;
+    rm.tensor_per_sample = 5960;
+    // Calibration: memory-capacity bound (thread pool limited to
+    // avoid OOM), so CPU threads are the effective limit (Fig. 9)
+    rm.extract_cycles_per_sample = 0.45e6;
+    rm.transform_cycles_per_sample = 0.498e6;
+    rm.membw_bytes_per_sample = 1.3e6;
+    rm.mem_gb_per_worker_thread = 4.0;
+    // Fig. 7: only 18% of bytes serve 80% of traffic (low variance)
+    rm.popularity_alpha = 1.70;
+    rm.paper_hot_fraction_80 = 0.18;
+    rm.paper_worker_kqps = 36.921;
+    rm.paper_nodes_required = 55.22;
+    return rm;
+}
+
+std::vector<RmSpec>
+allRms()
+{
+    return {rm1(), rm2(), rm3()};
+}
+
+} // namespace dsi::warehouse

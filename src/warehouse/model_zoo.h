@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The three representative production recommendation models (RM1-3)
+ * and their published characteristics, used to calibrate every
+ * experiment. Each constant is traceable to a paper table:
+ *
+ *  - Table III: partition counts/sizes (PB),
+ *  - Table IV:  features required by a release-candidate model,
+ *  - Table V:   dataset-level feature statistics,
+ *  - Table VIII: per-trainer-node GPU ingestion throughput,
+ *  - Table IX:  DPP worker per-sample byte flows (derived from the
+ *               published kQPS and GB/s),
+ *  - Fig. 7:    cross-job feature reuse skew,
+ *  - Fig. 9 / Table IX text: which resource bottlenecks each model.
+ *
+ * Per-sample cycle/byte costs are calibrated so that a worker on a
+ * C-v1 node (Table X) saturates at the paper's measured kQPS with the
+ * paper's bottleneck resource.
+ */
+
+#ifndef DSI_WAREHOUSE_MODEL_ZOO_H
+#define DSI_WAREHOUSE_MODEL_ZOO_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "warehouse/datagen.h"
+#include "warehouse/schema.h"
+
+namespace dsi::warehouse {
+
+/** Everything the experiments need to know about one RM. */
+struct RmSpec
+{
+    std::string name;
+
+    // --- Table V: dataset statistics ---
+    uint32_t table_float_features = 0;
+    uint32_t table_sparse_features = 0;
+    double coverage_u = 0.0;
+    double avg_length = 0.0;
+    double paper_pct_feats_used = 0.0;
+    double paper_pct_bytes_used = 0.0;
+
+    // --- Table IV: model (release candidate) projection ---
+    uint32_t dense_used = 0;
+    uint32_t sparse_used = 0;
+    uint32_t derived_features = 0;
+
+    // --- Table III: partition layout (PB, counts) ---
+    double each_partition_pb = 0.0;
+    uint32_t total_partitions = 0;
+    uint32_t used_partitions = 0;
+
+    double allPartitionsPb() const
+    {
+        return each_partition_pb * total_partitions;
+    }
+    double usedPartitionsPb() const
+    {
+        return each_partition_pb * used_partitions;
+    }
+
+    // --- Table VIII: trainer demand ---
+    double trainer_node_gbps = 0.0; ///< tensor bytes/s per trainer node
+
+    // --- Table IX: per-sample byte flows through a DPP worker ---
+    Bytes storage_rx_per_sample = 0; ///< compressed + over-read
+    Bytes raw_per_sample = 0;        ///< uncompressed extracted bytes
+    Bytes tensor_per_sample = 0;     ///< transformed tensor bytes
+
+    // --- calibrated worker cost model (see header comment) ---
+    double extract_cycles_per_sample = 0.0;
+    double transform_cycles_per_sample = 0.0;
+    double membw_bytes_per_sample = 0.0;
+    double mem_gb_per_worker_thread = 0.0;
+
+    // --- Fig. 7: cross-job reuse skew ---
+    double popularity_alpha = 1.0;
+    /** Paper: fraction of bytes serving 80% of IO traffic. */
+    double paper_hot_fraction_80 = 0.0;
+
+    // --- paper-reported worker results, for comparison tables ---
+    double paper_worker_kqps = 0.0;
+    double paper_nodes_required = 0.0;
+
+    double cyclesPerSample() const
+    {
+        return extract_cycles_per_sample + transform_cycles_per_sample;
+    }
+
+    /** Samples/second one trainer node ingests (Table VIII / IX). */
+    double trainerSamplesPerSec() const
+    {
+        return trainer_node_gbps * 1e9 /
+               static_cast<double>(tensor_per_sample);
+    }
+
+    /** Schema parameters reproducing the Table V statistics. */
+    SchemaParams schemaParams(uint64_t seed = 7) const;
+
+    /**
+     * Down-scaled schema for functional (real-IO) experiments: same
+     * statistics, `scale` times fewer features.
+     */
+    SchemaParams scaledSchemaParams(double scale, uint64_t seed = 7)
+        const;
+};
+
+/** RM1-3 of the paper. */
+RmSpec rm1();
+RmSpec rm2();
+RmSpec rm3();
+std::vector<RmSpec> allRms();
+
+/**
+ * Transform cycle distribution across operation classes
+ * (Section VI-D): feature generation ~75%, sparse normalization ~20%,
+ * dense normalization ~5%.
+ */
+struct TransformCycleSplit
+{
+    double feature_generation = 0.75;
+    double sparse_normalization = 0.20;
+    double dense_normalization = 0.05;
+};
+
+} // namespace dsi::warehouse
+
+#endif // DSI_WAREHOUSE_MODEL_ZOO_H

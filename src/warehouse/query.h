@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Interactive analytics over warehouse tables (Section III-A).
+ *
+ * Ranking engineers run Spark/Presto-style queries against the same
+ * Hive tables that training reads — a key interoperability
+ * requirement of the central warehouse. This is a small columnar
+ * query executor over DWRF files: feature statistics, label rates,
+ * coverage scans, and top-K categorical values, all using the same
+ * selective-projection read path as DPP.
+ */
+
+#ifndef DSI_WAREHOUSE_QUERY_H
+#define DSI_WAREHOUSE_QUERY_H
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "warehouse/table.h"
+
+namespace dsi::warehouse {
+
+/** Aggregate statistics of one dense feature. */
+struct DenseFeatureStats
+{
+    uint64_t rows_scanned = 0;
+    uint64_t present = 0;
+    RunningStats values;
+
+    double coverage() const
+    {
+        return rows_scanned
+            ? static_cast<double>(present) / rows_scanned
+            : 0.0;
+    }
+};
+
+/** Aggregate statistics of one sparse feature. */
+struct SparseFeatureStats
+{
+    uint64_t rows_scanned = 0;
+    uint64_t present = 0;
+    uint64_t total_values = 0;
+
+    double coverage() const
+    {
+        return rows_scanned
+            ? static_cast<double>(present) / rows_scanned
+            : 0.0;
+    }
+    double avgLength() const
+    {
+        return present ? static_cast<double>(total_values) / present
+                       : 0.0;
+    }
+};
+
+/** One (value, count) entry of a top-K result. */
+struct ValueCount
+{
+    int64_t value = 0;
+    uint64_t count = 0;
+};
+
+/** Columnar query executor over one table. */
+class QueryEngine
+{
+  public:
+    QueryEngine(const Warehouse &warehouse, const Table &table)
+        : warehouse_(warehouse), table_(table)
+    {
+    }
+
+    /** SELECT count(*) over the given partitions. */
+    uint64_t countRows(const std::vector<PartitionId> &partitions) const;
+
+    /** Fraction of positive labels. */
+    double labelRate(const std::vector<PartitionId> &partitions) const;
+
+    /**
+     * Per-feature statistics for a dense feature (reads only that
+     * feature's streams — the selective-scan path).
+     */
+    std::optional<DenseFeatureStats> denseStats(
+        FeatureId feature,
+        const std::vector<PartitionId> &partitions) const;
+
+    std::optional<SparseFeatureStats> sparseStats(
+        FeatureId feature,
+        const std::vector<PartitionId> &partitions) const;
+
+    /** Top-K most frequent categorical values of a sparse feature. */
+    std::vector<ValueCount> topValues(
+        FeatureId feature, size_t k,
+        const std::vector<PartitionId> &partitions) const;
+
+    /** Bytes fetched from storage by queries so far. */
+    Bytes bytesRead() const { return bytes_read_; }
+
+  private:
+    template <typename Fn>
+    void scan(const std::vector<PartitionId> &partitions,
+              const std::vector<FeatureId> &projection, Fn &&fn) const;
+
+    const Warehouse &warehouse_;
+    const Table &table_;
+    mutable Bytes bytes_read_ = 0;
+};
+
+} // namespace dsi::warehouse
+
+#endif // DSI_WAREHOUSE_QUERY_H

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Table schemas for training datasets.
+ *
+ * Samples are structured rows of dense and sparse map columns
+ * (Section III-A2). A schema lists every logged feature with the
+ * statistics that drive synthetic generation: coverage (fraction of
+ * rows where the feature appears), average list length for sparse
+ * features, and value cardinality.
+ */
+
+#ifndef DSI_WAREHOUSE_SCHEMA_H
+#define DSI_WAREHOUSE_SCHEMA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dsi::warehouse {
+
+/** Storage class of a feature. */
+enum class FeatureKind : uint8_t
+{
+    Dense,       ///< feature id -> continuous value
+    Sparse,      ///< feature id -> list of categorical ids
+    ScoredSparse,///< sparse plus a parallel float score per id
+};
+
+/** Per-feature schema and generation statistics. */
+struct FeatureSpec
+{
+    FeatureId id = 0;
+    FeatureKind kind = FeatureKind::Dense;
+    double coverage = 1.0;    ///< P(feature present in a row)
+    double avg_length = 1.0;  ///< mean list length (sparse kinds)
+    uint64_t cardinality = 1u << 20; ///< sparse id domain size
+
+    bool isSparse() const { return kind != FeatureKind::Dense; }
+
+    /** Expected stored payload bytes contributed per row. */
+    double expectedBytesPerRow() const
+    {
+        if (kind == FeatureKind::Dense)
+            return coverage * (sizeof(float) + 0.135); // value + bitmap
+        // ~4.2 bytes/varint id at 2^20-ish cardinality + length entry.
+        double per_id =
+            kind == FeatureKind::ScoredSparse ? 4.2 + 4.0 : 4.2;
+        return coverage * (avg_length * per_id + 1.2);
+    }
+};
+
+/** A dataset table schema. */
+struct TableSchema
+{
+    std::string name;
+    std::vector<FeatureSpec> features;
+
+    uint32_t countDense() const
+    {
+        uint32_t n = 0;
+        for (const auto &f : features)
+            n += f.kind == FeatureKind::Dense;
+        return n;
+    }
+    uint32_t countSparse() const
+    {
+        uint32_t n = 0;
+        for (const auto &f : features)
+            n += f.isSparse();
+        return n;
+    }
+
+    const FeatureSpec *find(FeatureId id) const
+    {
+        for (const auto &f : features)
+            if (f.id == id)
+                return &f;
+        return nullptr;
+    }
+
+    /** Mean row coverage of sparse features (the 'U' of Table V). */
+    double sparseCoverage() const
+    {
+        double sum = 0;
+        uint32_t n = 0;
+        for (const auto &f : features) {
+            if (f.isSparse()) {
+                sum += f.coverage;
+                ++n;
+            }
+        }
+        return n ? sum / n : 0.0;
+    }
+
+    /** Mean list length across sparse features (Table V Avg. Len.). */
+    double sparseAvgLength() const
+    {
+        double sum = 0;
+        uint32_t n = 0;
+        for (const auto &f : features) {
+            if (f.isSparse()) {
+                sum += f.avg_length;
+                ++n;
+            }
+        }
+        return n ? sum / n : 0.0;
+    }
+
+    /** Expected stored payload bytes per row over all features. */
+    double expectedBytesPerRow() const
+    {
+        double b = sizeof(float); // label
+        for (const auto &f : features)
+            b += f.expectedBytesPerRow();
+        return b;
+    }
+};
+
+} // namespace dsi::warehouse
+
+#endif // DSI_WAREHOUSE_SCHEMA_H

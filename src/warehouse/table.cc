@@ -1,0 +1,124 @@
+#include "table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dsi::warehouse {
+
+void
+Table::addPartition(Partition partition)
+{
+    for (const auto &p : partitions_) {
+        dsi_assert(p.id != partition.id,
+                   "duplicate partition %u in table '%s'", partition.id,
+                   name_.c_str());
+    }
+    partitions_.push_back(std::move(partition));
+}
+
+void
+Table::dropPartition(PartitionId id, storage::TectonicCluster &cluster)
+{
+    for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
+        if (it->id != id)
+            continue;
+        for (const auto &f : it->files)
+            cluster.remove(f);
+        partitions_.erase(it);
+        return;
+    }
+    dsi_fatal("dropPartition: partition %u missing in '%s'", id,
+              name_.c_str());
+}
+
+uint32_t
+Table::applyRetention(uint32_t keep, storage::TectonicCluster &cluster)
+{
+    if (partitions_.size() <= keep)
+        return 0;
+    // Partitions are dated by id: drop the lowest ids first.
+    std::vector<PartitionId> ids;
+    for (const auto &p : partitions_)
+        ids.push_back(p.id);
+    std::sort(ids.begin(), ids.end());
+    uint32_t to_drop =
+        static_cast<uint32_t>(partitions_.size()) - keep;
+    for (uint32_t i = 0; i < to_drop; ++i)
+        dropPartition(ids[i], cluster);
+    return to_drop;
+}
+
+const Partition *
+Table::findPartition(PartitionId id) const
+{
+    for (const auto &p : partitions_)
+        if (p.id == id)
+            return &p;
+    return nullptr;
+}
+
+uint64_t
+Table::totalRows() const
+{
+    uint64_t n = 0;
+    for (const auto &p : partitions_)
+        n += p.rows;
+    return n;
+}
+
+Bytes
+Table::totalBytes() const
+{
+    Bytes b = 0;
+    for (const auto &p : partitions_)
+        b += p.stored_bytes;
+    return b;
+}
+
+Bytes
+Table::bytesOfPartitions(const std::vector<PartitionId> &ids) const
+{
+    Bytes b = 0;
+    for (PartitionId id : ids) {
+        const Partition *p = findPartition(id);
+        dsi_assert(p != nullptr, "partition %u missing in '%s'", id,
+                   name_.c_str());
+        b += p->stored_bytes;
+    }
+    return b;
+}
+
+Table &
+Warehouse::createTable(const std::string &name, TableSchema schema)
+{
+    dsi_assert(!tables_.count(name), "table '%s' already exists",
+               name.c_str());
+    auto [it, _] = tables_.emplace(name, Table(name, std::move(schema)));
+    return it->second;
+}
+
+Table *
+Warehouse::findTable(const std::string &name)
+{
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : &it->second;
+}
+
+const Table *
+Warehouse::findTable(const std::string &name) const
+{
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+Warehouse::tableNames() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, _] : tables_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace dsi::warehouse

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Hive-like partitioned tables in the central data warehouse
+ * (Section III-A2).
+ *
+ * A table owns a schema and a set of date partitions; each partition
+ * is a list of DWRF files stored in the Tectonic cluster. Training
+ * jobs address data as (table, partition row-filter, feature
+ * projection), exactly the two filter dimensions of Section V-A.
+ */
+
+#ifndef DSI_WAREHOUSE_TABLE_H
+#define DSI_WAREHOUSE_TABLE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/tectonic.h"
+#include "warehouse/schema.h"
+
+namespace dsi::warehouse {
+
+/** One date partition of a table. */
+struct Partition
+{
+    PartitionId id = 0;
+    std::vector<std::string> files; ///< Tectonic file names
+    uint64_t rows = 0;
+    Bytes stored_bytes = 0;         ///< compressed on-disk bytes
+};
+
+/** A partitioned training-data table. */
+class Table
+{
+  public:
+    Table() = default;
+    Table(std::string name, TableSchema schema)
+        : name_(std::move(name)), schema_(std::move(schema))
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    const TableSchema &schema() const { return schema_; }
+    TableSchema &schema() { return schema_; }
+
+    /** Register a partition (created by an ETL job). */
+    void addPartition(Partition partition);
+
+    /**
+     * Drop a partition (retention): removes its files from the given
+     * cluster and unregisters it. Dies if the partition is missing.
+     */
+    void dropPartition(PartitionId id,
+                       storage::TectonicCluster &cluster);
+
+    /**
+     * Apply retention: keep only the newest `keep` partitions (by
+     * id), dropping older ones. Returns partitions dropped.
+     */
+    uint32_t applyRetention(uint32_t keep,
+                            storage::TectonicCluster &cluster);
+
+    const std::vector<Partition> &partitions() const
+    {
+        return partitions_;
+    }
+    const Partition *findPartition(PartitionId id) const;
+
+    uint64_t totalRows() const;
+    Bytes totalBytes() const;
+
+    /** Bytes of the newest `count` partitions (a row filter). */
+    Bytes bytesOfPartitions(const std::vector<PartitionId> &ids) const;
+
+  private:
+    std::string name_;
+    TableSchema schema_;
+    std::vector<Partition> partitions_;
+};
+
+/** The central warehouse: a catalog of tables over one Tectonic. */
+class Warehouse
+{
+  public:
+    explicit Warehouse(storage::TectonicCluster &cluster)
+        : cluster_(cluster)
+    {
+    }
+
+    storage::TectonicCluster &cluster() { return cluster_; }
+    const storage::TectonicCluster &cluster() const { return cluster_; }
+
+    Table &createTable(const std::string &name, TableSchema schema);
+    Table *findTable(const std::string &name);
+    const Table *findTable(const std::string &name) const;
+
+    std::vector<std::string> tableNames() const;
+
+  private:
+    storage::TectonicCluster &cluster_;
+    std::map<std::string, Table> tables_;
+};
+
+} // namespace dsi::warehouse
+
+#endif // DSI_WAREHOUSE_TABLE_H

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit and property tests for deterministic RNG and the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+
+namespace dsi {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextUintInBounds)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL,
+                           1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextUint(bound), bound);
+    }
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanConverges)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExp(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, LogNormalMeanMatchesTarget)
+{
+    Rng rng(19);
+    double sum = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextLogNormal(10.0, 0.8);
+    EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(Rng, PoissonMean)
+{
+    Rng rng(23);
+    for (double lambda : {0.5, 3.0, 20.0, 100.0}) {
+        double sum = 0;
+        const int n = 50000;
+        for (int i = 0; i < n; ++i)
+            sum += static_cast<double>(rng.nextPoisson(lambda));
+        EXPECT_NEAR(sum / n, lambda, lambda * 0.05 + 0.05)
+            << "lambda=" << lambda;
+    }
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += parent.next() == child.next();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(37);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    auto sorted = v;
+    shuffle(v, rng);
+    auto resorted = v;
+    std::sort(resorted.begin(), resorted.end());
+    EXPECT_EQ(resorted, sorted);
+}
+
+class ZipfParamTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfParamTest, EmpiricalMatchesPmf)
+{
+    const double alpha = GetParam();
+    const uint64_t n = 1000;
+    ZipfSampler zipf(n, alpha);
+    Rng rng(101);
+    std::map<uint64_t, uint64_t> counts;
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[zipf.sample(rng)];
+
+    // The head ranks should match the analytic pmf closely.
+    for (uint64_t rank : {0ULL, 1ULL, 2ULL, 5ULL, 10ULL}) {
+        double expected = zipf.pmf(rank) * draws;
+        double got = static_cast<double>(counts[rank]);
+        EXPECT_NEAR(got, expected,
+                    std::max(50.0, expected * 0.12))
+            << "alpha=" << alpha << " rank=" << rank;
+    }
+}
+
+TEST_P(ZipfParamTest, DrawsWithinDomain)
+{
+    ZipfSampler zipf(50, GetParam());
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_LT(zipf.sample(rng), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfParamTest,
+                         ::testing::Values(0.6, 0.8, 0.99, 1.2, 1.5));
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfSampler zipf(200, 0.9);
+    double sum = 0;
+    for (uint64_t r = 0; r < 200; ++r)
+        sum += zipf.pmf(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, MorePopularRanksHaveHigherMass)
+{
+    ZipfSampler zipf(100, 1.1);
+    for (uint64_t r = 0; r + 1 < 100; ++r)
+        EXPECT_GT(zipf.pmf(r), zipf.pmf(r + 1));
+}
+
+} // namespace
+} // namespace dsi

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the discrete-event DPP deployment simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dpp/sim_session.h"
+
+namespace dsi::dpp {
+namespace {
+
+SimSessionConfig
+steadyConfig(uint32_t trainers, ScalingPolicy policy)
+{
+    SimSessionConfig cfg;
+    cfg.rm = warehouse::rm1();
+    cfg.duration_s = 1200;
+    cfg.demand = {{0, trainers}};
+    cfg.policy = policy;
+    cfg.scaler.min_workers = 2;
+    cfg.initial_workers = 8;
+    cfg.seed = 3;
+    return cfg;
+}
+
+TEST(SimSession, StaticExactMeetsSteadyDemand)
+{
+    auto r = simulateDeployment(
+        steadyConfig(4, ScalingPolicy::StaticExact));
+    EXPECT_LT(r.stall_fraction, 0.01);
+    // Sized for peak / target_util: about nodes-required / 0.85.
+    auto sat = saturateWorker(warehouse::rm1(), sim::computeNodeV1());
+    double needed = 4 * workersPerTrainer(warehouse::rm1(), sat);
+    EXPECT_NEAR(r.avg_workers, needed / 0.85, needed * 0.15);
+}
+
+TEST(SimSession, AutoScaleConvergesOnSteadyDemand)
+{
+    auto r = simulateDeployment(
+        steadyConfig(4, ScalingPolicy::AutoScale));
+    // Transient stalls while ramping from 8 workers, then stable.
+    EXPECT_LT(r.stall_fraction, 0.15);
+    const auto &tail = r.timeline.back();
+    EXPECT_GE(tail.supply_qps, tail.demand_qps * 0.95);
+    // Converged pool is near the analytic requirement.
+    auto sat = saturateWorker(warehouse::rm1(), sim::computeNodeV1());
+    double needed = 4 * workersPerTrainer(warehouse::rm1(), sat);
+    EXPECT_NEAR(tail.workers, needed / 0.85, needed * 0.30);
+}
+
+TEST(SimSession, AutoScaleDrainsAfterBurst)
+{
+    SimSessionConfig cfg = steadyConfig(8, ScalingPolicy::AutoScale);
+    cfg.duration_s = 2400;
+    cfg.demand = {{0, 8}, {1200, 2}};
+    auto r = simulateDeployment(cfg);
+    EXPECT_GT(r.drains, 0u);
+    // Final pool well below the burst peak.
+    EXPECT_LT(r.timeline.back().workers, r.peak_workers / 2);
+}
+
+TEST(SimSession, UnderProvisioningStalls)
+{
+    auto exact = simulateDeployment(
+        steadyConfig(6, ScalingPolicy::StaticExact));
+    auto cfg = steadyConfig(6, ScalingPolicy::StaticUnder);
+    cfg.demand = {{0, 1}, {900, 6}}; // mean << peak
+    cfg.duration_s = 1200;
+    auto under = simulateDeployment(cfg);
+    EXPECT_GT(under.stall_fraction, exact.stall_fraction + 0.05);
+}
+
+TEST(SimSession, FailuresAreRestarted)
+{
+    auto cfg = steadyConfig(4, ScalingPolicy::StaticExact);
+    cfg.worker_mtbf_s = 20000;
+    cfg.seed = 9;
+    auto r = simulateDeployment(cfg);
+    EXPECT_GT(r.failures, 0u);
+    // Restarts keep the pool near its static size at the end.
+    EXPECT_NEAR(static_cast<double>(r.timeline.back().workers),
+                r.avg_workers, r.avg_workers * 0.2);
+}
+
+TEST(SimSession, DeterministicUnderSeed)
+{
+    auto a = simulateDeployment(
+        steadyConfig(4, ScalingPolicy::AutoScale));
+    auto b = simulateDeployment(
+        steadyConfig(4, ScalingPolicy::AutoScale));
+    EXPECT_DOUBLE_EQ(a.stall_fraction, b.stall_fraction);
+    EXPECT_EQ(a.peak_workers, b.peak_workers);
+    EXPECT_DOUBLE_EQ(a.worker_seconds, b.worker_seconds);
+}
+
+TEST(SimSession, EnergyScalesWithWorkerSeconds)
+{
+    auto r = simulateDeployment(
+        steadyConfig(4, ScalingPolicy::StaticExact));
+    EXPECT_DOUBLE_EQ(r.energyJ(250.0), r.worker_seconds * 250.0);
+}
+
+} // namespace
+} // namespace dsi::dpp

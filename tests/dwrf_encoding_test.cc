@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Round-trip and property tests for stream encodings, the LZ codec,
+ * and the stream cipher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dwrf/cipher.h"
+#include "dwrf/compress.h"
+#include "dwrf/encoding.h"
+
+namespace dsi::dwrf {
+namespace {
+
+TEST(Varint, RoundTripEdgeValues)
+{
+    Buffer buf;
+    std::vector<uint64_t> values{0, 1, 127, 128, 16383, 16384,
+                                 UINT32_MAX, UINT64_MAX};
+    for (uint64_t v : values)
+        putVarint(buf, v);
+    size_t pos = 0;
+    for (uint64_t v : values) {
+        uint64_t got;
+        ASSERT_TRUE(getVarint(buf, pos, got));
+        EXPECT_EQ(got, v);
+    }
+    EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, TruncatedInputFails)
+{
+    Buffer buf;
+    putVarint(buf, UINT64_MAX);
+    buf.pop_back();
+    size_t pos = 0;
+    uint64_t v;
+    EXPECT_FALSE(getVarint(buf, pos, v));
+}
+
+TEST(Zigzag, SignedRoundTrip)
+{
+    for (int64_t v : {0L, 1L, -1L, 63L, -64L, INT64_MAX, INT64_MIN}) {
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+    }
+    // Small magnitudes map to small codes.
+    EXPECT_LE(zigzagEncode(-3), 6u);
+}
+
+TEST(FixedWidth, RoundTrip)
+{
+    Buffer buf;
+    putU32(buf, 0xdeadbeef);
+    putU64(buf, 0x0123456789abcdefULL);
+    putFloat(buf, 3.25f);
+    size_t pos = 0;
+    uint32_t a;
+    uint64_t b;
+    float f;
+    ASSERT_TRUE(getU32(buf, pos, a));
+    ASSERT_TRUE(getU64(buf, pos, b));
+    ASSERT_TRUE(getFloat(buf, pos, f));
+    EXPECT_EQ(a, 0xdeadbeefu);
+    EXPECT_EQ(b, 0x0123456789abcdefULL);
+    EXPECT_FLOAT_EQ(f, 3.25f);
+}
+
+TEST(Rle, ZeroRunsCompressWell)
+{
+    // Sparse-length streams are mostly zeros (absent features).
+    std::vector<int64_t> lengths(10000, 0);
+    lengths[17] = 25;
+    lengths[9000] = 12;
+    Buffer out;
+    rleEncode(lengths, out);
+    EXPECT_LT(out.size(), 100u);
+    std::vector<int64_t> back;
+    ASSERT_TRUE(rleDecode(out, back));
+    EXPECT_EQ(back, lengths);
+}
+
+TEST(Rle, ArithmeticRunsDetected)
+{
+    std::vector<int64_t> v;
+    for (int64_t i = 0; i < 1000; ++i)
+        v.push_back(5 + 3 * i);
+    Buffer out;
+    rleEncode(v, out);
+    EXPECT_LT(out.size(), 16u);
+    std::vector<int64_t> back;
+    ASSERT_TRUE(rleDecode(out, back));
+    EXPECT_EQ(back, v);
+}
+
+TEST(Rle, RandomValuesRoundTrip)
+{
+    Rng rng(77);
+    std::vector<int64_t> v;
+    for (int i = 0; i < 5000; ++i)
+        v.push_back(static_cast<int64_t>(rng.next()) >> rng.nextUint(40));
+    Buffer out;
+    rleEncode(v, out);
+    std::vector<int64_t> back;
+    ASSERT_TRUE(rleDecode(out, back));
+    EXPECT_EQ(back, v);
+}
+
+TEST(Rle, EmptyInput)
+{
+    Buffer out;
+    rleEncode({}, out);
+    std::vector<int64_t> back;
+    ASSERT_TRUE(rleDecode(out, back));
+    EXPECT_TRUE(back.empty());
+}
+
+TEST(ValueEncoding, SkewedValuesUseDictionaryAndShrink)
+{
+    // Hashed categorical ids (8-byte magnitudes) drawn from a hot
+    // Zipf set repeat heavily: dictionary beats direct varints.
+    Rng rng(5);
+    ZipfSampler zipf(4000, 1.2);
+    std::vector<int64_t> values;
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t rank = zipf.sample(rng);
+        values.push_back(static_cast<int64_t>(
+            rank * 0x9e3779b97f4a7c15ULL >> 1));
+    }
+
+    Buffer dict_encoded;
+    encodeValues(values, dict_encoded);
+    EXPECT_EQ(dict_encoded[0], 0x01); // dictionary tag
+
+    Buffer direct;
+    putVarint(direct, values.size());
+    for (int64_t v : values)
+        putSignedVarint(direct, v);
+    EXPECT_LT(dict_encoded.size(), direct.size());
+
+    std::vector<int64_t> back;
+    ASSERT_TRUE(decodeValues(dict_encoded, back));
+    EXPECT_EQ(back, values);
+}
+
+TEST(ValueEncoding, HighCardinalityFallsBackToDirect)
+{
+    // All-distinct small ids: a dictionary would only add overhead.
+    std::vector<int64_t> values;
+    for (int64_t i = 0; i < 10000; ++i)
+        values.push_back(i * 7919);
+    Buffer out;
+    encodeValues(values, out);
+    EXPECT_EQ(out[0], 0x00); // direct tag
+    std::vector<int64_t> back;
+    ASSERT_TRUE(decodeValues(out, back));
+    EXPECT_EQ(back, values);
+}
+
+TEST(ValueEncoding, EmptyAndSingleValue)
+{
+    for (const std::vector<int64_t> &values :
+         {std::vector<int64_t>{}, std::vector<int64_t>{-42}}) {
+        Buffer out;
+        encodeValues(values, out);
+        std::vector<int64_t> back;
+        ASSERT_TRUE(decodeValues(out, back));
+        EXPECT_EQ(back, values);
+    }
+}
+
+TEST(ValueEncoding, MalformedRejected)
+{
+    std::vector<int64_t> back;
+    EXPECT_FALSE(decodeValues({}, back));
+    Buffer bad_tag{0x07, 0x01};
+    EXPECT_FALSE(decodeValues(bad_tag, back));
+    // Dict index out of range: tag=1, n=1, d=1, dict={0}, index=5.
+    Buffer oob{0x01, 0x01, 0x01, 0x00, 0x05};
+    EXPECT_FALSE(decodeValues(oob, back));
+    // Trailing garbage.
+    Buffer trail{0x00, 0x01, 0x02, 0xff};
+    EXPECT_FALSE(decodeValues(trail, back));
+}
+
+class CodecParamTest : public ::testing::TestWithParam<Codec>
+{
+};
+
+TEST_P(CodecParamTest, EmptyRoundTrip)
+{
+    Buffer out;
+    compress(GetParam(), {}, out);
+    auto back = decompress(GetParam(), out);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->empty());
+}
+
+TEST_P(CodecParamTest, RandomBytesRoundTrip)
+{
+    Rng rng(123);
+    for (size_t len : {1u, 2u, 100u, 4096u, 100000u}) {
+        Buffer in(len);
+        for (auto &b : in)
+            b = static_cast<uint8_t>(rng.next());
+        Buffer out;
+        compress(GetParam(), in, out);
+        auto back = decompress(GetParam(), out);
+        ASSERT_TRUE(back.has_value()) << "len=" << len;
+        EXPECT_EQ(*back, in) << "len=" << len;
+    }
+}
+
+TEST_P(CodecParamTest, RepetitiveBytesRoundTrip)
+{
+    Buffer in;
+    for (int i = 0; i < 3000; ++i) {
+        const char *s = "feature_stream_payload_";
+        in.insert(in.end(), s, s + 24);
+    }
+    Buffer out;
+    compress(GetParam(), in, out);
+    auto back = decompress(GetParam(), out);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CodecParamTest,
+                         ::testing::Values(Codec::None, Codec::Lz));
+
+TEST(Lz, CompressesRedundantData)
+{
+    Buffer in;
+    for (int i = 0; i < 1000; ++i) {
+        const char *s = "abcdefgh";
+        in.insert(in.end(), s, s + 8);
+    }
+    Buffer out;
+    compress(Codec::Lz, in, out);
+    EXPECT_LT(out.size(), in.size() / 10);
+}
+
+TEST(Lz, OverlappingMatchesDecodeCorrectly)
+{
+    // 'aaaa...' forces self-overlapping match copies.
+    Buffer in(5000, 'a');
+    Buffer out;
+    compress(Codec::Lz, in, out);
+    EXPECT_LT(out.size(), 64u);
+    auto back = decompress(Codec::Lz, out);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, in);
+}
+
+TEST(Lz, MalformedInputRejected)
+{
+    Buffer junk{0xff, 0xff, 0xff, 0xff, 0x01, 0x02};
+    auto out = decompress(Codec::Lz, junk);
+    EXPECT_FALSE(out.has_value());
+}
+
+TEST(Cipher, ApplyTwiceRestores)
+{
+    Rng rng(9);
+    Buffer data(999);
+    for (auto &b : data)
+        b = static_cast<uint8_t>(rng.next());
+    Buffer orig = data;
+    StreamCipher c(0x1234);
+    c.apply(42, data);
+    EXPECT_NE(data, orig);
+    c.apply(42, data);
+    EXPECT_EQ(data, orig);
+}
+
+TEST(Cipher, DifferentNoncesDiffer)
+{
+    Buffer a(256, 0), b(256, 0);
+    StreamCipher c(0x1234);
+    c.apply(1, a);
+    c.apply(2, b);
+    EXPECT_NE(a, b);
+}
+
+TEST(Cipher, DifferentKeysDiffer)
+{
+    Buffer a(256, 0), b(256, 0);
+    StreamCipher c1(0x1111), c2(0x2222);
+    c1.apply(7, a);
+    c2.apply(7, b);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace dsi::dwrf

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Cross-module edge-case tests: boundary inputs, error paths, and
+ * invariants not covered by the per-module suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dpp/session.h"
+#include "dwrf/row.h"
+#include "sim/resource.h"
+#include "storage/tectonic.h"
+#include "test_fixtures.h"
+#include "transforms/ops.h"
+
+namespace dsi {
+namespace {
+
+TEST(SliceBatch, TailAndOutOfRange)
+{
+    std::vector<dwrf::Row> rows(10);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        rows[i].label = static_cast<float>(i);
+        dwrf::SparseFeature s;
+        s.id = 1;
+        s.values = {static_cast<int64_t>(i)};
+        rows[i].sparse.push_back(s);
+    }
+    auto batch = dwrf::batchFromRows(rows);
+
+    auto tail = dwrf::sliceBatch(batch, 8, 100); // clamps to 2
+    EXPECT_EQ(tail.rows, 2u);
+    EXPECT_FLOAT_EQ(tail.labels[0], 8.0f);
+    EXPECT_EQ(tail.sparse[0].values[0], 8);
+
+    auto empty = dwrf::sliceBatch(batch, 10, 5);
+    EXPECT_EQ(empty.rows, 0u);
+    auto beyond = dwrf::sliceBatch(batch, 50, 5);
+    EXPECT_EQ(beyond.rows, 0u);
+}
+
+TEST(SliceBatch, ScoresSliceWithValues)
+{
+    std::vector<dwrf::Row> rows(4);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        dwrf::SparseFeature s;
+        s.id = 2;
+        s.values = {1, 2};
+        s.scores = {0.5f, 0.25f};
+        rows[i].sparse.push_back(s);
+    }
+    auto batch = dwrf::batchFromRows(rows);
+    auto slice = dwrf::sliceBatch(batch, 1, 2);
+    EXPECT_EQ(slice.sparse[0].values.size(), 4u);
+    EXPECT_EQ(slice.sparse[0].scores.size(), 4u);
+}
+
+TEST(RateResource, ReleaseAndResetClampAtZero)
+{
+    sim::RateResource r("x", 10.0);
+    r.offer(4.0);
+    r.release(6.0); // over-release clamps
+    EXPECT_DOUBLE_EQ(r.offered(), 0.0);
+    r.offer(5.0);
+    r.resetOffered();
+    EXPECT_DOUBLE_EQ(r.utilization(), 0.0);
+}
+
+TEST(Tectonic, MissingFileOperationsDie)
+{
+    storage::TectonicCluster cluster(storage::StorageOptions{});
+    EXPECT_DEATH(cluster.open("nope"), "missing file");
+    EXPECT_DEATH(cluster.fileSize("nope"), "missing file");
+    EXPECT_DEATH(cluster.append("nope", dwrf::Buffer{1}),
+                 "missing file");
+}
+
+TEST(Tectonic, ReadPastEofDies)
+{
+    storage::TectonicCluster cluster(storage::StorageOptions{});
+    cluster.put("f", dwrf::Buffer(100, 1));
+    auto src = cluster.open("f");
+    dwrf::Buffer out;
+    EXPECT_DEATH(src->read(90, 20, out), "past EOF");
+}
+
+TEST(Tectonic, EmptyFileIsValid)
+{
+    storage::TectonicCluster cluster(storage::StorageOptions{});
+    cluster.create("empty");
+    EXPECT_EQ(cluster.fileSize("empty"), 0u);
+    auto src = cluster.open("empty");
+    EXPECT_EQ(src->size(), 0u);
+}
+
+TEST(Transforms, CartesianWithEmptySideProducesNothing)
+{
+    std::vector<dwrf::Row> rows(2);
+    dwrf::SparseFeature a;
+    a.id = 1;
+    a.values = {1, 2, 3};
+    rows[0].sparse.push_back(a); // row 0 lacks feature 2
+    auto batch = dwrf::batchFromRows(rows);
+
+    transforms::TransformSpec s;
+    s.kind = transforms::OpKind::Cartesian;
+    s.inputs = {1, 2};
+    s.output = 100;
+    transforms::TransformStats stats;
+    transforms::compileTransform(s)->apply(batch, stats);
+    // Feature 2 never appears: op tolerates the missing input.
+    EXPECT_EQ(batch.findSparse(100), nullptr);
+}
+
+TEST(Transforms, NGramShorterThanNIsEmpty)
+{
+    std::vector<dwrf::Row> rows(1);
+    dwrf::SparseFeature a;
+    a.id = 1;
+    a.values = {7};
+    rows[0].sparse.push_back(a);
+    auto batch = dwrf::batchFromRows(rows);
+
+    transforms::TransformSpec s;
+    s.kind = transforms::OpKind::NGram;
+    s.inputs = {1};
+    s.output = 100;
+    s.u0 = 3;
+    transforms::TransformStats stats;
+    transforms::compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findSparse(100);
+    ASSERT_NE(out, nullptr);
+    EXPECT_TRUE(out->values.empty());
+}
+
+TEST(Transforms, SamplingZeroAndOneKeepRates)
+{
+    std::vector<dwrf::Row> rows(100);
+    auto batch_all = dwrf::batchFromRows(rows);
+    auto batch_none = batch_all;
+
+    transforms::TransformSpec keep_all;
+    keep_all.kind = transforms::OpKind::Sampling;
+    keep_all.p0 = 1.0;
+    transforms::TransformStats stats;
+    transforms::compileTransform(keep_all)->apply(batch_all, stats);
+    EXPECT_EQ(batch_all.rows, 100u);
+
+    transforms::TransformSpec keep_none = keep_all;
+    keep_none.p0 = 0.0;
+    transforms::compileTransform(keep_none)->apply(batch_none, stats);
+    EXPECT_EQ(batch_none.rows, 0u);
+}
+
+TEST(Projection, RequestMoreThanAvailableClamps)
+{
+    warehouse::SchemaParams p;
+    p.float_features = 5;
+    p.sparse_features = 3;
+    auto schema = warehouse::makeSchema(p);
+    auto pop = warehouse::featurePopularity(schema, 1.0, 1);
+    auto proj = warehouse::chooseProjection(schema, pop, 50, 50, 1);
+    EXPECT_EQ(proj.size(), 8u);
+}
+
+TEST(Session, MissingTableDies)
+{
+    storage::TectonicCluster cluster(storage::StorageOptions{});
+    warehouse::Warehouse wh(cluster);
+    dpp::SessionSpec spec;
+    spec.table = "ghost";
+    EXPECT_DEATH(dpp::Master(wh, spec), "not found");
+}
+
+TEST(Session, EmptyPartitionListCompletesTrivially)
+{
+    warehouse::SchemaParams p;
+    p.name = "t";
+    p.float_features = 4;
+    p.sparse_features = 2;
+    auto mw = testing::makeMiniWarehouse(p, 1, 128, 128);
+    dpp::SessionSpec spec;
+    spec.table = "t";
+    spec.partitions = {};
+    spec.setTransforms(transforms::TransformGraph{});
+    dpp::InProcessSession session(*mw.warehouse, spec);
+    auto result = session.run();
+    EXPECT_EQ(result.rows_delivered, 0u);
+    EXPECT_EQ(result.tensors_delivered, 0u);
+}
+
+TEST(Session, NoTransformGraphStillStreams)
+{
+    warehouse::SchemaParams p;
+    p.name = "t";
+    p.float_features = 4;
+    p.sparse_features = 2;
+    auto mw = testing::makeMiniWarehouse(p, 1, 256, 256);
+    dpp::SessionSpec spec;
+    spec.table = "t";
+    spec.partitions = {0};
+    spec.batch_size = 64;
+    spec.setTransforms(transforms::TransformGraph{}); // identity
+    dpp::InProcessSession session(*mw.warehouse, spec);
+    auto result = session.run();
+    EXPECT_EQ(result.rows_delivered, 256u);
+    EXPECT_EQ(result.transform_stats.values_produced, 0u);
+}
+
+TEST(Types, FormatBytesLargeValues)
+{
+    EXPECT_EQ(formatBytes(1.5e15), "1.5P");
+    EXPECT_EQ(formatBytes(0), "0");
+}
+
+TEST(LogHistogram, RenderContainsBuckets)
+{
+    LogHistogram h;
+    h.add(3);
+    h.add(1000, 5);
+    auto text = h.render("io sizes");
+    EXPECT_NE(text.find("io sizes"), std::string::npos);
+    EXPECT_NE(text.find("#"), std::string::npos);
+    EXPECT_NE(text.find("n=6"), std::string::npos);
+}
+
+} // namespace
+} // namespace dsi

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the analytics query engine: counts, label rates, feature
+ * statistics, top-K, and the selective-read guarantee (a per-feature
+ * query reads a small fraction of the table bytes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+#include "warehouse/query.h"
+
+namespace dsi::warehouse {
+namespace {
+
+class QueryTest : public ::testing::Test
+{
+  protected:
+    static SchemaParams
+    params()
+    {
+        SchemaParams p;
+        p.name = "q";
+        p.float_features = 30;
+        p.sparse_features = 15;
+        p.coverage_u = 0.5;
+        p.avg_length = 6;
+        p.seed = 91;
+        return p;
+    }
+
+    QueryTest()
+        : mw_(testing::makeMiniWarehouse(params(), 2, 2048, 1024)),
+          engine_(*mw_.warehouse, mw_.table())
+    {
+    }
+
+    testing::MiniWarehouse mw_;
+    QueryEngine engine_;
+};
+
+TEST_F(QueryTest, CountRowsUsesMetadata)
+{
+    EXPECT_EQ(engine_.countRows({0}), 2048u);
+    EXPECT_EQ(engine_.countRows({0, 1}), 4096u);
+    EXPECT_EQ(engine_.bytesRead(), 0u); // metadata only
+}
+
+TEST_F(QueryTest, LabelRateNearGeneratorRate)
+{
+    double rate = engine_.labelRate({0, 1});
+    // RowGenerator labels positives at 3%.
+    EXPECT_NEAR(rate, 0.03, 0.01);
+}
+
+TEST_F(QueryTest, DenseStatsMatchSchemaCoverage)
+{
+    const FeatureSpec *f = nullptr;
+    for (const auto &spec : mw_.schema.features) {
+        if (!spec.isSparse()) {
+            f = &spec;
+            break;
+        }
+    }
+    ASSERT_NE(f, nullptr);
+    auto stats = engine_.denseStats(f->id, {0, 1});
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->rows_scanned, 4096u);
+    EXPECT_NEAR(stats->coverage(), f->coverage, 0.04);
+    EXPECT_GT(stats->values.mean(), 0.0);
+}
+
+TEST_F(QueryTest, SparseStatsMatchSchema)
+{
+    const FeatureSpec *f = nullptr;
+    for (const auto &spec : mw_.schema.features) {
+        if (spec.isSparse()) {
+            f = &spec;
+            break;
+        }
+    }
+    ASSERT_NE(f, nullptr);
+    auto stats = engine_.sparseStats(f->id, {0, 1});
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_NEAR(stats->coverage(), f->coverage,
+                0.1 * f->coverage + 0.05);
+    EXPECT_NEAR(stats->avgLength(), f->avg_length,
+                0.4 * f->avg_length);
+}
+
+TEST_F(QueryTest, KindMismatchReturnsNullopt)
+{
+    FeatureId dense_id = 0, sparse_id = 0;
+    for (const auto &spec : mw_.schema.features) {
+        if (spec.isSparse() && sparse_id == 0)
+            sparse_id = spec.id;
+        if (!spec.isSparse() && dense_id == 0)
+            dense_id = spec.id;
+    }
+    EXPECT_FALSE(engine_.denseStats(sparse_id, {0}).has_value());
+    EXPECT_FALSE(engine_.sparseStats(dense_id, {0}).has_value());
+    EXPECT_FALSE(engine_.denseStats(99999, {0}).has_value());
+}
+
+TEST_F(QueryTest, TopValuesAreZipfHead)
+{
+    FeatureId sparse_id = 0;
+    for (const auto &spec : mw_.schema.features) {
+        if (spec.isSparse()) {
+            sparse_id = spec.id;
+            break;
+        }
+    }
+    auto top = engine_.topValues(sparse_id, 5, {0, 1});
+    ASSERT_EQ(top.size(), 5u);
+    // Sorted descending, and Zipf value generation makes the head
+    // rank dominate.
+    for (size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].count, top[i].count);
+    EXPECT_GT(top[0].count, top[4].count);
+}
+
+TEST_F(QueryTest, PerFeatureQueryReadsSmallFraction)
+{
+    FeatureId dense_id = 0;
+    for (const auto &spec : mw_.schema.features) {
+        if (!spec.isSparse()) {
+            dense_id = spec.id;
+            break;
+        }
+    }
+    engine_.denseStats(dense_id, {0, 1});
+    Bytes selective = engine_.bytesRead();
+    // The whole table is far larger than one feature's streams.
+    EXPECT_LT(selective, mw_.table().totalBytes() / 5);
+    EXPECT_GT(selective, 0u);
+}
+
+TEST_F(QueryTest, MissingPartitionDies)
+{
+    EXPECT_DEATH(engine_.labelRate({9}), "missing");
+}
+
+} // namespace
+} // namespace dsi::warehouse

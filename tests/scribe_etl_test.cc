@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the Scribe/LogDevice substrate and the offline ETL
+ * pipeline (serving logs -> streaming join -> partition files).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dpp/stream_session.h"
+#include "dwrf/reader.h"
+#include "etl/pipeline.h"
+#include "scribe/scribe.h"
+#include "warehouse/datagen.h"
+
+namespace dsi {
+namespace {
+
+using namespace scribe;
+using namespace etl;
+
+TEST(LogDevice, AppendAssignsDenseSequences)
+{
+    LogDevice dev;
+    EXPECT_EQ(dev.append("s", 0.0, 1, {1}), 0u);
+    EXPECT_EQ(dev.append("s", 0.0, 2, {2}), 1u);
+    EXPECT_EQ(dev.tailSeq("s"), 2u);
+    EXPECT_EQ(dev.recordCount("s"), 2u);
+    EXPECT_EQ(dev.payloadBytes("s"), 2u);
+}
+
+TEST(LogDevice, ReadRangeRespectsBounds)
+{
+    LogDevice dev;
+    for (int i = 0; i < 10; ++i)
+        dev.append("s", i, i, {static_cast<uint8_t>(i)});
+    auto records = dev.read("s", 3, 4);
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(records[0].seq, 3u);
+    EXPECT_EQ(records[3].seq, 6u);
+    EXPECT_TRUE(dev.read("s", 10, 5).empty());
+    EXPECT_TRUE(dev.read("missing", 0, 5).empty());
+}
+
+TEST(LogDevice, TrimDropsPrefixKeepsSeqs)
+{
+    LogDevice dev;
+    for (int i = 0; i < 10; ++i)
+        dev.append("s", i, i, {static_cast<uint8_t>(i)});
+    dev.trim("s", 4);
+    EXPECT_EQ(dev.trimPoint("s"), 4u);
+    EXPECT_EQ(dev.recordCount("s"), 6u);
+    auto records = dev.read("s", 0, 100);
+    ASSERT_EQ(records.size(), 6u);
+    EXPECT_EQ(records[0].seq, 4u); // reads clamp to trim point
+    // Trimming past the tail clamps.
+    dev.trim("s", 100);
+    EXPECT_EQ(dev.recordCount("s"), 0u);
+    EXPECT_EQ(dev.trimPoint("s"), 10u);
+}
+
+TEST(ScribeDaemon, BatchesUntilFlushThreshold)
+{
+    LogDevice dev;
+    ScribeDaemon daemon(dev, 4);
+    for (int i = 0; i < 3; ++i)
+        daemon.log("cat", 0.0, i, {1});
+    EXPECT_EQ(dev.recordCount("cat"), 0u);
+    EXPECT_EQ(daemon.buffered(), 3u);
+    daemon.log("cat", 0.0, 3, {1});
+    EXPECT_EQ(dev.recordCount("cat"), 4u);
+    daemon.log("cat", 0.0, 4, {1});
+    daemon.flush();
+    EXPECT_EQ(dev.recordCount("cat"), 5u);
+}
+
+TEST(StreamReader, PollsExactlyOnce)
+{
+    LogDevice dev;
+    for (int i = 0; i < 7; ++i)
+        dev.append("s", i, i, {1});
+    StreamReader reader(dev, "s");
+    EXPECT_EQ(reader.poll(3).size(), 3u);
+    EXPECT_EQ(reader.poll(100).size(), 4u);
+    EXPECT_TRUE(reader.poll().empty());
+    dev.append("s", 8.0, 8, {1});
+    EXPECT_EQ(reader.poll().size(), 1u);
+}
+
+TEST(Scribe, MultipleDaemonsInterleaveIntoOneStream)
+{
+    // Every host runs its own daemon; all of them feed the same
+    // category stream with strictly increasing sequence numbers.
+    LogDevice dev;
+    ScribeDaemon host_a(dev, 2), host_b(dev, 2);
+    host_a.log("cat", 0.0, 1, {1});
+    host_b.log("cat", 0.0, 2, {2});
+    host_a.log("cat", 0.0, 3, {3});
+    host_b.log("cat", 0.0, 4, {4});
+    host_a.flush();
+    host_b.flush();
+    auto records = dev.read("cat", 0, 100);
+    ASSERT_EQ(records.size(), 4u);
+    for (size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(records[i].seq, i);
+    // Keys 1..4 all present regardless of interleaving.
+    std::set<uint64_t> keys;
+    for (const auto &r : records)
+        keys.insert(r.key);
+    EXPECT_EQ(keys, (std::set<uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(Scribe, ReaderAdvancesPastTrimPoint)
+{
+    LogDevice dev;
+    for (int i = 0; i < 10; ++i)
+        dev.append("s", i, i, {1});
+    StreamReader reader(dev, "s");
+    reader.poll(2); // consumed 0,1
+    dev.trim("s", 6);
+    auto records = reader.poll(100);
+    ASSERT_EQ(records.size(), 4u); // 6..9 (2..5 trimmed away)
+    EXPECT_EQ(records[0].seq, 6u);
+}
+
+TEST(Entries, FeatureRoundTrip)
+{
+    dwrf::Row row;
+    row.dense = {{3, 1.5f}, {9, -2.0f}};
+    dwrf::SparseFeature s;
+    s.id = 20;
+    s.values = {100, -5, 1 << 30};
+    s.scores = {0.1f, 0.2f, 0.3f};
+    row.sparse.push_back(s);
+
+    dwrf::Buffer buf;
+    encodeFeatures(row, buf);
+    auto back = decodeFeatures(buf);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->dense.size(), 2u);
+    EXPECT_EQ(back->dense[1].id, 9u);
+    ASSERT_EQ(back->sparse.size(), 1u);
+    EXPECT_EQ(back->sparse[0].values, s.values);
+    EXPECT_EQ(back->sparse[0].scores.size(), 3u);
+}
+
+TEST(Entries, MalformedFeatureRejected)
+{
+    dwrf::Buffer junk{0x05, 0x01};
+    EXPECT_FALSE(decodeFeatures(junk).has_value());
+}
+
+TEST(Entries, EventRoundTrip)
+{
+    EventLogEntry e{0xdeadbeefcafeULL, true};
+    dwrf::Buffer buf;
+    encodeEvent(e, buf);
+    auto back = decodeEvent(buf);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->request_id, e.request_id);
+    EXPECT_TRUE(back->positive);
+}
+
+class EtlPipelineTest : public ::testing::Test
+{
+  protected:
+    EtlPipelineTest()
+        : schema_(warehouse::makeSchema(params())),
+          cluster_(storage::StorageOptions{}), wh_(cluster_)
+    {
+    }
+
+    static warehouse::SchemaParams
+    params()
+    {
+        warehouse::SchemaParams p;
+        p.float_features = 12;
+        p.sparse_features = 6;
+        p.avg_length = 6;
+        p.seed = 5;
+        return p;
+    }
+
+    warehouse::TableSchema schema_;
+    storage::TectonicCluster cluster_;
+    warehouse::Warehouse wh_;
+    scribe::LogDevice dev_;
+};
+
+TEST_F(EtlPipelineTest, EndToEndServeJoinMaterialize)
+{
+    ServingOptions so;
+    so.event_loss_rate = 0.0;
+    ServingSimulator serving(dev_, schema_, so);
+    serving.serve(500, 0.0);
+    serving.flush();
+    EXPECT_EQ(dev_.recordCount("features"), 500u);
+    EXPECT_EQ(dev_.recordCount("events"), 500u);
+
+    StreamingJoiner joiner(dev_, JoinOptions{});
+    uint64_t emitted = joiner.pump(1000.0); // past all windows
+    EXPECT_EQ(emitted, 500u);
+    EXPECT_EQ(dev_.recordCount("labeled"), 500u);
+
+    auto &table = wh_.createTable("t", schema_);
+    MaterializeOptions mo;
+    mo.rows_per_file = 200;
+    PartitionMaterializer mat(dev_, wh_, "labeled", mo);
+    uint64_t rows = mat.materialize(table, 0);
+    EXPECT_EQ(rows, 500u);
+    ASSERT_EQ(table.partitions().size(), 1u);
+    EXPECT_EQ(table.partitions()[0].rows, 500u);
+    EXPECT_EQ(table.partitions()[0].files.size(), 3u); // 200+200+100
+    EXPECT_GT(table.partitions()[0].stored_bytes, 0u);
+    // Labeled stream trimmed after materialization.
+    EXPECT_EQ(dev_.recordCount("labeled"), 0u);
+
+    // The files are readable DWRF with the right total rows.
+    uint64_t file_rows = 0;
+    for (const auto &f : table.partitions()[0].files) {
+        auto src = cluster_.open(f);
+        dwrf::FileReader reader(*src, dwrf::ReadOptions{});
+        ASSERT_TRUE(reader.valid());
+        file_rows += reader.totalRows();
+    }
+    EXPECT_EQ(file_rows, 500u);
+}
+
+TEST_F(EtlPipelineTest, LostEventsBecomeNegativesAfterWindow)
+{
+    ServingOptions so;
+    so.event_loss_rate = 1.0; // no events at all
+    ServingSimulator serving(dev_, schema_, so);
+    serving.serve(100, 0.0);
+    serving.flush();
+
+    JoinOptions jo;
+    jo.join_window = 60.0;
+    StreamingJoiner joiner(dev_, jo);
+    EXPECT_EQ(joiner.pump(30.0), 0u);  // window still open
+    EXPECT_EQ(joiner.pump(61.0), 100u); // expired -> negatives
+    EXPECT_DOUBLE_EQ(joiner.metrics().counter("join.window_expired"),
+                     100.0);
+}
+
+TEST_F(EtlPipelineTest, NegativeDownsamplingReducesOutput)
+{
+    ServingOptions so;
+    so.event_loss_rate = 0.0;
+    so.positive_rate = 0.0; // all negatives
+    ServingSimulator serving(dev_, schema_, so);
+    serving.serve(1000, 0.0);
+    serving.flush();
+
+    JoinOptions jo;
+    jo.negative_keep_rate = 0.25;
+    StreamingJoiner joiner(dev_, jo);
+    uint64_t emitted = joiner.pump(1000.0);
+    EXPECT_GT(emitted, 150u);
+    EXPECT_LT(emitted, 350u);
+}
+
+TEST_F(EtlPipelineTest, TrimConsumedBoundsLogGrowth)
+{
+    ServingSimulator serving(dev_, schema_, ServingOptions{});
+    serving.serve(200, 0.0);
+    serving.flush();
+    StreamingJoiner joiner(dev_, JoinOptions{});
+    joiner.pump(1000.0);
+    joiner.trimConsumed();
+    EXPECT_EQ(dev_.recordCount("features"), 0u);
+    EXPECT_EQ(dev_.recordCount("events"), 0u);
+}
+
+TEST_F(EtlPipelineTest, StreamWorkerProducesFreshTensors)
+{
+    ServingOptions so;
+    so.event_loss_rate = 0.0;
+    ServingSimulator serving(dev_, schema_, so);
+    serving.serve(700, 0.0);
+    serving.flush();
+    StreamingJoiner joiner(dev_, JoinOptions{});
+    joiner.pump(1000.0);
+
+    dpp::StreamSessionSpec spec;
+    spec.batch_size = 100;
+    transforms::TransformGraph graph;
+    transforms::TransformSpec hash;
+    hash.kind = transforms::OpKind::SigridHash;
+    hash.inputs = {schema_.features.back().id}; // a sparse feature
+    hash.output = transforms::kDerivedFeatureBase;
+    hash.u1 = 1 << 10;
+    graph.add(hash);
+    spec.setTransforms(graph);
+
+    dpp::StreamWorker worker(dev_, spec);
+    EXPECT_EQ(worker.pump(), 700u);
+    worker.flush();
+    EXPECT_EQ(worker.buffered(), 7u);
+    uint64_t rows = 0;
+    bool saw_derived = false;
+    while (auto t = worker.popTensor()) {
+        rows += t->data.rows;
+        saw_derived = saw_derived ||
+                      t->data.findSparse(
+                          transforms::kDerivedFeatureBase) != nullptr;
+    }
+    EXPECT_EQ(rows, 700u);
+    EXPECT_TRUE(saw_derived);
+    EXPECT_GT(worker.transformStats().values_produced, 0u);
+
+    worker.trimConsumed();
+    EXPECT_EQ(dev_.recordCount("labeled"), 0u);
+    // New samples keep flowing.
+    serving.serve(100, 10.0);
+    serving.flush();
+    joiner.pump(2000.0);
+    EXPECT_EQ(worker.pump(), 100u);
+    worker.flush();
+    EXPECT_EQ(worker.buffered(), 1u);
+}
+
+TEST_F(EtlPipelineTest, StreamWorkerProjectionFiltersColumns)
+{
+    ServingOptions so;
+    so.event_loss_rate = 0.0;
+    ServingSimulator serving(dev_, schema_, so);
+    serving.serve(200, 0.0);
+    serving.flush();
+    StreamingJoiner joiner(dev_, JoinOptions{});
+    joiner.pump(1000.0);
+
+    dpp::StreamSessionSpec spec;
+    spec.batch_size = 200;
+    FeatureId keep_dense = schema_.features.front().id;
+    spec.projection = {keep_dense};
+    spec.setTransforms(transforms::TransformGraph{});
+    dpp::StreamWorker worker(dev_, spec);
+    worker.pump();
+    worker.flush();
+    auto t = worker.popTensor();
+    ASSERT_TRUE(t.has_value());
+    ASSERT_EQ(t->data.dense.size(), 1u);
+    EXPECT_EQ(t->data.dense[0].id, keep_dense);
+    EXPECT_TRUE(t->data.sparse.empty());
+    EXPECT_EQ(t->data.labels.size(), 200u);
+}
+
+TEST_F(EtlPipelineTest, StreamWorkerSkipsMalformedRecords)
+{
+    dev_.append("labeled", 0.0, 1, {});          // empty payload
+    dev_.append("labeled", 0.0, 2, {1, 0xff});   // junk features
+    dpp::StreamSessionSpec spec;
+    spec.setTransforms(transforms::TransformGraph{});
+    dpp::StreamWorker worker(dev_, spec);
+    EXPECT_EQ(worker.pump(), 2u);
+    worker.flush();
+    EXPECT_EQ(worker.buffered(), 0u);
+    EXPECT_DOUBLE_EQ(worker.metrics().counter("stream.malformed"),
+                     2.0);
+}
+
+} // namespace
+} // namespace dsi

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine, resource models, device
+ * models, the datacenter tax, and power accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/device.h"
+#include "sim/event_queue.h"
+#include "sim/power.h"
+#include "sim/resource.h"
+#include "sim/tax.h"
+
+namespace dsi::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 10)
+            q.scheduleAfter(1.0, chain);
+    };
+    q.schedule(0.0, chain);
+    uint64_t n = q.run();
+    EXPECT_EQ(n, 10u);
+    EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&] { ++fired; });
+    q.schedule(5.0, [&] { ++fired; });
+    q.runUntil(2.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(RateResource, UtilizationClipsAtOne)
+{
+    RateResource r("cpu", 100.0);
+    r.offer(50.0);
+    EXPECT_DOUBLE_EQ(r.utilization(), 0.5);
+    EXPECT_FALSE(r.saturated());
+    r.offer(100.0);
+    EXPECT_DOUBLE_EQ(r.utilization(), 1.0);
+    EXPECT_DOUBLE_EQ(r.demandRatio(), 1.5);
+    EXPECT_TRUE(r.saturated());
+}
+
+TEST(RateResource, AchievableThrottlesProportionally)
+{
+    RateResource r("nic", 100.0);
+    r.offer(200.0);
+    EXPECT_DOUBLE_EQ(r.achievable(100.0), 50.0);
+    r.resetOffered();
+    r.offer(80.0);
+    EXPECT_DOUBLE_EQ(r.achievable(80.0), 80.0);
+}
+
+TEST(UtilizationTracker, TimeWeightedAverage)
+{
+    UtilizationTracker t;
+    t.sample(0.0, 0.2);
+    t.sample(1.0, 0.8); // 0.2 held for [0,1)
+    t.sample(3.0, 0.0); // 0.8 held for [1,3)
+    EXPECT_NEAR(t.average(), (0.2 * 1 + 0.8 * 2) / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(t.peak(), 0.8);
+}
+
+TEST(HddModel, SmallIosAreSeekBound)
+{
+    HddNodeModel hdd;
+    // A 4 KiB random read is dominated by seek + rotation.
+    double t_small = hdd.ioTime(4096);
+    EXPECT_GT(t_small, 0.012);
+    EXPECT_LT(t_small, 0.013);
+    // Throughput grows superlinearly from tiny to large IOs.
+    EXPECT_GT(hdd.throughput(1310720) / hdd.throughput(4096), 50.0);
+}
+
+TEST(HddModel, IopsScalesWithSpindles)
+{
+    HddNodeModel hdd;
+    HddNodeModel big = hdd;
+    big.spindles = 72;
+    EXPECT_NEAR(big.iops(4096) / hdd.iops(4096), 2.0, 1e-9);
+}
+
+TEST(SsdModel, PaperRatiosEmerge)
+{
+    // Section VII: SSD nodes provide ~326% IOPS/W but only ~9%
+    // capacity/W compared to HDD nodes.
+    HddNodeModel hdd;
+    SsdNodeModel ssd;
+    double iops_ratio = ssd.iopsPerWatt() / hdd.iopsPerWatt();
+    double cap_ratio = ssd.capacityPerWatt() / hdd.capacityPerWatt();
+    EXPECT_NEAR(iops_ratio, 3.26, 0.35);
+    EXPECT_NEAR(cap_ratio, 0.09, 0.02);
+}
+
+TEST(ComputeNodes, TableXSpecs)
+{
+    auto v1 = computeNodeV1();
+    auto v2 = computeNodeV2();
+    auto v3 = computeNodeV3();
+    EXPECT_EQ(v1.cores, 18u);
+    EXPECT_DOUBLE_EQ(v1.nic_gbps, 12.5);
+    EXPECT_DOUBLE_EQ(v1.mem_bw_gbps, 75.0);
+    EXPECT_EQ(v2.cores, 26u);
+    EXPECT_DOUBLE_EQ(v2.mem_bw_gbps, 92.0);
+    EXPECT_EQ(v3.cores, 36u);
+    EXPECT_DOUBLE_EQ(v3.mem_bw_gbps, 83.0);
+    // The paper's observation: cores and NIC grow faster than memory
+    // bandwidth across generations.
+    double core_growth =
+        static_cast<double>(v3.cores) / static_cast<double>(v1.cores);
+    double membw_growth = v3.mem_bw_gbps / v1.mem_bw_gbps;
+    EXPECT_GT(core_growth, membw_growth);
+    EXPECT_GT(v3.nic_gbps / v1.nic_gbps, membw_growth);
+}
+
+TEST(DatacenterTax, TlsOffloadReducesCost)
+{
+    DatacenterTax full;
+    DatacenterTax off = taxWithTlsOffload();
+    EXPECT_GT(full.cyclesPerByte(), off.cyclesPerByte());
+    EXPECT_NEAR(full.memBwPerByte() - off.memBwPerByte(), 3.0, 1e-12);
+}
+
+TEST(DatacenterTax, LoadScalesLinearly)
+{
+    DatacenterTax tax;
+    EXPECT_DOUBLE_EQ(tax.cpuLoad(2e9), 2.0 * tax.cpuLoad(1e9));
+    EXPECT_DOUBLE_EQ(tax.memBwLoad(2e9), 2.0 * tax.memBwLoad(1e9));
+}
+
+TEST(PowerBreakdown, FractionsSumToOne)
+{
+    PowerBreakdown p;
+    p.add("storage", 10, 540);
+    p.add("preprocessing", 24, 250);
+    p.add("training", 1, 3300);
+    double total = p.fraction("storage") + p.fraction("preprocessing") +
+                   p.fraction("training");
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_GT(p.total(), 0.0);
+    EXPECT_DOUBLE_EQ(p.categoryWatts("storage"), 5400.0);
+}
+
+} // namespace
+} // namespace dsi::sim

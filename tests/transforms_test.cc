@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Unit tests for every Table XI transformation, spec serialization,
+ * and graph compilation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "transforms/graph.h"
+#include "transforms/ops.h"
+#include "warehouse/datagen.h"
+
+namespace dsi::transforms {
+namespace {
+
+/** Batch with one dense feature (id 1) and two sparse (ids 10, 11). */
+dwrf::RowBatch
+testBatch()
+{
+    std::vector<dwrf::Row> rows(3);
+    rows[0].label = 1;
+    rows[0].dense = {{1, 0.25f}};
+    rows[0].sparse.push_back({10, {5, 7, 9}, {}});
+    rows[0].sparse.push_back({11, {7, 8}, {}});
+    rows[1].label = 0;
+    rows[1].dense = {{1, 0.75f}};
+    rows[1].sparse.push_back({10, {-3, 5}, {}});
+    rows[1].sparse.push_back({11, {2}, {}});
+    rows[2].label = 0; // row with nothing but dense
+    rows[2].dense = {{1, 42.0f}};
+    return dwrf::batchFromRows(rows);
+}
+
+TransformSpec
+spec(OpKind kind, std::vector<FeatureId> inputs, FeatureId out)
+{
+    TransformSpec s;
+    s.kind = kind;
+    s.inputs = std::move(inputs);
+    s.output = out;
+    return s;
+}
+
+TEST(Ops, ClampBoundsValues)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::Clamp, {1}, 100);
+    s.p0 = 0.3;
+    s.p1 = 1.0;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findDense(100);
+    ASSERT_NE(out, nullptr);
+    EXPECT_FLOAT_EQ(out->values[0], 0.3f);
+    EXPECT_FLOAT_EQ(out->values[1], 0.75f);
+    EXPECT_FLOAT_EQ(out->values[2], 1.0f);
+    EXPECT_EQ(stats.values_consumed, 3u);
+}
+
+TEST(Ops, LogitMapsUnitInterval)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::Logit, {1}, 100);
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findDense(100);
+    ASSERT_NE(out, nullptr);
+    EXPECT_NEAR(out->values[0], std::log(0.25 / 0.75), 1e-5);
+    EXPECT_NEAR(out->values[1], std::log(0.75 / 0.25), 1e-5);
+    // 42 clamps to 1 - eps -> large positive.
+    EXPECT_GT(out->values[2], 10.0f);
+}
+
+TEST(Ops, BoxCoxLambdaZeroIsLog)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::BoxCox, {1}, 100);
+    s.p0 = 0.0;
+    s.p1 = 1.0;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    EXPECT_NEAR(batch.findDense(100)->values[0], std::log(1.25), 1e-5);
+}
+
+TEST(Ops, BucketizeProducesBucketIndices)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::Bucketize, {1}, 100);
+    s.p0 = 0.0;
+    s.p1 = 0.5;
+    s.u0 = 4;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findDense(100);
+    EXPECT_FLOAT_EQ(out->values[0], 0.0f); // 0.25 -> bucket 0
+    EXPECT_FLOAT_EQ(out->values[1], 1.0f); // 0.75 -> bucket 1
+    EXPECT_FLOAT_EQ(out->values[2], 3.0f); // 42 clamps to last
+}
+
+TEST(Ops, OnehotEmitsSingleCategorical)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::Onehot, {1}, 100);
+    s.p0 = 0.0;
+    s.p1 = 0.5;
+    s.u0 = 8;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findSparse(100);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->length(0), 1u);
+    EXPECT_EQ(out->values[out->offsets[1]], 1); // 0.75 / 0.5 -> 1
+}
+
+TEST(Ops, GetLocalHourWrapsDay)
+{
+    auto batch = testBatch();
+    // Treat dense value 42 as a timestamp; offset 3 hours.
+    auto s = spec(OpKind::GetLocalHour, {1}, 100);
+    s.u0 = 3;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findDense(100);
+    EXPECT_FLOAT_EQ(out->values[2], 3.0f); // 42s + 3h -> hour 3
+    for (float v : out->values) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 24.0f);
+    }
+}
+
+TEST(Ops, SigridHashBoundsAndDeterminism)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::SigridHash, {10}, 100);
+    s.u0 = 77;
+    s.u1 = 1000;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findSparse(100);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->values.size(), 5u); // 3 + 2 + 0
+    for (int64_t v : out->values) {
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 1000);
+    }
+    // Same input id twice hashes identically.
+    EXPECT_EQ(sigridHash64(5, 77), sigridHash64(5, 77));
+    EXPECT_NE(sigridHash64(5, 77), sigridHash64(5, 78));
+}
+
+TEST(Ops, FirstXTruncates)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::FirstX, {10}, 100);
+    s.u0 = 2;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findSparse(100);
+    EXPECT_EQ(out->length(0), 2u);
+    EXPECT_EQ(out->length(1), 2u);
+    EXPECT_EQ(out->values[0], 5);
+    EXPECT_EQ(out->values[1], 7);
+}
+
+TEST(Ops, PositiveModulusAlwaysNonNegative)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::PositiveModulus, {10}, 100);
+    s.u0 = 7;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findSparse(100);
+    for (int64_t v : out->values) {
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 7);
+    }
+    // -3 mod 7 -> 4
+    EXPECT_EQ(out->values[out->offsets[1]], 4);
+}
+
+TEST(Ops, MapIdRemapsDictionary)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::MapId, {10}, 100);
+    s.u0 = 8; // ids < 8 remap to id+1, others to default
+    s.u1 = 0;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findSparse(100);
+    EXPECT_EQ(out->values[0], 6); // 5 -> 6
+    EXPECT_EQ(out->values[2], 0); // 9 -> default
+}
+
+TEST(Ops, EnumerateAddsPositionScores)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::Enumerate, {10}, 100);
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findSparse(100);
+    ASSERT_EQ(out->scores.size(), out->values.size());
+    EXPECT_FLOAT_EQ(out->scores[0], 0.0f);
+    EXPECT_FLOAT_EQ(out->scores[2], 2.0f);
+}
+
+TEST(Ops, ComputeScoreAffine)
+{
+    std::vector<dwrf::Row> rows(1);
+    rows[0].sparse.push_back({10, {1, 2}, {0.5f, 1.5f}});
+    auto batch = dwrf::batchFromRows(rows);
+    auto s = spec(OpKind::ComputeScore, {10}, 100);
+    s.p0 = 2.0;
+    s.p1 = 1.0;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findSparse(100);
+    EXPECT_FLOAT_EQ(out->scores[0], 2.0f);
+    EXPECT_FLOAT_EQ(out->scores[1], 4.0f);
+}
+
+TEST(Ops, CartesianCrossesListsWithCap)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::Cartesian, {10, 11}, 100);
+    s.u0 = 4; // cap
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findSparse(100);
+    EXPECT_EQ(out->length(0), 4u); // 3x2 capped to 4
+    EXPECT_EQ(out->length(1), 2u); // 2x1
+    EXPECT_EQ(out->length(2), 0u);
+}
+
+TEST(Ops, IdListTransformIntersects)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::IdListTransform, {10, 11}, 100);
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findSparse(100);
+    ASSERT_EQ(out->length(0), 1u);
+    EXPECT_EQ(out->values[0], 7); // {5,7,9} n {7,8}
+    EXPECT_EQ(out->length(1), 0u);
+}
+
+TEST(Ops, NGramEmitsWindows)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::NGram, {10}, 100);
+    s.u0 = 2;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    const auto *out = batch.findSparse(100);
+    EXPECT_EQ(out->length(0), 2u); // 3 ids -> 2 bigrams
+    EXPECT_EQ(out->length(1), 1u);
+    for (int64_t v : out->values)
+        EXPECT_GE(v, 0);
+}
+
+TEST(Ops, SamplingKeepsApproxFraction)
+{
+    std::vector<dwrf::Row> rows(4000);
+    for (size_t i = 0; i < rows.size(); ++i)
+        rows[i].dense = {{1, static_cast<float>(i)}};
+    auto batch = dwrf::batchFromRows(rows);
+    auto s = spec(OpKind::Sampling, {}, 0);
+    s.p0 = 0.25;
+    s.u0 = 9;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    EXPECT_NEAR(batch.rows, 1000u, 120u);
+    EXPECT_EQ(stats.rows_in, 4000u);
+    EXPECT_EQ(stats.rows_out, batch.rows);
+    // Columns stay consistent.
+    ASSERT_EQ(batch.dense.size(), 1u);
+    EXPECT_EQ(batch.dense[0].values.size(), batch.rows);
+}
+
+TEST(Ops, MissingInputIsTolerated)
+{
+    auto batch = testBatch();
+    auto s = spec(OpKind::SigridHash, {999}, 100);
+    s.u1 = 10;
+    TransformStats stats;
+    compileTransform(s)->apply(batch, stats);
+    EXPECT_EQ(batch.findSparse(100), nullptr);
+    EXPECT_EQ(stats.values_consumed, 0u);
+}
+
+TEST(Ops, WrongArityDies)
+{
+    auto s = spec(OpKind::Cartesian, {10}, 100);
+    EXPECT_DEATH(compileTransform(s), "expects 2 inputs");
+}
+
+TEST(Ops, ClassesMatchPaperCatalog)
+{
+    EXPECT_EQ(opClassOf(OpKind::Bucketize),
+              OpClass::FeatureGeneration);
+    EXPECT_EQ(opClassOf(OpKind::NGram), OpClass::FeatureGeneration);
+    EXPECT_EQ(opClassOf(OpKind::MapId), OpClass::FeatureGeneration);
+    EXPECT_EQ(opClassOf(OpKind::SigridHash),
+              OpClass::SparseNormalization);
+    EXPECT_EQ(opClassOf(OpKind::FirstX),
+              OpClass::SparseNormalization);
+    EXPECT_EQ(opClassOf(OpKind::Logit), OpClass::DenseNormalization);
+    EXPECT_EQ(opClassOf(OpKind::BoxCox), OpClass::DenseNormalization);
+    EXPECT_EQ(opClassOf(OpKind::Onehot), OpClass::DenseNormalization);
+    EXPECT_EQ(opClassOf(OpKind::Sampling), OpClass::Sampling);
+}
+
+TEST(Graph, CompiledGraphIsDeterministic)
+{
+    warehouse::SchemaParams p;
+    p.float_features = 12;
+    p.sparse_features = 8;
+    p.avg_length = 6;
+    auto schema = warehouse::makeSchema(p);
+    auto pop = warehouse::featurePopularity(schema, 1.0, 4);
+    auto proj = warehouse::chooseProjection(schema, pop, 6, 4, 4);
+    transforms::ModelGraphParams gp;
+    gp.derived_features = 4;
+    auto graph = makeModelGraph(schema, proj, gp);
+
+    warehouse::RowGenerator gen(schema, 9);
+    auto base = dwrf::batchFromRows(gen.batch(64));
+
+    auto run = [&]() {
+        CompiledGraph compiled(graph);
+        dwrf::RowBatch batch = base;
+        compiled.apply(batch);
+        uint64_t fingerprint = batch.rows;
+        for (const auto &c : batch.sparse)
+            for (int64_t v : c.values)
+                fingerprint =
+                    sigridHash64(fingerprint, static_cast<uint64_t>(v));
+        return fingerprint;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Graph, SameGraphAfterSerializationProducesSameOutput)
+{
+    warehouse::SchemaParams p;
+    p.float_features = 8;
+    p.sparse_features = 6;
+    p.avg_length = 5;
+    auto schema = warehouse::makeSchema(p);
+    auto pop = warehouse::featurePopularity(schema, 1.0, 4);
+    auto proj = warehouse::chooseProjection(schema, pop, 4, 3, 4);
+    transforms::ModelGraphParams gp;
+    gp.derived_features = 2;
+    auto graph = makeModelGraph(schema, proj, gp);
+    auto wire = TransformGraph::deserialize(graph.serialize());
+    ASSERT_TRUE(wire.has_value());
+
+    warehouse::RowGenerator gen(schema, 3);
+    auto batch_a = dwrf::batchFromRows(gen.batch(32));
+    auto batch_b = batch_a;
+    CompiledGraph(graph).apply(batch_a);
+    CompiledGraph(*wire).apply(batch_b);
+    ASSERT_EQ(batch_a.sparse.size(), batch_b.sparse.size());
+    for (size_t i = 0; i < batch_a.sparse.size(); ++i)
+        EXPECT_EQ(batch_a.sparse[i].values, batch_b.sparse[i].values);
+}
+
+TEST(Spec, SerializeRoundTrip)
+{
+    TransformSpec s;
+    s.kind = OpKind::Cartesian;
+    s.output = 12345;
+    s.inputs = {7, 9};
+    s.p0 = 1.5;
+    s.p1 = -2.0;
+    s.u0 = 64;
+    s.u1 = 0xabcdef;
+    dwrf::Buffer buf;
+    s.serialize(buf);
+    TransformSpec back;
+    size_t pos = 0;
+    ASSERT_TRUE(TransformSpec::deserialize(buf, pos, back));
+    EXPECT_EQ(back.kind, s.kind);
+    EXPECT_EQ(back.output, s.output);
+    EXPECT_EQ(back.inputs, s.inputs);
+    EXPECT_FLOAT_EQ(back.p0, 1.5f);
+    EXPECT_EQ(back.u1, s.u1);
+    EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Graph, SerializeRoundTripAndCompile)
+{
+    TransformGraph graph;
+    auto s1 = spec(OpKind::SigridHash, {10}, 100);
+    s1.u1 = 64;
+    graph.add(s1);
+    auto s2 = spec(OpKind::FirstX, {100}, 101);
+    s2.u0 = 2;
+    graph.add(s2);
+
+    auto bytes = graph.serialize();
+    auto back = TransformGraph::deserialize(bytes);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), 2u);
+
+    CompiledGraph compiled(*back);
+    auto batch = testBatch();
+    auto stats = compiled.apply(batch);
+    // Chained: output of hash feeds FirstX.
+    const auto *out = batch.findSparse(101);
+    ASSERT_NE(out, nullptr);
+    EXPECT_LE(out->length(0), 2u);
+    EXPECT_GT(stats.values_consumed, 0u);
+}
+
+TEST(Graph, MalformedBytesRejected)
+{
+    dwrf::Buffer junk{0x02, 0xff};
+    EXPECT_FALSE(TransformGraph::deserialize(junk).has_value());
+}
+
+TEST(Graph, MakeModelGraphShape)
+{
+    warehouse::SchemaParams p;
+    p.float_features = 30;
+    p.sparse_features = 20;
+    p.avg_length = 8;
+    auto schema = warehouse::makeSchema(p);
+    auto pop = warehouse::featurePopularity(schema, 1.0, 5);
+    auto proj = warehouse::chooseProjection(schema, pop, 10, 8, 77);
+
+    ModelGraphParams gp;
+    gp.derived_features = 6;
+    auto graph = makeModelGraph(schema, proj, gp);
+    EXPECT_GT(graph.size(), 6u * gp.min_chain);
+    EXPECT_GT(graph.countClass(OpClass::FeatureGeneration), 0u);
+    EXPECT_GT(graph.countClass(OpClass::SparseNormalization), 0u);
+    EXPECT_GT(graph.countClass(OpClass::DenseNormalization), 0u);
+
+    // Graph must execute cleanly on generated data.
+    warehouse::RowGenerator gen(schema, 3);
+    auto batch = dwrf::batchFromRows(gen.batch(64));
+    CompiledGraph compiled(graph);
+    auto stats = compiled.apply(batch);
+    EXPECT_GT(stats.values_produced, 0u);
+    // Feature generation should dominate consumed values.
+    EXPECT_GT(stats.classShare(OpClass::FeatureGeneration), 0.4);
+}
+
+} // namespace
+} // namespace dsi::transforms

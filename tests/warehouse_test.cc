@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Tests for schemas, synthetic data generation (Table V calibration),
+ * feature popularity / projections, tables, lifecycle (Table II), and
+ * the RM model zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "warehouse/datagen.h"
+#include "warehouse/lifecycle.h"
+#include "warehouse/model_zoo.h"
+#include "warehouse/table.h"
+
+namespace dsi::warehouse {
+namespace {
+
+TEST(Schema, CountsAndFind)
+{
+    SchemaParams p;
+    p.float_features = 10;
+    p.sparse_features = 4;
+    auto schema = makeSchema(p);
+    EXPECT_EQ(schema.countDense(), 10u);
+    EXPECT_EQ(schema.countSparse(), 4u);
+    EXPECT_NE(schema.find(1), nullptr);
+    EXPECT_EQ(schema.find(999), nullptr);
+}
+
+TEST(Schema, StatisticsMatchParams)
+{
+    SchemaParams p;
+    p.float_features = 200;
+    p.sparse_features = 100;
+    p.coverage_u = 0.45;
+    p.avg_length = 26.0;
+    auto schema = makeSchema(p);
+    EXPECT_NEAR(schema.sparseCoverage(), 0.45, 0.03);
+    EXPECT_NEAR(schema.sparseAvgLength(), 26.0, 1.5);
+}
+
+TEST(RowGenerator, RowsMatchSchemaStatistics)
+{
+    SchemaParams p;
+    p.float_features = 40;
+    p.sparse_features = 30;
+    p.coverage_u = 0.4;
+    p.avg_length = 10.0;
+    auto schema = makeSchema(p);
+    RowGenerator gen(schema, 99);
+    const uint32_t n = 2000;
+    uint64_t sparse_present = 0, sparse_values = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        auto row = gen.next();
+        for (const auto &s : row.sparse) {
+            ++sparse_present;
+            sparse_values += s.values.size();
+            EXPECT_NE(schema.find(s.id), nullptr);
+        }
+    }
+    double coverage = static_cast<double>(sparse_present) /
+                      (static_cast<double>(n) * p.sparse_features);
+    EXPECT_NEAR(coverage, 0.4, 0.05);
+    double avg_len = static_cast<double>(sparse_values) /
+                     static_cast<double>(sparse_present);
+    EXPECT_NEAR(avg_len, 10.0, 2.0);
+}
+
+TEST(RowGenerator, Deterministic)
+{
+    auto schema = makeSchema(SchemaParams{});
+    RowGenerator a(schema, 7), b(schema, 7);
+    for (int i = 0; i < 20; ++i) {
+        auto ra = a.next(), rb = b.next();
+        ASSERT_EQ(ra.dense.size(), rb.dense.size());
+        ASSERT_EQ(ra.sparse.size(), rb.sparse.size());
+        for (size_t s = 0; s < ra.sparse.size(); ++s)
+            EXPECT_EQ(ra.sparse[s].values, rb.sparse[s].values);
+    }
+}
+
+TEST(Popularity, WeightsAreZipfRanked)
+{
+    auto schema = makeSchema(SchemaParams{});
+    auto pop = featurePopularity(schema, 1.0, 11);
+    ASSERT_EQ(pop.size(), schema.features.size());
+    std::vector<double> sorted = pop;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    EXPECT_DOUBLE_EQ(sorted.front(), 1.0); // rank 1 -> weight 1
+    EXPECT_GT(sorted.front() / sorted.back(), 10.0);
+}
+
+TEST(Projection, RespectsCountsAndKinds)
+{
+    SchemaParams p;
+    p.float_features = 100;
+    p.sparse_features = 50;
+    auto schema = makeSchema(p);
+    auto pop = featurePopularity(schema, 1.0, 3);
+    auto proj = chooseProjection(schema, pop, 20, 10, 123);
+    EXPECT_EQ(proj.size(), 30u);
+    uint32_t dense = 0, sparse = 0;
+    std::set<FeatureId> seen;
+    for (FeatureId id : proj) {
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate " << id;
+        const auto *f = schema.find(id);
+        ASSERT_NE(f, nullptr);
+        (f->isSparse() ? sparse : dense)++;
+    }
+    EXPECT_EQ(dense, 20u);
+    EXPECT_EQ(sparse, 10u);
+}
+
+TEST(Projection, PopularFeaturesChosenMoreOften)
+{
+    SchemaParams p;
+    p.float_features = 50;
+    p.sparse_features = 0;
+    auto schema = makeSchema(p);
+    auto pop = featurePopularity(schema, 1.2, 3);
+    // Count selections across many jobs.
+    std::map<FeatureId, int> picks;
+    for (uint64_t seed = 0; seed < 200; ++seed) {
+        for (FeatureId id : chooseProjection(schema, pop, 10, 0, seed))
+            ++picks[id];
+    }
+    // The most popular feature must be picked far more often than the
+    // least popular one.
+    FeatureId hot = 0, cold = 0;
+    double hi = -1, lo = 2;
+    for (size_t i = 0; i < pop.size(); ++i) {
+        if (pop[i] > hi) {
+            hi = pop[i];
+            hot = schema.features[i].id;
+        }
+        if (pop[i] < lo) {
+            lo = pop[i];
+            cold = schema.features[i].id;
+        }
+    }
+    EXPECT_GT(picks[hot], picks[cold] + 50);
+}
+
+TEST(Table, PartitionManagement)
+{
+    storage::TectonicCluster cluster(storage::StorageOptions{});
+    Warehouse wh(cluster);
+    auto &table = wh.createTable("t", makeSchema(SchemaParams{}));
+    table.addPartition({0, {"f0"}, 100, 1000});
+    table.addPartition({1, {"f1", "f2"}, 200, 3000});
+    EXPECT_EQ(table.totalRows(), 300u);
+    EXPECT_EQ(table.totalBytes(), 4000u);
+    EXPECT_NE(table.findPartition(1), nullptr);
+    EXPECT_EQ(table.findPartition(9), nullptr);
+    EXPECT_EQ(table.bytesOfPartitions({0, 1}), 4000u);
+    EXPECT_NE(wh.findTable("t"), nullptr);
+    EXPECT_EQ(wh.findTable("x"), nullptr);
+}
+
+TEST(Table, RetentionDropsOldestPartitionsAndFiles)
+{
+    storage::TectonicCluster cluster(storage::StorageOptions{});
+    Warehouse wh(cluster);
+    auto &table = wh.createTable("t", makeSchema(SchemaParams{}));
+    for (PartitionId p = 0; p < 5; ++p) {
+        std::string f = "t/p" + std::to_string(p);
+        cluster.put(f, dwrf::Buffer(100, 1));
+        table.addPartition({p, {f}, 10, 100});
+    }
+    EXPECT_EQ(cluster.logicalBytes(), 500u);
+
+    uint32_t dropped = table.applyRetention(2, cluster);
+    EXPECT_EQ(dropped, 3u);
+    EXPECT_EQ(table.partitions().size(), 2u);
+    EXPECT_EQ(table.findPartition(0), nullptr);
+    EXPECT_NE(table.findPartition(3), nullptr);
+    EXPECT_NE(table.findPartition(4), nullptr);
+    // Dropped partitions' files are gone from the cluster.
+    EXPECT_FALSE(cluster.exists("t/p0"));
+    EXPECT_TRUE(cluster.exists("t/p4"));
+    EXPECT_EQ(cluster.logicalBytes(), 200u);
+    // Retention is idempotent at or below the kept count.
+    EXPECT_EQ(table.applyRetention(2, cluster), 0u);
+}
+
+TEST(Table, DropMissingPartitionDies)
+{
+    storage::TectonicCluster cluster(storage::StorageOptions{});
+    Warehouse wh(cluster);
+    auto &table = wh.createTable("t", makeSchema(SchemaParams{}));
+    EXPECT_DEATH(table.dropPartition(7, cluster), "missing");
+}
+
+TEST(Lifecycle, LegalTransitions)
+{
+    FeatureRegistry reg;
+    reg.propose(1);
+    EXPECT_EQ(reg.state(1), FeatureState::Beta);
+    reg.transition(1, FeatureState::Experimental);
+    reg.transition(1, FeatureState::Active);
+    reg.transition(1, FeatureState::Deprecated);
+    reg.transition(1, FeatureState::Reaped);
+    EXPECT_EQ(reg.state(1), FeatureState::Reaped);
+}
+
+TEST(Lifecycle, IllegalTransitionDies)
+{
+    FeatureRegistry reg;
+    reg.propose(1);
+    EXPECT_DEATH(reg.transition(1, FeatureState::Active),
+                 "illegal transition");
+}
+
+TEST(Lifecycle, ActivelyWrittenStates)
+{
+    EXPECT_FALSE(FeatureRegistry::activelyWritten(FeatureState::Beta));
+    EXPECT_TRUE(
+        FeatureRegistry::activelyWritten(FeatureState::Experimental));
+    EXPECT_TRUE(FeatureRegistry::activelyWritten(FeatureState::Active));
+    EXPECT_TRUE(
+        FeatureRegistry::activelyWritten(FeatureState::Deprecated));
+    EXPECT_FALSE(
+        FeatureRegistry::activelyWritten(FeatureState::Reaped));
+}
+
+TEST(Lifecycle, CohortCensusMatchesTableIIShape)
+{
+    // Table II: 14614 features created in 6 months; 6 months later
+    // 10148 beta / 883 experimental / 1650 active / 1933 deprecated.
+    auto census = simulateCohort(LifecycleRates{}, 6, 6, 42);
+    double total = static_cast<double>(census.visibleTotal());
+    EXPECT_NEAR(total, 14614.0, 14614.0 * 0.05);
+    // Shape: beta dominates, then deprecated ~ active > experimental.
+    EXPECT_GT(census.beta, census.deprecated);
+    EXPECT_GT(census.deprecated, census.experimental);
+    EXPECT_GT(census.active, census.experimental);
+    EXPECT_NEAR(static_cast<double>(census.beta) / total, 0.694, 0.08);
+}
+
+TEST(Lifecycle, WrittenSchemaFiltersBetaAndReaped)
+{
+    SchemaParams p;
+    p.float_features = 4;
+    p.sparse_features = 2;
+    auto schema = makeSchema(p);
+    FeatureRegistry reg;
+    // Feature 1: beta (not written). Feature 2: active. Feature 3:
+    // reaped. Features 4-6 unknown to the registry (legacy, written).
+    reg.propose(1);
+    reg.propose(2);
+    reg.transition(2, FeatureState::Experimental);
+    reg.transition(2, FeatureState::Active);
+    reg.propose(3);
+    reg.transition(3, FeatureState::Experimental);
+    reg.transition(3, FeatureState::Deprecated);
+    reg.transition(3, FeatureState::Reaped);
+
+    auto written = writtenSchema(schema, reg);
+    EXPECT_EQ(written.features.size(), schema.features.size() - 2);
+    EXPECT_EQ(written.find(1), nullptr); // beta
+    EXPECT_NE(written.find(2), nullptr); // active
+    EXPECT_EQ(written.find(3), nullptr); // reaped
+    EXPECT_NE(written.find(4), nullptr); // legacy
+}
+
+TEST(ModelZoo, SpecsMatchPaperTables)
+{
+    auto rms = allRms();
+    ASSERT_EQ(rms.size(), 3u);
+    // Table V
+    EXPECT_EQ(rms[0].table_float_features, 12115u);
+    EXPECT_EQ(rms[1].table_sparse_features, 1817u);
+    EXPECT_NEAR(rms[2].coverage_u, 0.29, 1e-9);
+    // Table IV
+    EXPECT_EQ(rms[0].dense_used, 1221u);
+    EXPECT_EQ(rms[2].derived_features, 1u);
+    // Table III (products reconstruct the published PB numbers)
+    EXPECT_NEAR(rms[0].allPartitionsPb(), 13.45, 0.1);
+    EXPECT_NEAR(rms[1].usedPartitionsPb(), 25.94, 0.2);
+    EXPECT_NEAR(rms[2].allPartitionsPb(), 2.93, 0.05);
+    // Table VIII
+    EXPECT_NEAR(rms[0].trainer_node_gbps, 16.5, 1e-9);
+    // Derived trainer sample rates are positive and ordered by
+    // tensor size vs. throughput.
+    for (const auto &rm : rms)
+        EXPECT_GT(rm.trainerSamplesPerSec(), 1000.0);
+}
+
+TEST(ModelZoo, ScaledSchemaShrinksFeatureCounts)
+{
+    auto rm = rm1();
+    auto params = rm.scaledSchemaParams(0.01);
+    EXPECT_NEAR(params.float_features, 121, 2);
+    EXPECT_NEAR(params.sparse_features, 18, 2);
+    EXPECT_DOUBLE_EQ(params.coverage_u, rm.coverage_u);
+}
+
+} // namespace
+} // namespace dsi::warehouse
