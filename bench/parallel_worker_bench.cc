@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Wall-clock throughput scaling of the parallel DPP worker data
+ * plane.
+ *
+ * The paper's workers are multi-core: many extract/transform threads
+ * per node (Sections III-B1, VI-C). This bench generates a synthetic
+ * dataset shaped like the Table IV/V workloads (dense + sparse
+ * features, compressed/encrypted DWRF stripes, a per-model transform
+ * graph), then measures end-to-end batches/sec of one Worker as the
+ * pipeline grows from 1 thread to hardware_concurrency — the
+ * acceptance bar is >= 2x batches/sec at 4 threads vs 1.
+ *
+ * Threads are split between the stages (extract is the heavier stage
+ * here, as in the paper's RM workloads where decode+decompress
+ * dominate): T total -> ceil(T/2) extract + floor(T/2) transform,
+ * with at least one each.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "dpp/session.h"
+#include "test_fixtures_bench.h"
+#include "transforms/graph.h"
+#include "warehouse/datagen.h"
+
+using namespace dsi;
+
+namespace {
+
+struct RunResult
+{
+    double seconds = 0;
+    uint64_t batches = 0;
+    uint64_t rows = 0;
+};
+
+dpp::SessionSpec
+makeSpec(const benchfix::MiniWarehouse &mw)
+{
+    dpp::SessionSpec spec;
+    spec.table = mw.name;
+    spec.partitions = {0, 1};
+    // Table V: jobs project ~10% of stored features.
+    spec.projection = warehouse::chooseProjection(
+        mw.schema, mw.popularity, 12, 8, 7);
+    transforms::ModelGraphParams gp;
+    gp.derived_features = 6;
+    spec.setTransforms(
+        transforms::makeModelGraph(mw.schema, spec.projection, gp));
+    spec.batch_size = 512;
+    spec.rows_per_split = 4096;
+    return spec;
+}
+
+/** Drive one Worker to completion with `threads` pipeline threads. */
+RunResult
+runOnce(const benchfix::MiniWarehouse &mw,
+        const dpp::SessionSpec &spec, uint32_t threads)
+{
+    dpp::Master master(*mw.warehouse, spec);
+    dpp::WorkerOptions wo;
+    wo.buffer_capacity = 64;
+    wo.buffer_bytes_capacity = 256_MiB;
+    wo.num_extract_threads = (threads + 1) / 2;
+    wo.num_transform_threads =
+        threads / 2 > 0 ? threads / 2 : 1;
+    if (threads == 1) {
+        wo.num_extract_threads = 1;
+        wo.num_transform_threads = 1;
+    }
+    dpp::Worker worker(master, *mw.warehouse, wo);
+
+    RunResult r;
+    auto t0 = std::chrono::steady_clock::now();
+    worker.start();
+    while (!worker.drained()) {
+        if (auto t = worker.popTensor()) {
+            ++r.batches;
+            r.rows += t->data.rows;
+        }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Parallel DPP worker: batches/sec scaling ===\n");
+
+    // Synthetic Table IV/V-shaped dataset: wide schema, DWRF
+    // stripes with compression + encryption.
+    warehouse::SchemaParams params;
+    params.name = "bench";
+    params.float_features = 120;
+    params.sparse_features = 60;
+    params.avg_length = 12;
+    params.coverage_u = 0.6;
+    params.seed = 42;
+    auto mw = benchfix::makeMiniWarehouse(params, 2, 32768, 16384);
+    auto spec = makeSpec(mw);
+
+    // A 1-thread pipeline run is the baseline ("1 extract + 1
+    // transform thread" is the closest pipelined equivalent of the
+    // synchronous worker; its throughput matches pump() to within
+    // hand-off overhead).
+    unsigned hw = ThreadPool::hardwareConcurrency();
+    // Sweep to >= 4 threads even on small machines so the 4-vs-1
+    // acceptance point always runs; past `hw` the threads time-slice
+    // one core and speedup flattens (expected).
+    unsigned max_threads = hw < 4 ? 4 : hw;
+    std::printf("hardware_concurrency: %u (sweeping 1..%u)\n\n", hw,
+                max_threads);
+
+    TablePrinter table({"Threads", "Extract", "Transform", "Seconds",
+                        "Batches/s", "Rows/s", "Speedup"});
+    double base_rate = 0;
+    for (uint32_t threads = 1; threads <= max_threads; threads *= 2) {
+        auto r = runOnce(mw, spec, threads);
+        double rate = r.batches / r.seconds;
+        if (threads == 1)
+            base_rate = rate;
+        uint32_t e = threads == 1 ? 1 : (threads + 1) / 2;
+        uint32_t m = threads == 1 ? 1 : (threads / 2 > 0 ? threads / 2
+                                                         : 1);
+        table.addRow({std::to_string(threads), std::to_string(e),
+                      std::to_string(m),
+                      TablePrinter::num(r.seconds, 3),
+                      TablePrinter::num(rate, 1),
+                      TablePrinter::num(r.rows / r.seconds, 0),
+                      TablePrinter::num(rate / base_rate, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nacceptance: >= 2x batches/sec at 4 threads vs 1 "
+                "(backpressure caps: 64 tensors / 256 MiB; stripe "
+                "queue depth 8)\n");
+    if (hw < 4)
+        std::printf("note: only %u hardware thread(s) available — "
+                    "threads > %u time-slice and cannot speed up; "
+                    "run on a >= 4-core machine to measure the "
+                    "acceptance point.\n",
+                    hw, hw);
+    return 0;
+}

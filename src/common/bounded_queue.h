@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Bounded MPMC blocking queue.
+ *
+ * The hand-off between pipeline stages of the parallel DPP worker:
+ * extract threads push decoded stripes, transform threads pop them.
+ * The bound is the backpressure mechanism — a full queue blocks
+ * producers, exactly as production workers bound in-memory state to
+ * avoid OOM (Section VI-C).
+ *
+ * close() ends the stream: blocked producers fail fast, and consumers
+ * drain whatever remains before pop() returns nullopt. All methods
+ * are safe to call concurrently from any thread.
+ */
+
+#ifndef DSI_COMMON_BOUNDED_QUEUE_H
+#define DSI_COMMON_BOUNDED_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dsi {
+
+/** Fixed-capacity multi-producer / multi-consumer blocking queue. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Block until there is room (or the queue closes). Returns false
+     * — dropping `value` — iff the queue was closed.
+     */
+    bool push(T value)
+    {
+        std::unique_lock lock(mutex_);
+        not_full_.wait(lock, [this] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(value));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Non-blocking push; false when full or closed. */
+    bool tryPush(T value)
+    {
+        {
+            std::unique_lock lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(value));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available (or the queue closes). Returns
+     * nullopt only when the queue is closed AND fully drained.
+     */
+    std::optional<T> pop()
+    {
+        std::unique_lock lock(mutex_);
+        not_empty_.wait(lock,
+                        [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T value = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /** Non-blocking pop; nullopt when currently empty. */
+    std::optional<T> tryPop()
+    {
+        std::unique_lock lock(mutex_);
+        if (items_.empty())
+            return std::nullopt;
+        T value = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /** End the stream: wake every blocked producer and consumer. */
+    void close()
+    {
+        {
+            std::unique_lock lock(mutex_);
+            closed_ = true;
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    bool closed() const
+    {
+        std::unique_lock lock(mutex_);
+        return closed_;
+    }
+
+    size_t size() const
+    {
+        std::unique_lock lock(mutex_);
+        return items_.size();
+    }
+
+    size_t capacity() const { return capacity_; }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace dsi
+
+#endif // DSI_COMMON_BOUNDED_QUEUE_H

@@ -8,6 +8,9 @@ namespace dsi {
 void
 Metrics::merge(const Metrics &other)
 {
+    if (this == &other)
+        return;
+    std::scoped_lock lock(mutex_, other.mutex_);
     for (const auto &[k, v] : other.counters_)
         counters_[k] += v;
     for (const auto &[k, v] : other.gauges_) {
@@ -19,6 +22,7 @@ Metrics::merge(const Metrics &other)
 std::string
 Metrics::render() const
 {
+    std::scoped_lock lock(mutex_);
     std::string out;
     char line[256];
     for (const auto &[k, v] : counters_) {

@@ -3,6 +3,14 @@
  * Lightweight named-metric registry: counters and gauges that modules
  * use to expose operational statistics (bytes read, splits completed,
  * stall seconds, ...) to tests, benches, and the auto-scaler.
+ *
+ * Thread safety: every method is mutex-guarded, so a Metrics bag can
+ * be updated concurrently from pipeline threads (the parallel DPP
+ * worker does exactly that). For hot paths, prefer accumulating into
+ * a thread-local Metrics and folding it in with merge() — one lock
+ * acquisition per drain instead of per event. The counters()/gauges()
+ * map references are only stable snapshots once writers have
+ * quiesced (e.g. after Worker::drained()).
  */
 
 #ifndef DSI_COMMON_METRICS_H
@@ -10,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace dsi {
@@ -18,30 +27,55 @@ namespace dsi {
 class Metrics
 {
   public:
+    Metrics() = default;
+
+    /** Copying snapshots the other bag under its lock. */
+    Metrics(const Metrics &other)
+    {
+        std::scoped_lock lock(other.mutex_);
+        counters_ = other.counters_;
+        gauges_ = other.gauges_;
+    }
+
+    Metrics &operator=(const Metrics &other)
+    {
+        if (this == &other)
+            return *this;
+        std::scoped_lock lock(mutex_, other.mutex_);
+        counters_ = other.counters_;
+        gauges_ = other.gauges_;
+        return *this;
+    }
+
     void inc(const std::string &name, double delta = 1.0)
     {
+        std::scoped_lock lock(mutex_);
         counters_[name] += delta;
     }
 
     void set(const std::string &name, double value)
     {
+        std::scoped_lock lock(mutex_);
         gauges_[name] = value;
     }
 
     double counter(const std::string &name) const
     {
+        std::scoped_lock lock(mutex_);
         auto it = counters_.find(name);
         return it == counters_.end() ? 0.0 : it->second;
     }
 
     double gauge(const std::string &name) const
     {
+        std::scoped_lock lock(mutex_);
         auto it = gauges_.find(name);
         return it == gauges_.end() ? 0.0 : it->second;
     }
 
     bool hasCounter(const std::string &name) const
     {
+        std::scoped_lock lock(mutex_);
         return counters_.count(name) != 0;
     }
 
@@ -56,6 +90,7 @@ class Metrics
 
     void clear()
     {
+        std::scoped_lock lock(mutex_);
         counters_.clear();
         gauges_.clear();
     }
@@ -64,6 +99,7 @@ class Metrics
     std::string render() const;
 
   private:
+    mutable std::mutex mutex_;
     std::map<std::string, double> counters_;
     std::map<std::string, double> gauges_;
 };

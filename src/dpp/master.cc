@@ -90,6 +90,7 @@ Master::enumerateSplits(const warehouse::Warehouse &warehouse)
 WorkerId
 Master::registerWorker()
 {
+    std::scoped_lock lock(mutex_);
     WorkerId id = next_worker_++;
     live_workers_.insert(id);
     metrics_.inc("master.workers_registered");
@@ -99,6 +100,7 @@ Master::registerWorker()
 std::optional<Split>
 Master::requestSplit(WorkerId worker)
 {
+    std::scoped_lock lock(mutex_);
     dsi_assert(live_workers_.count(worker),
                "unknown or dead worker %u", worker);
     if (pending_.empty())
@@ -113,6 +115,7 @@ Master::requestSplit(WorkerId worker)
 void
 Master::completeSplit(WorkerId worker, uint64_t split_id)
 {
+    std::scoped_lock lock(mutex_);
     auto it = inflight_.find(split_id);
     dsi_assert(it != inflight_.end(), "split %llu not in flight",
                static_cast<unsigned long long>(split_id));
@@ -128,6 +131,7 @@ Master::completeSplit(WorkerId worker, uint64_t split_id)
 void
 Master::failWorker(WorkerId worker)
 {
+    std::scoped_lock lock(mutex_);
     live_workers_.erase(worker);
     // Stateless Workers: just requeue whatever they were processing.
     for (auto it = inflight_.begin(); it != inflight_.end();) {
@@ -145,6 +149,7 @@ Master::failWorker(WorkerId worker)
 SessionProgress
 Master::progress() const
 {
+    std::scoped_lock lock(mutex_);
     SessionProgress p;
     p.total_splits = splits_.size();
     p.completed_splits = completed_.size();
@@ -156,6 +161,7 @@ Master::progress() const
 MasterCheckpoint
 Master::checkpoint() const
 {
+    std::scoped_lock lock(mutex_);
     MasterCheckpoint cp;
     cp.next_split_cursor = splits_.size();
     cp.completed.assign(completed_.begin(), completed_.end());
@@ -187,6 +193,7 @@ Master::restoreFromStorage(const storage::TectonicCluster &cluster,
 void
 Master::restore(const MasterCheckpoint &checkpoint)
 {
+    std::scoped_lock lock(mutex_);
     completed_.clear();
     for (uint64_t id : checkpoint.completed) {
         dsi_assert(id < splits_.size(),

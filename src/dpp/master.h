@@ -8,6 +8,12 @@
  * checkpoints reader state for fault tolerance, restarts failed
  * Workers' splits (Workers are stateless, so no Worker checkpoint is
  * needed), and is itself replicable via checkpoint/restore.
+ *
+ * Thread safety: the split-distribution API (registerWorker,
+ * requestSplit, completeSplit, failWorker, progress, checkpoint,
+ * restore) is mutex-guarded so many parallel Workers — and the many
+ * extract threads inside each one — can call in concurrently, as the
+ * RPC server of a production Master would.
  */
 
 #ifndef DSI_DPP_MASTER_H
@@ -15,6 +21,7 @@
 
 #include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -110,6 +117,7 @@ class Master
   private:
     void enumerateSplits(const warehouse::Warehouse &warehouse);
 
+    mutable std::mutex mutex_; ///< guards split-distribution state
     SessionSpec spec_;
     std::vector<Split> splits_;
     std::deque<uint64_t> pending_;              ///< split ids

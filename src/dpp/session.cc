@@ -1,5 +1,7 @@
 #include "session.h"
 
+#include <thread>
+
 #include "common/logging.h"
 
 namespace dsi::dpp {
@@ -37,6 +39,9 @@ void
 InProcessSession::injectWorkerFailure(size_t i)
 {
     dsi_assert(i < workers_.size(), "no worker at index %zu", i);
+    // Stop the victim's pipeline threads first so none of them calls
+    // into the Master after the health monitor declares it dead.
+    workers_[i]->stop();
     // Health monitor notices; in-flight splits requeue. The dead
     // worker's buffered (unserved) tensors are lost with it.
     master_->failWorker(workers_[i]->id());
@@ -44,11 +49,44 @@ InProcessSession::injectWorkerFailure(size_t i)
     // Stateless restart: a fresh worker replaces it (no checkpoint).
     workers_[i] = std::make_unique<Worker>(*master_, warehouse_,
                                            options_.worker);
+    if (running_parallel_)
+        workers_[i]->start();
     rebuildClients();
+}
+
+uint64_t
+InProcessSession::drainClients(SessionResult &result, TensorSink &sink)
+{
+    uint64_t delivered = 0;
+    for (auto &c : clients_) {
+        for (;;) {
+            auto tensor = c->next();
+            if (!tensor)
+                break;
+            ++delivered;
+            ++result.tensors_delivered;
+            result.rows_delivered += tensor->data.rows;
+            result.tensor_bytes += tensor->bytes;
+            if (sink)
+                sink(c->id(), *tensor);
+        }
+    }
+    return delivered;
 }
 
 SessionResult
 InProcessSession::run(TensorSink sink, uint64_t fail_after_splits)
+{
+    if (options_.worker.num_extract_threads > 0 ||
+        options_.worker.num_transform_threads > 0) {
+        return runParallel(std::move(sink), fail_after_splits);
+    }
+    return runSynchronous(std::move(sink), fail_after_splits);
+}
+
+SessionResult
+InProcessSession::runSynchronous(TensorSink sink,
+                                 uint64_t fail_after_splits)
 {
     SessionResult result;
     bool failure_pending = fail_after_splits > 0;
@@ -69,20 +107,7 @@ InProcessSession::run(TensorSink sink, uint64_t fail_after_splits)
         }
 
         // Trainers: each client drains what is available.
-        bool any_tensor = false;
-        for (auto &c : clients_) {
-            for (;;) {
-                auto tensor = c->next();
-                if (!tensor)
-                    break;
-                any_tensor = true;
-                ++result.tensors_delivered;
-                result.rows_delivered += tensor->data.rows;
-                result.tensor_bytes += tensor->bytes;
-                if (sink)
-                    sink(c->id(), *tensor);
-            }
-        }
+        bool any_tensor = drainClients(result, sink) > 0;
 
         if (!any_work && !any_tensor) {
             bool all_drained = true;
@@ -93,20 +118,73 @@ InProcessSession::run(TensorSink sink, uint64_t fail_after_splits)
         }
     }
 
+    result.worker_failures = failures_;
+    auto totals = finishResult();
+    result.read_stats = totals.read_stats;
+    result.transform_stats = totals.transform_stats;
+    return result;
+}
+
+SessionResult
+InProcessSession::runParallel(TensorSink sink,
+                              uint64_t fail_after_splits)
+{
+    SessionResult result;
+    bool failure_pending = fail_after_splits > 0;
+
+    running_parallel_ = true;
+    for (auto &w : workers_)
+        w->start();
+
+    // The calling thread plays the trainer side: drain clients until
+    // every worker's pipeline has quiesced and its buffer is empty.
+    for (;;) {
+        if (failure_pending &&
+            master_->progress().completed_splits >=
+                fail_after_splits) {
+            injectWorkerFailure(0);
+            failure_pending = false;
+        }
+
+        bool any_tensor = drainClients(result, sink) > 0;
+        if (!any_tensor) {
+            bool all_drained = true;
+            for (auto &w : workers_)
+                all_drained = all_drained && w->drained();
+            if (all_drained)
+                break;
+            std::this_thread::yield();
+        }
+    }
+    running_parallel_ = false;
+    // Pipelines have quiesced naturally; stop() just joins threads.
+    for (auto &w : workers_)
+        w->stop();
+
+    result.worker_failures = failures_;
+    auto totals = finishResult();
+    result.read_stats = totals.read_stats;
+    result.transform_stats = totals.transform_stats;
+    return result;
+}
+
+SessionResult
+InProcessSession::finishResult()
+{
     dsi_assert(master_->progress().done(),
                "session ended with incomplete splits");
-    result.worker_failures = failures_;
+    SessionResult totals;
     for (auto &w : workers_) {
         const auto &rs = w->readStats();
-        result.read_stats.bytes_read += rs.bytes_read;
-        result.read_stats.bytes_needed += rs.bytes_needed;
-        result.read_stats.bytes_decompressed += rs.bytes_decompressed;
-        result.read_stats.bytes_decrypted += rs.bytes_decrypted;
-        result.read_stats.ios += rs.ios;
-        result.read_stats.streams_decoded += rs.streams_decoded;
-        result.transform_stats.merge(w->transformStats());
+        totals.read_stats.bytes_read += rs.bytes_read;
+        totals.read_stats.bytes_needed += rs.bytes_needed;
+        totals.read_stats.bytes_decompressed += rs.bytes_decompressed;
+        totals.read_stats.bytes_decrypted += rs.bytes_decrypted;
+        totals.read_stats.ios += rs.ios;
+        totals.read_stats.streams_decoded += rs.streams_decoded;
+        totals.transform_stats.merge(w->transformStats());
     }
-    return result;
+    return totals;
 }
 
 } // namespace dsi::dpp

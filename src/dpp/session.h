@@ -8,6 +8,18 @@
  * functional benches. Supports mid-run Worker failure injection (the
  * Master's health monitor requeues in-flight splits and the session
  * launches a stateless replacement, as in Section III-B1).
+ *
+ * Execution follows the Workers' mode (WorkerOptions in
+ * SessionOptions::worker):
+ *
+ *  - Synchronous (default): run() cooperatively interleaves
+ *    single-threaded Worker::pump() calls with client drains —
+ *    deterministic, no threads.
+ *  - Parallel (`num_extract_threads`/`num_transform_threads` > 0):
+ *    run() start()s every Worker's pipeline threads and the calling
+ *    thread becomes the trainer side, draining Clients until all
+ *    Workers quiesce. Worker failure injection stops the victim's
+ *    threads before the Master requeues its splits.
  */
 
 #ifndef DSI_DPP_SESSION_H
@@ -57,14 +69,18 @@ class InProcessSession
     Master &master() { return *master_; }
 
     /**
-     * Kill worker at pool index `i` (its buffer is lost, in-flight
-     * splits requeue) and start a stateless replacement.
+     * Kill worker at pool index `i` (its pipeline threads are
+     * stopped, its buffer is lost, in-flight splits requeue) and
+     * start a stateless replacement. If the session is mid-run in
+     * parallel mode, the replacement's pipeline starts immediately.
      */
     void injectWorkerFailure(size_t i);
 
     /**
-     * Drive the pipeline to completion: workers pump while clients
-     * drain. `sink` (optional) observes every delivered tensor.
+     * Drive the pipeline to completion: workers produce (pumped
+     * cooperatively, or on their own threads in parallel mode) while
+     * clients drain. `sink` (optional) observes every delivered
+     * tensor — called only from the run() caller's thread.
      * `fail_after_splits`, if nonzero, kills one worker after that
      * many splits complete (fault-tolerance exercise).
      */
@@ -73,6 +89,13 @@ class InProcessSession
 
   private:
     void rebuildClients();
+    SessionResult runSynchronous(TensorSink sink,
+                                 uint64_t fail_after_splits);
+    SessionResult runParallel(TensorSink sink,
+                              uint64_t fail_after_splits);
+    SessionResult finishResult();
+    /** Drain every client once; returns tensors delivered. */
+    uint64_t drainClients(SessionResult &result, TensorSink &sink);
 
     const warehouse::Warehouse &warehouse_;
     SessionOptions options_;
@@ -80,6 +103,7 @@ class InProcessSession
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::unique_ptr<Client>> clients_;
     uint64_t failures_ = 0;
+    bool running_parallel_ = false;
 };
 
 } // namespace dsi::dpp

@@ -11,48 +11,82 @@ Worker::Worker(Master &master, const warehouse::Warehouse &warehouse,
 {
     id_ = master_.registerWorker();
     // On startup a Worker pulls the transform program from the Master
-    // (the "serialized and compiled PyTorch module").
+    // (the "serialized and compiled PyTorch module"). The deserialized
+    // program is kept so each transform thread can compile its own
+    // executable copy (compiled ops hold per-instance state, e.g. the
+    // Sampling counter, so instances are not shared across threads).
     auto graph = transforms::TransformGraph::deserialize(
         master_.transformProgram());
     dsi_assert(graph.has_value(),
                "worker %u received malformed transform program", id_);
-    graph_ = std::make_unique<transforms::CompiledGraph>(*graph);
+    program_ = std::move(*graph);
+    graph_ = std::make_unique<transforms::CompiledGraph>(program_);
 }
 
-bool
-Worker::pump()
+Worker::~Worker()
 {
-    if (no_more_work_)
-        return false;
-    if (bufferFull())
-        return true; // backpressure: trainers are behind
-    if (!current_) {
-        auto split = master_.requestSplit(id_);
-        if (!split) {
-            no_more_work_ = true;
-            return false;
-        }
-        openSplit(*split);
-    }
-    processNextStripe();
-    if (next_stripe_ >= current_->stripe_count)
-        closeSplit();
-    return true;
+    stop();
+}
+
+uint32_t
+Worker::extractThreadCount() const
+{
+    if (!parallel())
+        return 0;
+    return options_.num_extract_threads > 0
+               ? options_.num_extract_threads
+               : 1;
+}
+
+uint32_t
+Worker::transformThreadCount() const
+{
+    if (!parallel())
+        return 0;
+    return options_.num_transform_threads > 0
+               ? options_.num_transform_threads
+               : 1;
 }
 
 void
-Worker::openSplit(const Split &split)
+Worker::start()
 {
-    current_ = split;
-    next_stripe_ = 0;
-    source_ = warehouse_.cluster().open(split.file);
-    dwrf::ReadOptions read = master_.spec().read;
-    read.projection = master_.spec().projection;
-    read.verify_checksums = options_.verify_checksums;
-    reader_ = std::make_unique<dwrf::FileReader>(*source_, read);
-    dsi_assert(reader_->valid(), "worker %u: unreadable file '%s'",
-               id_, split.file.c_str());
+    dsi_assert(parallel(),
+               "worker %u: start() requires num_extract_threads or "
+               "num_transform_threads > 0",
+               id_);
+    dsi_assert(!pool_, "worker %u already started", id_);
+    uint32_t extracters = extractThreadCount();
+    uint32_t transformers = transformThreadCount();
+    stripe_queue_ = std::make_unique<BoundedQueue<ExtractedStripe>>(
+        options_.stripe_queue_capacity);
+    active_extractors_ = extracters;
+    active_transformers_ = transformers;
+    metrics_.set("worker.extract_threads", extracters);
+    metrics_.set("worker.transform_threads", transformers);
+    pool_ = std::make_unique<ThreadPool>(extracters + transformers);
+    for (uint32_t i = 0; i < extracters; ++i)
+        pool_->submit([this] { extractLoop(); });
+    for (uint32_t i = 0; i < transformers; ++i)
+        pool_->submit([this] { transformLoop(); });
 }
+
+void
+Worker::stop()
+{
+    if (!pool_)
+        return;
+    {
+        std::scoped_lock lock(buffer_mutex_);
+        stop_requested_ = true;
+    }
+    space_available_.notify_all();
+    stripe_queue_->close();
+    pool_.reset(); // joins every pipeline thread
+}
+
+// ---------------------------------------------------------------------
+// Shared extract/transform stages.
 
 namespace {
 
@@ -112,81 +146,288 @@ injectFeature(dwrf::RowBatch &batch, const warehouse::FeatureSpec &f,
 
 } // namespace
 
-void
-Worker::processNextStripe()
+dwrf::RowBatch
+Worker::extractStripe(dwrf::FileReader &reader, uint32_t stripe_index,
+                      Metrics &metrics) const
 {
     const SessionSpec &spec = master_.spec();
-
-    // --- Extract one stripe ---
-    uint32_t stripe_index = current_->first_stripe + next_stripe_;
-    dwrf::RowBatch stripe = reader_->readStripe(stripe_index);
-    ++next_stripe_;
-    metrics_.inc("worker.rows_extracted", stripe.rows);
+    dwrf::RowBatch stripe = reader.readStripe(stripe_index);
+    metrics.inc("worker.rows_extracted", stripe.rows);
 
     // --- Inject beta features (dynamic join, Section IV-C) ---
     if (!spec.injected.empty()) {
         RowId first_row =
-            reader_->footer().stripes[stripe_index].first_row;
+            reader.footer().stripes[stripe_index].first_row;
         for (const auto &f : spec.injected) {
             injectFeature(stripe, f, first_row);
-            metrics_.inc("worker.features_injected");
+            metrics.inc("worker.features_injected");
         }
     }
+    return stripe;
+}
 
-    // --- Transform + partial load, one mini-batch at a time
-    // (transforms are localized to each mini-batch).
+void
+Worker::transformStripe(dwrf::RowBatch &stripe,
+                        transforms::CompiledGraph &graph,
+                        transforms::TransformStats &stats,
+                        Metrics &metrics, bool blocking)
+{
+    const SessionSpec &spec = master_.spec();
+    // Transform + partial load, one mini-batch at a time (transforms
+    // are localized to each mini-batch).
     for (uint32_t start = 0; start < stripe.rows;
          start += spec.batch_size) {
+        if (blocking && stop_requested_)
+            return;
         dwrf::RowBatch batch =
             dwrf::sliceBatch(stripe, start, spec.batch_size);
-        transform_stats_.merge(graph_->apply(batch));
+        stats.merge(graph.apply(batch));
 
         TensorBatch tensor;
         tensor.bytes = batch.payloadBytes();
         tensor.data = std::move(batch);
-        metrics_.inc("worker.tensor_bytes",
-                     static_cast<double>(tensor.bytes));
-        metrics_.inc("worker.tensors");
-        buffered_bytes_ += tensor.bytes;
-        buffer_.push_back(std::move(tensor));
+        metrics.inc("worker.tensor_bytes",
+                    static_cast<double>(tensor.bytes));
+        metrics.inc("worker.tensors");
+        if (blocking) {
+            if (!pushTensorBlocking(std::move(tensor)))
+                return; // stopped while waiting for buffer space
+        } else {
+            enqueueTensor(std::move(tensor));
+        }
     }
+}
+
+// ---------------------------------------------------------------------
+// Parallel pipeline.
+
+void
+Worker::extractLoop()
+{
+    const SessionSpec &spec = master_.spec();
+    while (!stop_requested_) {
+        auto split = master_.requestSplit(id_);
+        if (!split)
+            break;
+        auto source = warehouse_.cluster().open(split->file);
+        dwrf::ReadOptions read = spec.read;
+        read.projection = spec.projection;
+        read.verify_checksums = options_.verify_checksums;
+        dwrf::FileReader reader(*source, read);
+        dsi_assert(reader.valid(), "worker %u: unreadable file '%s'",
+                   id_, split->file.c_str());
+
+        // Per-thread metric accumulation, folded in once per split.
+        Metrics local;
+        bool aborted = false;
+        for (uint32_t s = 0; s < split->stripe_count; ++s) {
+            if (stop_requested_) {
+                aborted = true;
+                break;
+            }
+            ExtractedStripe work;
+            work.split_id = split->id;
+            work.rows = extractStripe(
+                reader, split->first_stripe + s, local);
+            if (!stripe_queue_->push(std::move(work))) {
+                aborted = true; // queue closed: shutting down
+                break;
+            }
+        }
+        mergeReadStats(reader.stats());
+        metrics_.merge(local);
+        if (aborted)
+            return; // split stays in flight; failWorker() requeues it
+        master_.completeSplit(id_, split->id);
+        metrics_.inc("worker.splits_completed");
+    }
+    // Last extractor out ends the stripe stream so transformers can
+    // drain and quiesce.
+    if (active_extractors_.fetch_sub(1) == 1)
+        stripe_queue_->close();
+}
+
+void
+Worker::transformLoop()
+{
+    // Per-thread compiled program and stat accumulators; totals are
+    // folded in once on exit (drain) rather than per mini-batch.
+    transforms::CompiledGraph graph(program_);
+    transforms::TransformStats stats;
+    Metrics local;
+    while (auto work = stripe_queue_->pop()) {
+        transformStripe(work->rows, graph, stats, local,
+                        /*blocking=*/true);
+        if (stop_requested_)
+            break;
+    }
+    {
+        std::scoped_lock lock(stats_mutex_);
+        transform_stats_.merge(stats);
+    }
+    metrics_.merge(local);
+    // Last transformer out marks production finished: drained() can
+    // only become true after every pipeline thread has quiesced.
+    if (active_transformers_.fetch_sub(1) == 1) {
+        std::scoped_lock lock(buffer_mutex_);
+        no_more_work_ = true;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Synchronous (pump) mode.
+
+bool
+Worker::pump()
+{
+    dsi_assert(!pool_, "worker %u: pump() cannot drive a started "
+                       "parallel pipeline",
+               id_);
+    {
+        std::scoped_lock lock(buffer_mutex_);
+        if (no_more_work_)
+            return false;
+        if (bufferFullLocked())
+            return true; // backpressure: trainers are behind
+    }
+    if (!current_) {
+        auto split = master_.requestSplit(id_);
+        if (!split) {
+            std::scoped_lock lock(buffer_mutex_);
+            no_more_work_ = true;
+            return false;
+        }
+        openSplit(*split);
+    }
+    processNextStripe();
+    if (next_stripe_ >= current_->stripe_count)
+        closeSplit();
+    return true;
+}
+
+void
+Worker::openSplit(const Split &split)
+{
+    current_ = split;
+    next_stripe_ = 0;
+    source_ = warehouse_.cluster().open(split.file);
+    dwrf::ReadOptions read = master_.spec().read;
+    read.projection = master_.spec().projection;
+    read.verify_checksums = options_.verify_checksums;
+    reader_ = std::make_unique<dwrf::FileReader>(*source_, read);
+    dsi_assert(reader_->valid(), "worker %u: unreadable file '%s'",
+               id_, split.file.c_str());
+}
+
+void
+Worker::processNextStripe()
+{
+    uint32_t stripe_index = current_->first_stripe + next_stripe_;
+    dwrf::RowBatch stripe =
+        extractStripe(*reader_, stripe_index, metrics_);
+    ++next_stripe_;
+    transformStripe(stripe, *graph_, transform_stats_, metrics_,
+                    /*blocking=*/false);
 }
 
 void
 Worker::closeSplit()
 {
-    // Fold this reader's extraction accounting into the totals.
-    const auto &rs = reader_->stats();
-    read_stats_.bytes_read += rs.bytes_read;
-    read_stats_.bytes_needed += rs.bytes_needed;
-    read_stats_.bytes_decompressed += rs.bytes_decompressed;
-    read_stats_.bytes_decrypted += rs.bytes_decrypted;
-    read_stats_.ios += rs.ios;
-    read_stats_.streams_decoded += rs.streams_decoded;
-
+    mergeReadStats(reader_->stats());
     master_.completeSplit(id_, current_->id);
-    metrics_.inc("worker.splits");
+    metrics_.inc("worker.splits_completed");
     reader_.reset();
     source_.reset();
     current_.reset();
 }
 
+// ---------------------------------------------------------------------
+// Tensor buffer (shared by both modes).
+
+bool
+Worker::bufferFullLocked() const
+{
+    if (buffer_.size() >= options_.buffer_capacity)
+        return true;
+    return options_.buffer_bytes_capacity > 0 &&
+           buffered_bytes_ >= options_.buffer_bytes_capacity;
+}
+
+bool
+Worker::bufferFull() const
+{
+    std::scoped_lock lock(buffer_mutex_);
+    return bufferFullLocked();
+}
+
+size_t
+Worker::buffered() const
+{
+    std::scoped_lock lock(buffer_mutex_);
+    return buffer_.size();
+}
+
+Bytes
+Worker::bufferedBytes() const
+{
+    std::scoped_lock lock(buffer_mutex_);
+    return buffered_bytes_;
+}
+
+bool
+Worker::pushTensorBlocking(TensorBatch tensor)
+{
+    std::unique_lock lock(buffer_mutex_);
+    space_available_.wait(lock, [this] {
+        return stop_requested_ || !bufferFullLocked();
+    });
+    if (stop_requested_)
+        return false;
+    buffered_bytes_ += tensor.bytes;
+    buffer_.push_back(std::move(tensor));
+    return true;
+}
+
+void
+Worker::enqueueTensor(TensorBatch tensor)
+{
+    std::scoped_lock lock(buffer_mutex_);
+    buffered_bytes_ += tensor.bytes;
+    buffer_.push_back(std::move(tensor));
+}
+
 bool
 Worker::drained() const
 {
+    std::scoped_lock lock(buffer_mutex_);
     return no_more_work_ && buffer_.empty();
 }
 
 std::optional<TensorBatch>
 Worker::popTensor()
 {
+    std::unique_lock lock(buffer_mutex_);
     if (buffer_.empty())
         return std::nullopt;
     TensorBatch t = std::move(buffer_.front());
     buffer_.pop_front();
     buffered_bytes_ -= t.bytes;
+    lock.unlock();
+    space_available_.notify_one();
     metrics_.inc("worker.tensors_served");
     return t;
+}
+
+void
+Worker::mergeReadStats(const dwrf::ReadStats &rs)
+{
+    std::scoped_lock lock(stats_mutex_);
+    read_stats_.bytes_read += rs.bytes_read;
+    read_stats_.bytes_needed += rs.bytes_needed;
+    read_stats_.bytes_decompressed += rs.bytes_decompressed;
+    read_stats_.bytes_decrypted += rs.bytes_decrypted;
+    read_stats_.ios += rs.ios;
+    read_stats_.streams_decoded += rs.streams_decoded;
 }
 
 } // namespace dsi::dpp

@@ -8,16 +8,45 @@
  * decode + feature-filter the stored stripes), transform (apply the
  * compiled graph per mini-batch), and partially load (batch rows into
  * ready-to-load tensors buffered in memory).
+ *
+ * Two execution modes share one Worker:
+ *
+ *  - **Synchronous** (`num_extract_threads == num_transform_threads
+ *    == 0`, the default): callers drive progress one stripe at a time
+ *    via pump(). Used by deterministic tests and single-threaded
+ *    drivers.
+ *
+ *  - **Parallel** (either knob > 0): start() launches the pipelined
+ *    data plane the paper describes — production workers run *many*
+ *    extract/transform threads per node (Sections III-B1, VI-C). N
+ *    extract threads pull splits from the Master and push decoded
+ *    stripes into a bounded queue; M transform threads pop stripes,
+ *    apply a per-thread compiled graph per mini-batch, and append to
+ *    the byte-capped tensor buffer, blocking when trainers fall
+ *    behind (backpressure instead of OOM). stop() aborts and joins
+ *    cleanly; natural end-of-work drains and quiesces on its own.
+ *
+ * Thread safety: popTensor(), drained(), buffered(), bufferedBytes(),
+ * bufferFull(), and the stats/metrics accessors are safe to call from
+ * any thread concurrently with a running pipeline (stats totals are
+ * accumulated per thread and folded in as splits/threads finish, so
+ * read them for exact values only after drained()). pump() is NOT
+ * thread-safe and must not be mixed with start().
  */
 
 #ifndef DSI_DPP_WORKER_H
 #define DSI_DPP_WORKER_H
 
+#include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 
+#include "common/bounded_queue.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "dpp/master.h"
 #include "dpp/spec.h"
 #include "transforms/graph.h"
@@ -47,6 +76,22 @@ struct WorkerOptions
 
     /** Verify stream checksums during extraction. */
     bool verify_checksums = true;
+
+    /**
+     * Extract (read+decrypt+decompress+decode) threads. 0 with
+     * num_transform_threads == 0 selects the synchronous pump() mode;
+     * otherwise both stages get at least one thread.
+     */
+    uint32_t num_extract_threads = 0;
+
+    /** Transform (compiled graph per mini-batch) threads. */
+    uint32_t num_transform_threads = 0;
+
+    /**
+     * Capacity (in stripes) of the extract -> transform hand-off
+     * queue; the second backpressure point of the pipeline.
+     */
+    size_t stripe_queue_capacity = 8;
 };
 
 /** One DPP worker process. */
@@ -56,32 +101,60 @@ class Worker
     Worker(Master &master, const warehouse::Warehouse &warehouse,
            WorkerOptions options = {});
 
+    /** Joins pipeline threads (equivalent to stop()). */
+    ~Worker();
+
+    Worker(const Worker &) = delete;
+    Worker &operator=(const Worker &) = delete;
+
     WorkerId id() const { return id_; }
 
+    /** True when the options request the threaded data plane. */
+    bool parallel() const
+    {
+        return options_.num_extract_threads > 0 ||
+               options_.num_transform_threads > 0;
+    }
+
     /**
-     * Make one unit of progress: if the buffer has room, process one
-     * *stripe* of the current split (fetching a new split from the
-     * Master when needed); the split completes when its last stripe
-     * is done. Returns false when the session has no more work for
-     * this worker (the buffer may still hold tensors).
+     * Launch the pipeline threads (parallel mode only; call once).
+     * Returns immediately; progress is observable through popTensor()
+     * and drained().
+     */
+    void start();
+
+    /**
+     * Abort and join the pipeline: closes the stripe queue, wakes
+     * blocked producers, and joins every thread. In-flight splits are
+     * NOT completed (the Master requeues them via failWorker, exactly
+     * as when a production worker dies). Idempotent; safe on a
+     * never-started or already-quiesced worker.
+     */
+    void stop();
+
+    /**
+     * Synchronous mode only: make one unit of progress — if the
+     * buffer has room, process one *stripe* of the current split
+     * (fetching a new split from the Master when needed); the split
+     * completes when its last stripe is done. Returns false when the
+     * session has no more work for this worker (the buffer may still
+     * hold tensors).
      */
     bool pump();
 
-    /** True when no split remains and the buffer is empty. */
+    /**
+     * True when no work remains and the buffer is empty. In parallel
+     * mode this additionally means every pipeline thread has
+     * quiesced (all stripes transformed, stats folded in).
+     */
     bool drained() const;
 
-    /** Clients pop tensors over (simulated) RPC. */
+    /** Clients pop tensors over (simulated) RPC. Thread-safe. */
     std::optional<TensorBatch> popTensor();
 
-    size_t buffered() const { return buffer_.size(); }
-    Bytes bufferedBytes() const { return buffered_bytes_; }
-    bool bufferFull() const
-    {
-        if (buffer_.size() >= options_.buffer_capacity)
-            return true;
-        return options_.buffer_bytes_capacity > 0 &&
-               buffered_bytes_ >= options_.buffer_bytes_capacity;
-    }
+    size_t buffered() const;
+    Bytes bufferedBytes() const;
+    bool bufferFull() const;
 
     /** Cumulative extraction stats across processed splits. */
     const dwrf::ReadStats &readStats() const { return read_stats_; }
@@ -92,25 +165,71 @@ class Worker
     const Metrics &metrics() const { return metrics_; }
 
   private:
+    /** One decoded stripe handed from extract to transform. */
+    struct ExtractedStripe
+    {
+        dwrf::RowBatch rows;
+        uint64_t split_id = 0;
+    };
+
+    // Synchronous-mode split processing.
     void openSplit(const Split &split);
     void processNextStripe();
     void closeSplit();
+
+    // Parallel pipeline stages.
+    uint32_t extractThreadCount() const;
+    uint32_t transformThreadCount() const;
+    void extractLoop();
+    void transformLoop();
+
+    /** Extract+inject one stripe (both modes). */
+    dwrf::RowBatch extractStripe(dwrf::FileReader &reader,
+                                 uint32_t stripe_index,
+                                 Metrics &metrics) const;
+
+    /** Slice a stripe into mini-batch tensors via `graph`. */
+    void transformStripe(dwrf::RowBatch &stripe,
+                         transforms::CompiledGraph &graph,
+                         transforms::TransformStats &stats,
+                         Metrics &metrics, bool blocking);
+
+    bool bufferFullLocked() const;
+    /** Blocking append honoring the caps; false if stopped. */
+    bool pushTensorBlocking(TensorBatch tensor);
+    /** Non-blocking append (synchronous pump path). */
+    void enqueueTensor(TensorBatch tensor);
+    void mergeReadStats(const dwrf::ReadStats &rs);
 
     Master &master_;
     const warehouse::Warehouse &warehouse_;
     WorkerOptions options_;
     WorkerId id_;
-    std::unique_ptr<transforms::CompiledGraph> graph_;
+    transforms::TransformGraph program_; ///< for per-thread compiles
+    std::unique_ptr<transforms::CompiledGraph> graph_; ///< sync mode
+
+    // Tensor buffer (the partial-load stage). Guarded by buffer_mutex_.
+    mutable std::mutex buffer_mutex_;
+    std::condition_variable space_available_;
     std::deque<TensorBatch> buffer_;
     Bytes buffered_bytes_ = 0;
-    bool no_more_work_ = false;
+    bool no_more_work_ = false; ///< production finished (both modes)
 
-    // In-progress split state (stripe-granular pipelining).
+    // Parallel pipeline state.
+    std::unique_ptr<ThreadPool> pool_;
+    std::unique_ptr<BoundedQueue<ExtractedStripe>> stripe_queue_;
+    std::atomic<bool> stop_requested_{false};
+    std::atomic<uint32_t> active_extractors_{0};
+    std::atomic<uint32_t> active_transformers_{0};
+
+    // Synchronous-mode in-progress split (stripe-granular pipelining).
     std::optional<Split> current_;
     uint32_t next_stripe_ = 0;
     std::unique_ptr<dwrf::RandomAccessSource> source_;
     std::unique_ptr<dwrf::FileReader> reader_;
 
+    // Cumulative stats; pipeline threads fold in under stats_mutex_.
+    mutable std::mutex stats_mutex_;
     dwrf::ReadStats read_stats_;
     transforms::TransformStats transform_stats_;
     Metrics metrics_;

@@ -206,6 +206,7 @@ TectonicCluster::routeBlockRead(const std::string &name,
                                 const FileState &file,
                                 uint64_t block_index, Bytes bytes) const
 {
+    std::scoped_lock lock(io_mutex_);
     if (cache_node_) {
         std::string key = name + "#" + std::to_string(block_index);
         auto it = cache_index_.find(key);

@@ -19,6 +19,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -196,13 +197,21 @@ class TectonicCluster
         std::vector<BlockLocation> blocks;
     };
 
-    /** Route one intra-block read, handling cache and replica choice. */
+    /**
+     * Route one intra-block read, handling cache and replica choice.
+     * Mutex-guarded: many DPP extract threads read concurrently
+     * through their own TectonicSources, but cache state, replica
+     * rotation, and per-node accounting are cluster-wide. Metadata
+     * mutation (create/append/remove/failNode) is NOT synchronized
+     * against readers — ingestion and training are distinct phases.
+     */
     void routeBlockRead(const std::string &name, const FileState &file,
                         uint64_t block_index, Bytes bytes) const;
 
     void placeBlocks(FileState &file);
 
     StorageOptions options_;
+    mutable std::mutex io_mutex_; ///< guards read routing/accounting
     mutable Rng rng_;
     std::map<std::string, FileState> files_;
     std::vector<StorageNode> nodes_;

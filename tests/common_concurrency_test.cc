@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the concurrency primitives under the parallel DPP data
+ * plane: ThreadPool scheduling/quiesce and BoundedQueue MPMC
+ * semantics (blocking, bounding, close/drain). The MPMC stress cases
+ * are the ones tier-1 runs under TSan (-DDSI_SANITIZE=thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/thread_pool.h"
+
+namespace dsi {
+namespace {
+
+TEST(ThreadPool, ExecutesEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&done] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 100);
+    EXPECT_EQ(pool.pending(), 0u);
+    EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran = true; });
+    pool.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, TasksRunConcurrently)
+{
+    // Two tasks that each wait for the other can only finish if the
+    // pool really runs them on distinct threads.
+    ThreadPool pool(2);
+    std::atomic<int> arrived{0};
+    for (int i = 0; i < 2; ++i) {
+        pool.submit([&arrived] {
+            ++arrived;
+            while (arrived.load() < 2)
+                std::this_thread::yield();
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&done] { ++done; });
+        pool.wait();
+        EXPECT_EQ(done.load(), (round + 1) * 20);
+    }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&done] { ++done; });
+    }
+    EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, HardwareConcurrencyIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+TEST(BoundedQueue, FifoWithinCapacity)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushRespectsBound)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3)); // full
+    q.pop();
+    EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(BoundedQueue, TryPopOnEmptyReturnsNothing)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_FALSE(q.tryPop().has_value());
+    q.push(7);
+    EXPECT_EQ(q.tryPop().value(), 7);
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpace)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(2)); // blocks: queue full
+        pushed = true;
+    });
+    // Give the producer a chance to block, then make room.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 1);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, CloseUnblocksProducerAndConsumer)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::thread producer([&] {
+        EXPECT_FALSE(q.push(2)); // blocked, then closed -> false
+    });
+    // No consumer runs until close(), so the producer can only be
+    // released by the close itself.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    producer.join();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(3));           // pushes after close fail fast
+    EXPECT_EQ(q.pop().value(), 1);     // close still drains contents
+    EXPECT_FALSE(q.pop().has_value()); // closed + empty
+
+    // A consumer blocked on an empty queue is released by close too.
+    BoundedQueue<int> empty(1);
+    std::thread consumer([&] {
+        EXPECT_FALSE(empty.pop().has_value());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    empty.close();
+    consumer.join();
+}
+
+TEST(BoundedQueue, MpmcStressDeliversEveryItemOnce)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 2000;
+    BoundedQueue<int> q(8);
+
+    std::vector<std::thread> threads;
+    std::atomic<long long> sum{0};
+    std::atomic<int> count{0};
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (auto v = q.pop()) {
+                sum += *v;
+                ++count;
+            }
+        });
+    }
+    std::atomic<int> producers_left{kProducers};
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(p * kPerProducer + i));
+            if (--producers_left == 0)
+                q.close();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    constexpr long long n = kProducers * kPerProducer;
+    EXPECT_EQ(count.load(), n);
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+} // namespace
+} // namespace dsi

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Tests for the parallel DPP worker data plane: the extract/transform
+ * thread pipeline, tensor-buffer backpressure under concurrent
+ * producers, drain/shutdown quiesce, concurrent popTensor() clients,
+ * parallel sessions (including worker-failure injection), and the
+ * StreamWorker transform fan-out. This suite is the tier-1 TSan
+ * target (-DDSI_SANITIZE=thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "dpp/session.h"
+#include "dpp/stream_session.h"
+#include "etl/entries.h"
+#include "test_fixtures.h"
+#include "warehouse/datagen.h"
+
+namespace dsi::dpp {
+namespace {
+
+warehouse::SchemaParams
+smallParams()
+{
+    warehouse::SchemaParams p;
+    p.name = "tbl";
+    p.float_features = 24;
+    p.sparse_features = 12;
+    p.avg_length = 8;
+    p.coverage_u = 0.5;
+    p.seed = 9;
+    return p;
+}
+
+SessionSpec
+makeSpec(const testing::MiniWarehouse &mw,
+         std::vector<PartitionId> partitions)
+{
+    SessionSpec spec;
+    spec.table = mw.name;
+    spec.partitions = std::move(partitions);
+    spec.projection = warehouse::chooseProjection(
+        mw.schema, mw.popularity, 8, 6, 77);
+    transforms::ModelGraphParams gp;
+    gp.derived_features = 3;
+    spec.setTransforms(
+        transforms::makeModelGraph(mw.schema, spec.projection, gp));
+    spec.batch_size = 256;
+    spec.rows_per_split = 1024;
+    return spec;
+}
+
+/** Poll `pred` (from this thread) until true or ~5 s elapse. */
+template <typename Pred>
+bool
+eventually(Pred pred)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::yield();
+    }
+    return pred();
+}
+
+class DppParallelTest : public ::testing::Test
+{
+  protected:
+    static dwrf::WriterOptions
+    stripeOptions()
+    {
+        dwrf::WriterOptions wo;
+        wo.rows_per_stripe = 1024;
+        return wo;
+    }
+
+    DppParallelTest()
+        : mw_(testing::makeMiniWarehouse(smallParams(), 2, 4096, 2048,
+                                         stripeOptions()))
+    {
+    }
+    testing::MiniWarehouse mw_;
+};
+
+/** Drain a worker to completion from this thread; returns tensors. */
+std::vector<TensorBatch>
+drainWorker(Worker &worker)
+{
+    std::vector<TensorBatch> tensors;
+    while (!worker.drained()) {
+        if (auto t = worker.popTensor())
+            tensors.push_back(std::move(*t));
+        else
+            std::this_thread::yield();
+    }
+    return tensors;
+}
+
+TEST_F(DppParallelTest, ParallelWorkerMatchesSynchronousOutput)
+{
+    auto spec = makeSpec(mw_, {0, 1});
+
+    // Reference: the synchronous pump() path.
+    uint64_t sync_rows = 0;
+    std::vector<Bytes> sync_sizes;
+    {
+        Master master(*mw_.warehouse, spec);
+        WorkerOptions wo;
+        wo.buffer_capacity = 10000;
+        Worker worker(master, *mw_.warehouse, wo);
+        while (worker.pump()) {
+        }
+        while (auto t = worker.popTensor()) {
+            sync_rows += t->data.rows;
+            sync_sizes.push_back(t->bytes);
+        }
+    }
+
+    // Parallel pipeline, consumed concurrently with production.
+    Master master(*mw_.warehouse, spec);
+    WorkerOptions wo;
+    wo.buffer_capacity = 32;
+    wo.num_extract_threads = 2;
+    wo.num_transform_threads = 2;
+    Worker worker(master, *mw_.warehouse, wo);
+    worker.start();
+    auto tensors = drainWorker(worker);
+
+    uint64_t rows = 0;
+    std::vector<Bytes> sizes;
+    for (const auto &t : tensors) {
+        rows += t.data.rows;
+        sizes.push_back(t.bytes);
+    }
+    EXPECT_EQ(rows, 8192u);
+    EXPECT_EQ(rows, sync_rows);
+    // Same mini-batches (transforms are deterministic per batch);
+    // only the arrival order may differ.
+    std::sort(sizes.begin(), sizes.end());
+    std::sort(sync_sizes.begin(), sync_sizes.end());
+    EXPECT_EQ(sizes, sync_sizes);
+    EXPECT_GT(worker.readStats().bytes_read, 0u);
+    EXPECT_GT(worker.transformStats().values_produced, 0u);
+    EXPECT_EQ(worker.metrics().counter("worker.splits_completed"),
+              8.0);
+}
+
+TEST_F(DppParallelTest, ByteCapRespectedUnderConcurrentProducers)
+{
+    auto spec = makeSpec(mw_, {0, 1});
+    Master master(*mw_.warehouse, spec);
+    WorkerOptions wo;
+    wo.buffer_capacity = 10000;        // count cap out of the way
+    wo.buffer_bytes_capacity = 64_KiB; // tight byte cap
+    wo.num_extract_threads = 2;
+    wo.num_transform_threads = 4; // many concurrent producers
+    Worker worker(master, *mw_.warehouse, wo);
+    worker.start();
+
+    // Slow consumer: observe the cap while producers race ahead.
+    Bytes max_observed = 0;
+    Bytes max_tensor = 0;
+    uint64_t rows = 0;
+    while (!worker.drained()) {
+        max_observed = std::max(max_observed, worker.bufferedBytes());
+        if (auto t = worker.popTensor()) {
+            max_tensor = std::max(max_tensor, t->bytes);
+            rows += t->data.rows;
+        }
+    }
+    EXPECT_EQ(rows, 8192u);
+    // Producers check the cap under the buffer lock before pushing
+    // one tensor, so occupancy never exceeds cap + one tensor.
+    EXPECT_GT(max_observed, 0u);
+    EXPECT_LE(max_observed, 64_KiB + max_tensor);
+}
+
+TEST_F(DppParallelTest, DrainedOnlyAfterAllThreadsQuiesce)
+{
+    auto spec = makeSpec(mw_, {0});
+    Master master(*mw_.warehouse, spec);
+    WorkerOptions wo;
+    wo.buffer_capacity = 4; // force continual backpressure
+    wo.num_extract_threads = 2;
+    wo.num_transform_threads = 2;
+    Worker worker(master, *mw_.warehouse, wo);
+    EXPECT_FALSE(worker.drained()); // not started: nothing produced
+    worker.start();
+
+    // While the buffer still fills, the worker must not be drained.
+    ASSERT_TRUE(eventually([&] { return worker.buffered() > 0; }));
+    EXPECT_FALSE(worker.drained());
+
+    uint64_t rows = 0;
+    while (!worker.drained()) {
+        if (auto t = worker.popTensor())
+            rows += t->data.rows;
+        else
+            std::this_thread::yield();
+    }
+    // drained() implies: every split completed, every stripe
+    // transformed and served, per-thread stats folded into totals.
+    EXPECT_EQ(rows, 4096u);
+    EXPECT_TRUE(master.progress().done());
+    EXPECT_FALSE(worker.popTensor().has_value());
+    const auto &m = worker.metrics();
+    EXPECT_EQ(m.counter("worker.tensors"),
+              m.counter("worker.tensors_served"));
+    EXPECT_EQ(m.counter("worker.rows_extracted"), 4096.0);
+    EXPECT_GT(worker.transformStats().values_produced, 0u);
+}
+
+TEST_F(DppParallelTest, ConcurrentPopTensorStress)
+{
+    auto spec = makeSpec(mw_, {0, 1});
+    Master master(*mw_.warehouse, spec);
+    WorkerOptions wo;
+    wo.buffer_capacity = 8; // keep producers and consumers contending
+    wo.num_extract_threads = 2;
+    wo.num_transform_threads = 2;
+    Worker worker(master, *mw_.warehouse, wo);
+    worker.start();
+
+    // Many trainer threads hammer popTensor() against the producing
+    // pipeline.
+    constexpr int kConsumers = 4;
+    std::atomic<uint64_t> rows{0};
+    std::atomic<uint64_t> tensors{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            while (!worker.drained()) {
+                if (auto t = worker.popTensor()) {
+                    EXPECT_LE(t->data.rows, 256u);
+                    rows += t->data.rows;
+                    ++tensors;
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(rows.load(), 8192u);
+    EXPECT_EQ(worker.metrics().counter("worker.tensors_served"),
+              static_cast<double>(tensors.load()));
+}
+
+TEST_F(DppParallelTest, ParallelSessionDeliversEveryRow)
+{
+    SessionOptions so;
+    so.workers = 3;
+    so.clients = 2;
+    so.worker.num_extract_threads = 2;
+    so.worker.num_transform_threads = 2;
+    InProcessSession session(*mw_.warehouse, makeSpec(mw_, {0, 1}),
+                             so);
+    auto result = session.run();
+    EXPECT_EQ(result.rows_delivered, 8192u);
+    EXPECT_GT(result.tensors_delivered, 0u);
+    EXPECT_GT(result.tensor_bytes, 0u);
+    EXPECT_EQ(result.worker_failures, 0u);
+    EXPECT_GT(result.read_stats.bytes_read, 0u);
+    EXPECT_GT(result.transform_stats.values_produced, 0u);
+}
+
+TEST_F(DppParallelTest, ParallelSessionSurvivesWorkerFailure)
+{
+    SessionOptions so;
+    so.workers = 3;
+    so.clients = 1;
+    so.worker.num_extract_threads = 2;
+    so.worker.num_transform_threads = 2;
+    InProcessSession session(*mw_.warehouse, makeSpec(mw_, {0, 1}),
+                             so);
+    auto result = session.run(nullptr, /*fail_after_splits=*/2);
+    EXPECT_EQ(result.worker_failures, 1u);
+    // The victim loses its buffered tensors and queued stripes; its
+    // requeued in-flight splits (at most one per extract thread) may
+    // be reprocessed, duplicating up to that many splits of rows.
+    // Every split still completes (asserted inside run()).
+    EXPECT_GT(result.rows_delivered, 0u);
+    EXPECT_LE(result.rows_delivered, 8192u + 2ull * 1024ull);
+}
+
+TEST_F(DppParallelTest, SingleKnobImpliesBothStages)
+{
+    // Setting only num_transform_threads still gives the pipeline an
+    // extract thread (and vice versa).
+    auto spec = makeSpec(mw_, {0});
+    Master master(*mw_.warehouse, spec);
+    WorkerOptions wo;
+    wo.buffer_capacity = 10000;
+    wo.num_transform_threads = 2;
+    Worker worker(master, *mw_.warehouse, wo);
+    ASSERT_TRUE(worker.parallel());
+    worker.start();
+    uint64_t rows = 0;
+    for (auto &t : drainWorker(worker))
+        rows += t.data.rows;
+    EXPECT_EQ(rows, 4096u);
+    EXPECT_EQ(worker.metrics().gauge("worker.extract_threads"), 1.0);
+    EXPECT_EQ(worker.metrics().gauge("worker.transform_threads"),
+              2.0);
+}
+
+TEST(StreamWorkerParallel, TransformFanOutMatchesInline)
+{
+    // Publish labeled rows to a stream, then preprocess them twice:
+    // inline and with a transform thread pool. Same tensors, same
+    // order.
+    auto schema = warehouse::makeSchema(smallParams());
+    warehouse::RowGenerator gen(schema, 123);
+    scribe::LogDevice dev;
+    auto rows = gen.batch(700);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        dwrf::Buffer payload;
+        payload.push_back(i % 3 == 0 ? 1 : 0); // label byte
+        etl::encodeFeatures(rows[i], payload);
+        dev.append("labeled", static_cast<SimTime>(i), i, payload);
+    }
+
+    StreamSessionSpec spec;
+    spec.batch_size = 100;
+    transforms::ModelGraphParams gp;
+    gp.derived_features = 2;
+    std::vector<FeatureId> projection;
+    for (const auto &f : schema.features)
+        projection.push_back(f.id);
+    spec.setTransforms(
+        transforms::makeModelGraph(schema, projection, gp));
+
+    auto run = [&](uint32_t threads) {
+        StreamSessionSpec s = spec;
+        s.num_transform_threads = threads;
+        StreamWorker worker(dev, s);
+        EXPECT_EQ(worker.pump(), 700u);
+        worker.flush();
+        std::vector<std::pair<uint32_t, Bytes>> out;
+        while (auto t = worker.popTensor())
+            out.emplace_back(t->data.rows, t->bytes);
+        return out;
+    };
+
+    auto inline_out = run(0);
+    auto parallel_out = run(4);
+    EXPECT_EQ(inline_out.size(), 7u);
+    EXPECT_EQ(inline_out, parallel_out); // order preserved
+}
+
+} // namespace
+} // namespace dsi::dpp
