@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+#
+# Tier-1 verification, twice: a plain build+test pass, then an
+# AddressSanitizer pass (catches the lifetime/buffer bugs the chaos
+# suite is designed to provoke). Run from the repo root:
+#
+#   scripts/check.sh [extra ctest args...]
+#
+# Optionally set DSI_CHECK_TSAN=1 to add a ThreadSanitizer pass over
+# the concurrency-sensitive suites (slower; chaos + parallel + MPMC).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+    local build_dir="$1"
+    local sanitize="$2"
+    shift 2
+    echo "==> configure ${build_dir} (DSI_SANITIZE='${sanitize}')"
+    cmake -B "${build_dir}" -S . -DDSI_SANITIZE="${sanitize}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    echo "==> build ${build_dir}"
+    cmake --build "${build_dir}" -j "${JOBS}" >/dev/null
+    echo "==> test ${build_dir}"
+    (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}" "$@")
+}
+
+# Pass 1: plain tier-1.
+run_pass build "" "$@"
+
+# Pass 2: ASan.
+run_pass build-asan address "$@"
+
+# Optional pass 3: TSan over the threaded suites.
+if [[ "${DSI_CHECK_TSAN:-0}" == "1" ]]; then
+    run_pass build-tsan thread \
+        -R '(common_concurrency|dpp_chaos|dpp_parallel)_test' "$@"
+fi
+
+echo "==> all passes green"

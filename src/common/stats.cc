@@ -70,9 +70,28 @@ RunningStats::max() const
     return n_ ? max_ : 0.0;
 }
 
+PercentileSampler::PercentileSampler(const PercentileSampler &other)
+{
+    std::scoped_lock lock(other.mutex_);
+    samples_ = other.samples_;
+    dirty_ = other.dirty_;
+}
+
+PercentileSampler &
+PercentileSampler::operator=(const PercentileSampler &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mutex_, other.mutex_);
+    samples_ = other.samples_;
+    dirty_ = other.dirty_;
+    return *this;
+}
+
 double
 PercentileSampler::mean() const
 {
+    std::scoped_lock lock(mutex_);
     if (samples_.empty())
         return 0.0;
     double s = 0.0;
@@ -84,9 +103,13 @@ PercentileSampler::mean() const
 double
 PercentileSampler::stddev() const
 {
+    std::scoped_lock lock(mutex_);
     if (samples_.size() < 2)
         return 0.0;
-    double m = mean();
+    double m = 0.0;
+    for (double x : samples_)
+        m += x;
+    m /= static_cast<double>(samples_.size());
     double s = 0.0;
     for (double x : samples_)
         s += (x - m) * (x - m);
@@ -94,7 +117,7 @@ PercentileSampler::stddev() const
 }
 
 void
-PercentileSampler::ensureSorted() const
+PercentileSampler::ensureSortedLocked() const
 {
     if (dirty_) {
         std::sort(samples_.begin(), samples_.end());
@@ -106,9 +129,10 @@ double
 PercentileSampler::percentile(double p) const
 {
     dsi_assert(p >= 0.0 && p <= 100.0, "percentile out of range: %f", p);
+    std::scoped_lock lock(mutex_);
     if (samples_.empty())
         return 0.0;
-    ensureSorted();
+    ensureSortedLocked();
     if (samples_.size() == 1)
         return samples_[0];
     double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);

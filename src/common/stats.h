@@ -12,6 +12,7 @@
 #define DSI_COMMON_STATS_H
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,16 +44,39 @@ class RunningStats
 
 /**
  * Exact percentile computation over retained samples. Suitable for the
- * sample counts our experiments produce (millions); uses nth_element
- * lazily so repeated queries after a sort are cheap.
+ * sample counts our experiments produce (millions); sorts lazily so
+ * repeated queries after a sort are cheap.
+ *
+ * Thread safety: every accessor is mutex-guarded — percentile() sorts
+ * the sample vector behind `const`, so even two concurrent *readers*
+ * would race without the lock. samples() returns an unguarded
+ * reference and is only stable once writers and sorters have
+ * quiesced.
  */
 class PercentileSampler
 {
   public:
-    void add(double x) { samples_.push_back(x); dirty_ = true; }
-    void reserve(size_t n) { samples_.reserve(n); }
+    PercentileSampler() = default;
+    PercentileSampler(const PercentileSampler &other);
+    PercentileSampler &operator=(const PercentileSampler &other);
 
-    uint64_t count() const { return samples_.size(); }
+    void add(double x)
+    {
+        std::scoped_lock lock(mutex_);
+        samples_.push_back(x);
+        dirty_ = true;
+    }
+    void reserve(size_t n)
+    {
+        std::scoped_lock lock(mutex_);
+        samples_.reserve(n);
+    }
+
+    uint64_t count() const
+    {
+        std::scoped_lock lock(mutex_);
+        return samples_.size();
+    }
     double mean() const;
     double stddev() const;
 
@@ -62,8 +86,10 @@ class PercentileSampler
     const std::vector<double> &samples() const { return samples_; }
 
   private:
-    void ensureSorted() const;
+    /** Sort if needed; callers must hold mutex_. */
+    void ensureSortedLocked() const;
 
+    mutable std::mutex mutex_; ///< guards samples_ and dirty_
     mutable std::vector<double> samples_;
     mutable bool dirty_ = false;
 };

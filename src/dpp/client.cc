@@ -26,8 +26,9 @@ partitionedRoundRobin(uint32_t index, uint32_t total_clients,
 }
 
 Client::Client(ClientId index, uint32_t total_clients,
-               std::vector<Worker *> workers, ClientOptions options)
-    : id_(index)
+               std::vector<Worker *> workers, ClientOptions options,
+               DeliveryLedger *ledger)
+    : id_(index), ledger_(ledger)
 {
     auto picks = partitionedRoundRobin(
         index, total_clients, static_cast<uint32_t>(workers.size()),
@@ -41,16 +42,30 @@ Client::next()
 {
     if (connections_.empty())
         return std::nullopt;
-    for (size_t tries = 0; tries < connections_.size(); ++tries) {
+    size_t tries = 0;
+    while (tries < connections_.size()) {
         Worker *w = connections_[cursor_];
-        cursor_ = (cursor_ + 1) % connections_.size();
         auto tensor = w->popTensor();
-        if (tensor) {
-            metrics_.inc("client.tensors");
-            metrics_.inc("client.bytes",
-                         static_cast<double>(tensor->bytes));
-            return tensor;
+        if (!tensor) {
+            cursor_ = (cursor_ + 1) % connections_.size();
+            ++tries;
+            continue;
         }
+        if (ledger_ &&
+            !ledger_->claim(tensor->split_id, tensor->first_row)) {
+            // Replay of a batch some client already delivered
+            // (requeued split): suppress it, and keep polling this
+            // worker — the pop made progress, so reset the cursor
+            // sweep.
+            metrics_.inc("client.duplicates_suppressed");
+            tries = 0;
+            continue;
+        }
+        cursor_ = (cursor_ + 1) % connections_.size();
+        metrics_.inc("client.tensors");
+        metrics_.inc("client.bytes",
+                     static_cast<double>(tensor->bytes));
+        return tensor;
     }
     metrics_.inc("client.empty_polls");
     return std::nullopt;

@@ -12,7 +12,10 @@
 #ifndef DSI_DPP_CLIENT_H
 #define DSI_DPP_CLIENT_H
 
+#include <mutex>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -27,16 +30,59 @@ struct ClientOptions
     uint32_t max_connections = 8;
 };
 
+/**
+ * Session-wide exactly-once delivery ledger. Batches are identified
+ * by (split_id, first_row) — stable across replays because batch
+ * slicing is deterministic. When a split is replayed after a worker
+ * crash or lease expiry, the rows already delivered in the first
+ * attempt claim the same keys, and whichever client pops the replay
+ * suppresses them. Shared by every client of a session (a replay may
+ * be routed to a different client than the original delivery).
+ */
+class DeliveryLedger
+{
+  public:
+    /** True exactly once per key: the caller may deliver the batch. */
+    bool claim(uint64_t split_id, RowId first_row)
+    {
+        std::scoped_lock lock(mutex_);
+        bool fresh = delivered_.emplace(split_id, first_row).second;
+        if (!fresh)
+            ++duplicates_;
+        return fresh;
+    }
+
+    uint64_t delivered() const
+    {
+        std::scoped_lock lock(mutex_);
+        return delivered_.size();
+    }
+
+    /** Replayed batches suppressed across the whole session. */
+    uint64_t duplicates() const
+    {
+        std::scoped_lock lock(mutex_);
+        return duplicates_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::set<std::pair<uint64_t, RowId>> delivered_;
+    uint64_t duplicates_ = 0;
+};
+
 /** The per-trainer tensor-fetch endpoint. */
 class Client
 {
   public:
     /**
      * Build client `index` of `total_clients`, partitioned over the
-     * given Worker pool.
+     * given Worker pool. `ledger` (optional, session-owned) enables
+     * exactly-once suppression of replayed batches.
      */
     Client(ClientId index, uint32_t total_clients,
-           std::vector<Worker *> workers, ClientOptions options = {});
+           std::vector<Worker *> workers, ClientOptions options = {},
+           DeliveryLedger *ledger = nullptr);
 
     ClientId id() const { return id_; }
 
@@ -62,6 +108,7 @@ class Client
     ClientId id_;
     std::vector<Worker *> connections_;
     size_t cursor_ = 0;
+    DeliveryLedger *ledger_ = nullptr;
     Metrics metrics_;
 };
 

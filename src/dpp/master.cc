@@ -1,9 +1,23 @@
 #include "master.h"
 
+#include <chrono>
+
 #include "common/logging.h"
 #include "dwrf/reader.h"
 
 namespace dsi::dpp {
+
+namespace {
+
+double
+steadySeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 dwrf::Buffer
 MasterCheckpoint::serialize() const
@@ -37,7 +51,7 @@ MasterCheckpoint::deserialize(dwrf::ByteSpan data)
 }
 
 Master::Master(const warehouse::Warehouse &warehouse, SessionSpec spec)
-    : spec_(std::move(spec))
+    : spec_(std::move(spec)), clock_(steadySeconds)
 {
     enumerateSplits(warehouse);
     for (uint64_t i = 0; i < splits_.size(); ++i)
@@ -93,16 +107,30 @@ Master::registerWorker()
     std::scoped_lock lock(mutex_);
     WorkerId id = next_worker_++;
     live_workers_.insert(id);
+    last_heartbeat_[id] = clock_();
     metrics_.inc("master.workers_registered");
     return id;
+}
+
+void
+Master::touchLocked(WorkerId worker)
+{
+    if (live_workers_.count(worker))
+        last_heartbeat_[worker] = clock_();
 }
 
 std::optional<Split>
 Master::requestSplit(WorkerId worker)
 {
     std::scoped_lock lock(mutex_);
-    dsi_assert(live_workers_.count(worker),
-               "unknown or dead worker %u", worker);
+    if (!live_workers_.count(worker)) {
+        // A zombie (lease-expired or manually failed) asking for more
+        // work: its old splits are already requeued, so feeding it
+        // would double-process rows. Starve it instead.
+        metrics_.inc("master.stale_requests");
+        return std::nullopt;
+    }
+    touchLocked(worker);
     if (pending_.empty())
         return std::nullopt;
     uint64_t split_id = pending_.front();
@@ -116,23 +144,55 @@ void
 Master::completeSplit(WorkerId worker, uint64_t split_id)
 {
     std::scoped_lock lock(mutex_);
+    touchLocked(worker);
     auto it = inflight_.find(split_id);
-    dsi_assert(it != inflight_.end(), "split %llu not in flight",
-               static_cast<unsigned long long>(split_id));
-    dsi_assert(it->second == worker,
-               "split %llu completed by worker %u but assigned to %u",
-               static_cast<unsigned long long>(split_id), worker,
-               it->second);
+    if (it == inflight_.end() || it->second != worker) {
+        // Stale: the split was requeued (lease expiry) or finished by
+        // its new owner. The ledger on the client side deduplicates
+        // any rows the zombie already delivered.
+        metrics_.inc("master.stale_completions");
+        return;
+    }
     inflight_.erase(it);
     completed_.insert(split_id);
     metrics_.inc("master.splits_completed");
 }
 
 void
+Master::failSplit(WorkerId worker, uint64_t split_id)
+{
+    std::scoped_lock lock(mutex_);
+    touchLocked(worker);
+    auto it = inflight_.find(split_id);
+    if (it == inflight_.end() || it->second != worker) {
+        metrics_.inc("master.stale_failures");
+        return;
+    }
+    inflight_.erase(it);
+    uint32_t failures = ++attempts_[split_id];
+    if (failures >= max_split_attempts_) {
+        failed_.insert(split_id);
+        metrics_.inc("master.splits_failed");
+        dsi_warn("split %llu failed after %u attempts; giving up",
+                 static_cast<unsigned long long>(split_id), failures);
+    } else {
+        pending_.push_front(split_id);
+        metrics_.inc("master.splits_requeued");
+    }
+}
+
+void
 Master::failWorker(WorkerId worker)
 {
     std::scoped_lock lock(mutex_);
+    failWorkerLocked(worker);
+}
+
+void
+Master::failWorkerLocked(WorkerId worker)
+{
     live_workers_.erase(worker);
+    last_heartbeat_.erase(worker);
     // Stateless Workers: just requeue whatever they were processing.
     for (auto it = inflight_.begin(); it != inflight_.end();) {
         if (it->second == worker) {
@@ -146,6 +206,63 @@ Master::failWorker(WorkerId worker)
     metrics_.inc("master.workers_failed");
 }
 
+void
+Master::setLeaseTimeout(double seconds)
+{
+    std::scoped_lock lock(mutex_);
+    lease_timeout_ = seconds;
+}
+
+void
+Master::setClock(std::function<double()> clock)
+{
+    std::scoped_lock lock(mutex_);
+    clock_ = std::move(clock);
+}
+
+void
+Master::heartbeat(WorkerId worker)
+{
+    std::scoped_lock lock(mutex_);
+    touchLocked(worker);
+}
+
+std::vector<WorkerId>
+Master::expireLeases()
+{
+    std::scoped_lock lock(mutex_);
+    std::vector<WorkerId> expired;
+    if (lease_timeout_ <= 0.0)
+        return expired;
+    double now = clock_();
+    // Only workers holding in-flight splits can lose a lease: an idle
+    // worker has nothing to recover, and draining workers legitimately
+    // go quiet once the split queue empties.
+    std::set<WorkerId> holding;
+    for (const auto &[split_id, w] : inflight_)
+        holding.insert(w);
+    for (WorkerId w : holding) {
+        auto hb = last_heartbeat_.find(w);
+        double last = hb == last_heartbeat_.end() ? 0.0 : hb->second;
+        if (now - last > lease_timeout_)
+            expired.push_back(w);
+    }
+    for (WorkerId w : expired) {
+        dsi_warn("worker %u lease expired; requeueing its splits", w);
+        failWorkerLocked(w);
+        metrics_.inc("master.leases_expired");
+    }
+    return expired;
+}
+
+void
+Master::setMaxSplitAttempts(uint32_t attempts)
+{
+    dsi_assert(attempts >= 1, "need at least one attempt");
+    std::scoped_lock lock(mutex_);
+    max_split_attempts_ = attempts;
+}
+
 SessionProgress
 Master::progress() const
 {
@@ -155,6 +272,7 @@ Master::progress() const
     p.completed_splits = completed_.size();
     p.inflight_splits = inflight_.size();
     p.pending_splits = pending_.size();
+    p.failed_splits = failed_.size();
     return p;
 }
 
@@ -175,32 +293,57 @@ Master::checkpointToStorage(storage::TectonicCluster &cluster,
     cluster.put(name, checkpoint().serialize());
 }
 
-void
+bool
 Master::restoreFromStorage(const storage::TectonicCluster &cluster,
                            const std::string &name)
 {
-    dsi_assert(cluster.exists(name), "checkpoint '%s' not found",
-               name.c_str());
+    // A missing, unreadable, or corrupt checkpoint is a recoverable
+    // condition: the replica cold-starts from the full enumeration
+    // (re-processing completed splits is wasteful but correct).
+    if (!cluster.exists(name)) {
+        dsi_warn("checkpoint '%s' not found; cold-starting",
+                 name.c_str());
+        metrics_.inc("master.checkpoint_restore_failed");
+        return false;
+    }
     auto source = cluster.open(name);
     dwrf::Buffer bytes;
-    source->read(0, source->size(), bytes);
+    if (source->readChecked(0, source->size(), bytes) !=
+        dwrf::IoStatus::Ok) {
+        dsi_warn("checkpoint '%s' unreadable; cold-starting",
+                 name.c_str());
+        metrics_.inc("master.checkpoint_restore_failed");
+        return false;
+    }
     auto cp = MasterCheckpoint::deserialize(bytes);
-    dsi_assert(cp.has_value(), "checkpoint '%s' is corrupt",
-               name.c_str());
-    restore(*cp);
+    if (!cp.has_value()) {
+        dsi_warn("checkpoint '%s' is corrupt; cold-starting",
+                 name.c_str());
+        metrics_.inc("master.checkpoint_restore_failed");
+        return false;
+    }
+    return restore(*cp);
 }
 
-void
+bool
 Master::restore(const MasterCheckpoint &checkpoint)
 {
     std::scoped_lock lock(mutex_);
-    completed_.clear();
+    // Validate before mutating so a bad checkpoint leaves the session
+    // in its current (still usable) state.
     for (uint64_t id : checkpoint.completed) {
-        dsi_assert(id < splits_.size(),
-                   "checkpoint references unknown split %llu",
-                   static_cast<unsigned long long>(id));
-        completed_.insert(id);
+        if (id >= splits_.size()) {
+            dsi_warn("checkpoint references unknown split %llu",
+                     static_cast<unsigned long long>(id));
+            metrics_.inc("master.checkpoint_restore_failed");
+            return false;
+        }
     }
+    completed_.clear();
+    completed_.insert(checkpoint.completed.begin(),
+                      checkpoint.completed.end());
+    failed_.clear();
+    attempts_.clear();
     inflight_.clear();
     pending_.clear();
     for (uint64_t i = 0; i < splits_.size(); ++i) {
@@ -208,6 +351,7 @@ Master::restore(const MasterCheckpoint &checkpoint)
             pending_.push_back(i);
     }
     metrics_.inc("master.restores");
+    return true;
 }
 
 } // namespace dsi::dpp

@@ -20,6 +20,7 @@
 #define DSI_DPP_MASTER_H
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -51,7 +52,13 @@ struct SessionProgress
     uint64_t completed_splits = 0;
     uint64_t inflight_splits = 0;
     uint64_t pending_splits = 0;
-    bool done() const { return completed_splits == total_splits; }
+    uint64_t failed_splits = 0; ///< gave up after repeated attempts
+
+    /** Every split reached a terminal state (completed or failed). */
+    bool done() const
+    {
+        return completed_splits + failed_splits == total_splits;
+    }
 };
 
 /** The DPP control-plane master for one session. */
@@ -76,18 +83,58 @@ class Master
 
     /**
      * A Worker asks for work. Returns nullopt when no pending splits
-     * remain (the Worker should idle/drain).
+     * remain (the Worker should idle/drain) — or when the caller is
+     * unknown or lease-expired (a zombie: its splits have already
+     * been requeued, so handing it more work would double-process).
      */
     std::optional<Split> requestSplit(WorkerId worker);
 
-    /** A Worker reports a split finished. */
+    /**
+     * A Worker reports a split finished. Stale reports — from a
+     * zombie whose lease expired, or for a split already requeued to
+     * someone else — are counted and ignored, never fatal.
+     */
     void completeSplit(WorkerId worker, uint64_t split_id);
+
+    /**
+     * A Worker reports a split it could not process (unreadable data
+     * after reader-level retries). The split is requeued for another
+     * attempt until the per-split attempt cap is hit, then marked
+     * failed so the session can still terminate.
+     */
+    void failSplit(WorkerId worker, uint64_t split_id);
 
     /**
      * The health monitor declares a Worker dead: its in-flight splits
      * return to the pending queue for other Workers.
      */
     void failWorker(WorkerId worker);
+
+    // --- lease-based failure detection ---
+
+    /**
+     * Enable heartbeat leases: a worker holding in-flight splits that
+     * has not heartbeated within `seconds` is declared dead by the
+     * next expireLeases() call. 0 disables (manual failWorker only).
+     */
+    void setLeaseTimeout(double seconds);
+
+    /** Override the clock (tests inject a fake time source). */
+    void setClock(std::function<double()> clock);
+
+    /** Liveness signal from a worker's data-plane activity. */
+    void heartbeat(WorkerId worker);
+
+    /**
+     * Expire leases of silent workers that hold in-flight splits,
+     * requeueing their work. Returns the expired workers so the
+     * session can replace them. Idle workers (nothing in flight) are
+     * never expired — there is no work to recover from them.
+     */
+    std::vector<WorkerId> expireLeases();
+
+    /** Total attempts a split gets before it is marked failed. */
+    void setMaxSplitAttempts(uint32_t attempts);
 
     SessionProgress progress() const;
 
@@ -101,21 +148,30 @@ class Master
     void checkpointToStorage(storage::TectonicCluster &cluster,
                              const std::string &name) const;
 
-    /** Restore from a checkpoint file; dies if missing/corrupt. */
-    void restoreFromStorage(const storage::TectonicCluster &cluster,
+    /**
+     * Restore from a checkpoint file. False (with
+     * master.checkpoint_restore_failed counted) when the file is
+     * missing, unreadable, or corrupt — the caller cold-starts from
+     * the full split enumeration instead of aborting.
+     */
+    bool restoreFromStorage(const storage::TectonicCluster &cluster,
                             const std::string &name);
 
     /**
      * Restore from a checkpoint: completed splits stay completed,
      * everything else (including previously in-flight) is re-pending.
      * Models both Master fail-over and replicated-Master catch-up.
+     * False (state unchanged) if the checkpoint references splits
+     * this session does not have.
      */
-    void restore(const MasterCheckpoint &checkpoint);
+    bool restore(const MasterCheckpoint &checkpoint);
 
     const Metrics &metrics() const { return metrics_; }
 
   private:
     void enumerateSplits(const warehouse::Warehouse &warehouse);
+    void failWorkerLocked(WorkerId worker);
+    void touchLocked(WorkerId worker);
 
     mutable std::mutex mutex_; ///< guards split-distribution state
     SessionSpec spec_;
@@ -123,8 +179,14 @@ class Master
     std::deque<uint64_t> pending_;              ///< split ids
     std::map<uint64_t, WorkerId> inflight_;     ///< split -> worker
     std::set<uint64_t> completed_;
+    std::set<uint64_t> failed_;                 ///< attempts exhausted
+    std::map<uint64_t, uint32_t> attempts_;     ///< split -> failures
+    uint32_t max_split_attempts_ = 3;
     WorkerId next_worker_ = 0;
     std::set<WorkerId> live_workers_;
+    std::map<WorkerId, double> last_heartbeat_;
+    double lease_timeout_ = 0.0; ///< 0 = leases disabled
+    std::function<double()> clock_;
     Metrics metrics_;
 };
 

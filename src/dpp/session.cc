@@ -14,6 +14,9 @@ InProcessSession::InProcessSession(const warehouse::Warehouse &warehouse,
     dsi_assert(options_.workers >= 1, "session needs >= 1 worker");
     dsi_assert(options_.clients >= 1, "session needs >= 1 client");
     master_ = std::make_unique<Master>(warehouse_, std::move(spec));
+    master_->setMaxSplitAttempts(options_.max_split_attempts);
+    if (options_.lease_timeout > 0)
+        master_->setLeaseTimeout(options_.lease_timeout);
     for (uint32_t w = 0; w < options_.workers; ++w) {
         workers_.push_back(std::make_unique<Worker>(
             *master_, warehouse_, options_.worker));
@@ -31,20 +34,18 @@ InProcessSession::rebuildClients()
         pool.push_back(w.get());
     for (uint32_t c = 0; c < options_.clients; ++c) {
         clients_.push_back(std::make_unique<Client>(
-            c, options_.clients, pool, options_.client));
+            c, options_.clients, pool, options_.client, &ledger_));
     }
 }
 
 void
-InProcessSession::injectWorkerFailure(size_t i)
+InProcessSession::replaceWorker(size_t i)
 {
     dsi_assert(i < workers_.size(), "no worker at index %zu", i);
     // Stop the victim's pipeline threads first so none of them calls
     // into the Master after the health monitor declares it dead.
+    // (Idempotent — a crashed worker's threads already quiesced.)
     workers_[i]->stop();
-    // Health monitor notices; in-flight splits requeue. The dead
-    // worker's buffered (unserved) tensors are lost with it.
-    master_->failWorker(workers_[i]->id());
     ++failures_;
     // Stateless restart: a fresh worker replaces it (no checkpoint).
     workers_[i] = std::make_unique<Worker>(*master_, warehouse_,
@@ -52,6 +53,40 @@ InProcessSession::injectWorkerFailure(size_t i)
     if (running_parallel_)
         workers_[i]->start();
     rebuildClients();
+}
+
+void
+InProcessSession::injectWorkerFailure(size_t i)
+{
+    dsi_assert(i < workers_.size(), "no worker at index %zu", i);
+    workers_[i]->stop();
+    // Health monitor notices; in-flight splits requeue. The dead
+    // worker's buffered (unserved) tensors are lost with it.
+    master_->failWorker(workers_[i]->id());
+    replaceWorker(i);
+}
+
+bool
+InProcessSession::checkLeases()
+{
+    if (options_.lease_timeout <= 0)
+        return false;
+    auto expired = master_->expireLeases();
+    if (expired.empty())
+        return false;
+    // expireLeases already requeued the dead workers' splits; here we
+    // just swap in replacements (matching pool slot by WorkerId).
+    bool replaced = false;
+    for (WorkerId dead : expired) {
+        for (size_t i = 0; i < workers_.size(); ++i) {
+            if (workers_[i]->id() == dead) {
+                replaceWorker(i);
+                replaced = true;
+                break;
+            }
+        }
+    }
+    return replaced;
 }
 
 uint64_t
@@ -106,6 +141,10 @@ InProcessSession::runSynchronous(TensorSink sink,
             any_work = true;
         }
 
+        // Control plane: replace workers whose lease expired (e.g. a
+        // crashed worker that stopped pumping and heartbeating).
+        any_work = checkLeases() || any_work;
+
         // Trainers: each client drains what is available.
         bool any_tensor = drainClients(result, sink) > 0;
 
@@ -118,11 +157,7 @@ InProcessSession::runSynchronous(TensorSink sink,
         }
     }
 
-    result.worker_failures = failures_;
-    auto totals = finishResult();
-    result.read_stats = totals.read_stats;
-    result.transform_stats = totals.transform_stats;
-    return result;
+    return finishResult(result);
 }
 
 SessionResult
@@ -146,6 +181,8 @@ InProcessSession::runParallel(TensorSink sink,
             failure_pending = false;
         }
 
+        checkLeases();
+
         bool any_tensor = drainClients(result, sink) > 0;
         if (!any_tensor) {
             bool all_drained = true;
@@ -161,30 +198,34 @@ InProcessSession::runParallel(TensorSink sink,
     for (auto &w : workers_)
         w->stop();
 
-    result.worker_failures = failures_;
-    auto totals = finishResult();
-    result.read_stats = totals.read_stats;
-    result.transform_stats = totals.transform_stats;
-    return result;
+    return finishResult(result);
 }
 
 SessionResult
-InProcessSession::finishResult()
+InProcessSession::finishResult(SessionResult result)
 {
     dsi_assert(master_->progress().done(),
                "session ended with incomplete splits");
-    SessionResult totals;
+    result.worker_failures = failures_;
+    // Client metrics don't survive rebuildClients(); the ledger is
+    // the authoritative session-wide suppression count.
+    result.duplicates_suppressed = ledger_.duplicates();
+    result.splits_failed = master_->progress().failed_splits;
     for (auto &w : workers_) {
         const auto &rs = w->readStats();
-        totals.read_stats.bytes_read += rs.bytes_read;
-        totals.read_stats.bytes_needed += rs.bytes_needed;
-        totals.read_stats.bytes_decompressed += rs.bytes_decompressed;
-        totals.read_stats.bytes_decrypted += rs.bytes_decrypted;
-        totals.read_stats.ios += rs.ios;
-        totals.read_stats.streams_decoded += rs.streams_decoded;
-        totals.transform_stats.merge(w->transformStats());
+        result.read_stats.bytes_read += rs.bytes_read;
+        result.read_stats.bytes_needed += rs.bytes_needed;
+        result.read_stats.bytes_decompressed += rs.bytes_decompressed;
+        result.read_stats.bytes_decrypted += rs.bytes_decrypted;
+        result.read_stats.ios += rs.ios;
+        result.read_stats.streams_decoded += rs.streams_decoded;
+        result.read_stats.checksum_mismatches += rs.checksum_mismatches;
+        result.read_stats.io_errors += rs.io_errors;
+        result.read_stats.decode_errors += rs.decode_errors;
+        result.read_stats.stripe_retries += rs.stripe_retries;
+        result.transform_stats.merge(w->transformStats());
     }
-    return totals;
+    return result;
 }
 
 } // namespace dsi::dpp

@@ -42,6 +42,18 @@ struct SessionOptions
     uint32_t clients = 1;
     WorkerOptions worker;
     ClientOptions client;
+
+    /**
+     * Heartbeat lease timeout (seconds). > 0 enables automatic
+     * failure detection: a silent worker holding in-flight splits is
+     * declared dead, its splits requeue, and the session starts a
+     * stateless replacement. 0 keeps detection manual
+     * (injectWorkerFailure only).
+     */
+    double lease_timeout = 0.0;
+
+    /** Attempts a split gets before the Master marks it failed. */
+    uint32_t max_split_attempts = 3;
 };
 
 /** Aggregate outcome of a completed session. */
@@ -50,7 +62,9 @@ struct SessionResult
     uint64_t tensors_delivered = 0;
     uint64_t rows_delivered = 0;
     Bytes tensor_bytes = 0;
-    uint64_t worker_failures = 0;
+    uint64_t worker_failures = 0; ///< injected + lease-expired
+    uint64_t duplicates_suppressed = 0; ///< replayed batches dropped
+    uint64_t splits_failed = 0; ///< splits that exhausted attempts
     dwrf::ReadStats read_stats;
     transforms::TransformStats transform_stats;
 };
@@ -89,11 +103,19 @@ class InProcessSession
 
   private:
     void rebuildClients();
+    /** Stop worker `i` and start a stateless replacement. */
+    void replaceWorker(size_t i);
+    /**
+     * Poll the Master's lease monitor; replace any expired worker.
+     * Returns true when at least one worker was replaced.
+     */
+    bool checkLeases();
     SessionResult runSynchronous(TensorSink sink,
                                  uint64_t fail_after_splits);
     SessionResult runParallel(TensorSink sink,
                               uint64_t fail_after_splits);
-    SessionResult finishResult();
+    /** Fold totals + fault accounting into a run's result. */
+    SessionResult finishResult(SessionResult result);
     /** Drain every client once; returns tensors delivered. */
     uint64_t drainClients(SessionResult &result, TensorSink &sink);
 
@@ -102,6 +124,7 @@ class InProcessSession
     std::unique_ptr<Master> master_;
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::unique_ptr<Client>> clients_;
+    DeliveryLedger ledger_; ///< session-wide exactly-once dedup
     uint64_t failures_ = 0;
     bool running_parallel_ = false;
 };

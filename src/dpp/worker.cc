@@ -1,5 +1,6 @@
 #include "worker.h"
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "dwrf/reader.h"
 
@@ -146,12 +147,20 @@ injectFeature(dwrf::RowBatch &batch, const warehouse::FeatureSpec &f,
 
 } // namespace
 
-dwrf::RowBatch
+std::optional<dwrf::RowBatch>
 Worker::extractStripe(dwrf::FileReader &reader, uint32_t stripe_index,
                       Metrics &metrics) const
 {
     const SessionSpec &spec = master_.spec();
-    dwrf::RowBatch stripe = reader.readStripe(stripe_index);
+    dwrf::RowBatch stripe;
+    dwrf::ReadStatus status = reader.readStripe(stripe_index, stripe);
+    if (status != dwrf::ReadStatus::Ok) {
+        // Reader-level retries (replica rotation) already ran; this
+        // stripe is unreadable from here. The caller abandons the
+        // split so the Master can retry it elsewhere or fail it.
+        metrics.inc("worker.stripe_read_failures");
+        return std::nullopt;
+    }
     metrics.inc("worker.rows_extracted", stripe.rows);
 
     // --- Inject beta features (dynamic join, Section IV-C) ---
@@ -166,8 +175,9 @@ Worker::extractStripe(dwrf::FileReader &reader, uint32_t stripe_index,
     return stripe;
 }
 
-void
-Worker::transformStripe(dwrf::RowBatch &stripe,
+bool
+Worker::transformStripe(dwrf::RowBatch &stripe, uint64_t split_id,
+                        uint64_t epoch, RowId first_row,
                         transforms::CompiledGraph &graph,
                         transforms::TransformStats &stats,
                         Metrics &metrics, bool blocking)
@@ -177,8 +187,8 @@ Worker::transformStripe(dwrf::RowBatch &stripe,
     // are localized to each mini-batch).
     for (uint32_t start = 0; start < stripe.rows;
          start += spec.batch_size) {
-        if (blocking && stop_requested_)
-            return;
+        if (blocking && (stop_requested_ || crashed_))
+            return false;
         dwrf::RowBatch batch =
             dwrf::sliceBatch(stripe, start, spec.batch_size);
         stats.merge(graph.apply(batch));
@@ -186,16 +196,28 @@ Worker::transformStripe(dwrf::RowBatch &stripe,
         TensorBatch tensor;
         tensor.bytes = batch.payloadBytes();
         tensor.data = std::move(batch);
+        tensor.split_id = split_id;
+        tensor.first_row = first_row + start;
+        tensor.epoch = epoch;
         metrics.inc("worker.tensor_bytes",
                     static_cast<double>(tensor.bytes));
         metrics.inc("worker.tensors");
+        // Count the tensor against the split *before* it becomes
+        // visible in the buffer, so a concurrent pop can never
+        // observe a delivery the tracker has not heard of.
+        noteTensorEnqueued(split_id, epoch);
         if (blocking) {
-            if (!pushTensorBlocking(std::move(tensor)))
-                return; // stopped while waiting for buffer space
+            if (!pushTensorBlocking(std::move(tensor))) {
+                // Stopped/crashed while waiting for buffer space; the
+                // tensor never entered the buffer.
+                noteTensorUnqueued(split_id, epoch);
+                return false;
+            }
         } else {
             enqueueTensor(std::move(tensor));
         }
     }
+    return true;
 }
 
 // ---------------------------------------------------------------------
@@ -205,30 +227,50 @@ void
 Worker::extractLoop()
 {
     const SessionSpec &spec = master_.spec();
-    while (!stop_requested_) {
+    while (!stop_requested_ && !crashed_) {
         auto split = master_.requestSplit(id_);
         if (!split)
             break;
+        uint64_t epoch = beginSplit(split->id, split->stripe_count);
         auto source = warehouse_.cluster().open(split->file);
         dwrf::ReadOptions read = spec.read;
         read.projection = spec.projection;
         read.verify_checksums = options_.verify_checksums;
         dwrf::FileReader reader(*source, read);
-        dsi_assert(reader.valid(), "worker %u: unreadable file '%s'",
-                   id_, split->file.c_str());
+        if (!reader.valid()) {
+            dsi_warn("worker %u: unreadable file '%s'", id_,
+                     split->file.c_str());
+            abandonSplit(split->id);
+            continue;
+        }
 
         // Per-thread metric accumulation, folded in once per split.
         Metrics local;
         bool aborted = false;
+        bool abandoned = false;
         for (uint32_t s = 0; s < split->stripe_count; ++s) {
-            if (stop_requested_) {
+            if (stop_requested_ || crashed_) {
                 aborted = true;
+                break;
+            }
+            if (faultPoint(faults::kWorkerCrash)) {
+                crash();
+                aborted = true;
+                break;
+            }
+            master_.heartbeat(id_); // per-stripe lease renewal
+            uint32_t stripe_index = split->first_stripe + s;
+            auto rows = extractStripe(reader, stripe_index, local);
+            if (!rows) {
+                abandoned = true;
                 break;
             }
             ExtractedStripe work;
             work.split_id = split->id;
-            work.rows = extractStripe(
-                reader, split->first_stripe + s, local);
+            work.first_row =
+                reader.footer().stripes[stripe_index].first_row;
+            work.epoch = epoch;
+            work.rows = std::move(*rows);
             if (!stripe_queue_->push(std::move(work))) {
                 aborted = true; // queue closed: shutting down
                 break;
@@ -237,9 +279,13 @@ Worker::extractLoop()
         mergeReadStats(reader.stats());
         metrics_.merge(local);
         if (aborted)
-            return; // split stays in flight; failWorker() requeues it
-        master_.completeSplit(id_, split->id);
-        metrics_.inc("worker.splits_completed");
+            break; // split stays in flight; the Master requeues it
+        if (abandoned) {
+            abandonSplit(split->id);
+            continue;
+        }
+        // Extraction done; completion waits for the last delivery.
+        finishExtraction(split->id, epoch);
     }
     // Last extractor out ends the stripe stream so transformers can
     // drain and quiesce.
@@ -256,9 +302,15 @@ Worker::transformLoop()
     transforms::TransformStats stats;
     Metrics local;
     while (auto work = stripe_queue_->pop()) {
-        transformStripe(work->rows, graph, stats, local,
-                        /*blocking=*/true);
-        if (stop_requested_)
+        if (crashed_)
+            break;
+        bool whole = transformStripe(work->rows, work->split_id,
+                                     work->epoch, work->first_row,
+                                     graph, stats, local,
+                                     /*blocking=*/true);
+        if (whole)
+            noteStripeTransformed(work->split_id, work->epoch);
+        if (stop_requested_ || crashed_)
             break;
     }
     {
@@ -283,6 +335,9 @@ Worker::pump()
     dsi_assert(!pool_, "worker %u: pump() cannot drive a started "
                        "parallel pipeline",
                id_);
+    if (crashed_)
+        return false;
+    master_.heartbeat(id_); // per-pump lease renewal
     {
         std::scoped_lock lock(buffer_mutex_);
         if (no_more_work_)
@@ -297,15 +352,26 @@ Worker::pump()
             no_more_work_ = true;
             return false;
         }
-        openSplit(*split);
+        if (!openSplit(*split))
+            return true; // split abandoned; try another next pump
     }
-    processNextStripe();
+    // Per-stripe crash point, checked while a split is held — same
+    // placement as the parallel extract loop, so an injected crash
+    // always leaves an in-flight split for lease recovery to replay.
+    if (faultPoint(faults::kWorkerCrash)) {
+        crash();
+        return false;
+    }
+    if (!processNextStripe()) {
+        abandonCurrentSplit();
+        return true;
+    }
     if (next_stripe_ >= current_->stripe_count)
         closeSplit();
     return true;
 }
 
-void
+bool
 Worker::openSplit(const Split &split)
 {
     current_ = split;
@@ -315,30 +381,56 @@ Worker::openSplit(const Split &split)
     read.projection = master_.spec().projection;
     read.verify_checksums = options_.verify_checksums;
     reader_ = std::make_unique<dwrf::FileReader>(*source_, read);
-    dsi_assert(reader_->valid(), "worker %u: unreadable file '%s'",
-               id_, split.file.c_str());
+    if (!reader_->valid()) {
+        dsi_warn("worker %u: unreadable file '%s'", id_,
+                 split.file.c_str());
+        current_epoch_ = beginSplit(split.id, split.stripe_count);
+        abandonCurrentSplit();
+        return false;
+    }
+    current_epoch_ = beginSplit(split.id, split.stripe_count);
+    return true;
 }
 
-void
+bool
 Worker::processNextStripe()
 {
     uint32_t stripe_index = current_->first_stripe + next_stripe_;
-    dwrf::RowBatch stripe =
-        extractStripe(*reader_, stripe_index, metrics_);
+    auto stripe = extractStripe(*reader_, stripe_index, metrics_);
+    if (!stripe)
+        return false;
+    RowId first_row = reader_->footer().stripes[stripe_index].first_row;
     ++next_stripe_;
-    transformStripe(stripe, *graph_, transform_stats_, metrics_,
-                    /*blocking=*/false);
+    if (transformStripe(*stripe, current_->id, current_epoch_,
+                        first_row, *graph_, transform_stats_, metrics_,
+                        /*blocking=*/false)) {
+        noteStripeTransformed(current_->id, current_epoch_);
+    }
+    return true;
 }
 
 void
 Worker::closeSplit()
 {
     mergeReadStats(reader_->stats());
-    master_.completeSplit(id_, current_->id);
-    metrics_.inc("worker.splits_completed");
+    // Completion is delivery-gated: the Master hears completeSplit
+    // once the last buffered tensor of this split is popped.
+    finishExtraction(current_->id, current_epoch_);
     reader_.reset();
     source_.reset();
     current_.reset();
+}
+
+void
+Worker::abandonCurrentSplit()
+{
+    if (reader_)
+        mergeReadStats(reader_->stats());
+    uint64_t split_id = current_->id;
+    reader_.reset();
+    source_.reset();
+    current_.reset();
+    abandonSplit(split_id);
 }
 
 // ---------------------------------------------------------------------
@@ -379,9 +471,9 @@ Worker::pushTensorBlocking(TensorBatch tensor)
 {
     std::unique_lock lock(buffer_mutex_);
     space_available_.wait(lock, [this] {
-        return stop_requested_ || !bufferFullLocked();
+        return stop_requested_ || crashed_ || !bufferFullLocked();
     });
-    if (stop_requested_)
+    if (stop_requested_ || crashed_)
         return false;
     buffered_bytes_ += tensor.bytes;
     buffer_.push_back(std::move(tensor));
@@ -399,6 +491,16 @@ Worker::enqueueTensor(TensorBatch tensor)
 bool
 Worker::drained() const
 {
+    if (crashed_) {
+        // A crashed worker is "drained" once nothing depends on it:
+        // its progress trackers empty exactly when every split it
+        // touched completed or was handed back to the Master. A
+        // non-empty tracker means an in-flight split, whose lease
+        // expiry will trigger replacement — the session never waits
+        // on a crashed worker that still owes work.
+        std::scoped_lock lock(progress_mutex_);
+        return split_progress_.empty();
+    }
     std::scoped_lock lock(buffer_mutex_);
     return no_more_work_ && buffer_.empty();
 }
@@ -406,15 +508,26 @@ Worker::drained() const
 std::optional<TensorBatch>
 Worker::popTensor()
 {
-    std::unique_lock lock(buffer_mutex_);
-    if (buffer_.empty())
+    // A crashed worker is unreachable: its buffered tensors are lost
+    // with the process. Because completion is delivery-gated, those
+    // splits stay in flight and the Master replays them elsewhere.
+    if (crashed_)
         return std::nullopt;
+    std::unique_lock lock(buffer_mutex_);
+    if (buffer_.empty()) {
+        lock.unlock();
+        // Answering an (empty) RPC is still proof of life.
+        master_.heartbeat(id_);
+        return std::nullopt;
+    }
     TensorBatch t = std::move(buffer_.front());
     buffer_.pop_front();
     buffered_bytes_ -= t.bytes;
     lock.unlock();
     space_available_.notify_one();
     metrics_.inc("worker.tensors_served");
+    master_.heartbeat(id_);
+    noteTensorDelivered(t.split_id, t.epoch);
     return t;
 }
 
@@ -428,6 +541,134 @@ Worker::mergeReadStats(const dwrf::ReadStats &rs)
     read_stats_.bytes_decrypted += rs.bytes_decrypted;
     read_stats_.ios += rs.ios;
     read_stats_.streams_decoded += rs.streams_decoded;
+    read_stats_.checksum_mismatches += rs.checksum_mismatches;
+    read_stats_.io_errors += rs.io_errors;
+    read_stats_.decode_errors += rs.decode_errors;
+    read_stats_.stripe_retries += rs.stripe_retries;
+}
+
+// ---------------------------------------------------------------------
+// Delivery-gated split completion.
+
+uint64_t
+Worker::beginSplit(uint64_t split_id, uint32_t stripes_total)
+{
+    std::scoped_lock lock(progress_mutex_);
+    uint64_t epoch = next_epoch_++;
+    SplitProgress p;
+    p.stripes_total = stripes_total;
+    p.epoch = epoch;
+    split_progress_[split_id] = p;
+    return epoch;
+}
+
+void
+Worker::noteTensorEnqueued(uint64_t split_id, uint64_t epoch)
+{
+    std::scoped_lock lock(progress_mutex_);
+    auto it = split_progress_.find(split_id);
+    if (it != split_progress_.end() && it->second.epoch == epoch)
+        ++it->second.tensors_buffered;
+}
+
+void
+Worker::noteTensorUnqueued(uint64_t split_id, uint64_t epoch)
+{
+    std::scoped_lock lock(progress_mutex_);
+    auto it = split_progress_.find(split_id);
+    if (it != split_progress_.end() && it->second.epoch == epoch &&
+        it->second.tensors_buffered > 0) {
+        --it->second.tensors_buffered;
+    }
+}
+
+void
+Worker::noteTensorDelivered(uint64_t split_id, uint64_t epoch)
+{
+    {
+        std::scoped_lock lock(progress_mutex_);
+        auto it = split_progress_.find(split_id);
+        // Epoch mismatch: a leftover tensor of an earlier, abandoned
+        // attempt — it must not touch the current attempt's counts.
+        if (it == split_progress_.end() || it->second.epoch != epoch)
+            return;
+        if (it->second.tensors_buffered > 0)
+            --it->second.tensors_buffered;
+    }
+    maybeCompleteSplit(split_id);
+}
+
+void
+Worker::noteStripeTransformed(uint64_t split_id, uint64_t epoch)
+{
+    {
+        std::scoped_lock lock(progress_mutex_);
+        auto it = split_progress_.find(split_id);
+        if (it == split_progress_.end() || it->second.epoch != epoch)
+            return;
+        ++it->second.stripes_transformed;
+    }
+    maybeCompleteSplit(split_id);
+}
+
+void
+Worker::finishExtraction(uint64_t split_id, uint64_t epoch)
+{
+    {
+        std::scoped_lock lock(progress_mutex_);
+        auto it = split_progress_.find(split_id);
+        if (it == split_progress_.end() || it->second.epoch != epoch)
+            return;
+        it->second.extraction_done = true;
+    }
+    maybeCompleteSplit(split_id);
+}
+
+void
+Worker::maybeCompleteSplit(uint64_t split_id)
+{
+    bool complete = false;
+    {
+        std::scoped_lock lock(progress_mutex_);
+        auto it = split_progress_.find(split_id);
+        if (it != split_progress_.end() && it->second.extraction_done &&
+            it->second.stripes_transformed ==
+                it->second.stripes_total &&
+            it->second.tensors_buffered == 0) {
+            split_progress_.erase(it);
+            complete = true;
+        }
+    }
+    // Master call happens outside every lock (lock-order hygiene).
+    if (complete) {
+        master_.completeSplit(id_, split_id);
+        metrics_.inc("worker.splits_completed");
+    }
+}
+
+void
+Worker::abandonSplit(uint64_t split_id)
+{
+    {
+        std::scoped_lock lock(progress_mutex_);
+        split_progress_.erase(split_id);
+    }
+    master_.failSplit(id_, split_id);
+    metrics_.inc("worker.splits_abandoned");
+}
+
+void
+Worker::crash()
+{
+    {
+        std::scoped_lock lock(buffer_mutex_);
+        crashed_ = true;
+    }
+    space_available_.notify_all();
+    if (stripe_queue_)
+        stripe_queue_->close();
+    metrics_.inc("worker.crashes");
+    dsi_warn("worker %u: injected crash", id_);
 }
 
 } // namespace dsi::dpp

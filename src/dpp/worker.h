@@ -40,6 +40,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -59,6 +60,15 @@ struct TensorBatch
 {
     dwrf::RowBatch data;
     Bytes bytes = 0; ///< materialized tensor payload size
+
+    // Provenance, for exactly-once delivery: (split_id, first_row)
+    // identifies a batch across replays, because batch slicing is a
+    // deterministic function of the split's stripes and batch_size.
+    uint64_t split_id = 0;
+    RowId first_row = 0;
+
+    /** Worker-local split attempt number (internal bookkeeping). */
+    uint64_t epoch = 0;
 };
 
 /** Worker tuning knobs. */
@@ -149,7 +159,21 @@ class Worker
      */
     bool drained() const;
 
-    /** Clients pop tensors over (simulated) RPC. Thread-safe. */
+    /**
+     * True once the worker.crash fault point fired on this worker.
+     * A crashed worker stops producing, serves no tensors (its
+     * buffered batches are lost), and no longer heartbeats — so its
+     * lease expires and the Master requeues its splits.
+     */
+    bool crashed() const { return crashed_; }
+
+    /**
+     * Clients pop tensors over (simulated) RPC. Thread-safe. Returns
+     * nullopt when empty or crashed. A split is reported complete to
+     * the Master only after its *last buffered tensor is delivered* —
+     * so a worker dying with undelivered tensors loses nothing: the
+     * split stays in flight and is replayed elsewhere.
+     */
     std::optional<TensorBatch> popTensor();
 
     size_t buffered() const;
@@ -170,12 +194,47 @@ class Worker
     {
         dwrf::RowBatch rows;
         uint64_t split_id = 0;
+        RowId first_row = 0;
+        uint64_t epoch = 0;
     };
 
+    /**
+     * Per-split delivery tracking (guarded by progress_mutex_). A
+     * split completes at the Master only when extraction finished,
+     * every stripe was transformed, and every buffered tensor was
+     * popped by a client. `epoch` distinguishes attempts, so leftover
+     * tensors of an abandoned earlier attempt cannot corrupt the
+     * accounting of a retry.
+     */
+    struct SplitProgress
+    {
+        uint32_t stripes_total = 0;
+        uint32_t stripes_transformed = 0;
+        uint64_t tensors_buffered = 0;
+        uint64_t epoch = 0;
+        bool extraction_done = false;
+    };
+
+    // Split-progress bookkeeping (both modes). None of these hold
+    // progress_mutex_ while calling into the Master or the buffer.
+    uint64_t beginSplit(uint64_t split_id, uint32_t stripes_total);
+    void noteTensorEnqueued(uint64_t split_id, uint64_t epoch);
+    void noteTensorUnqueued(uint64_t split_id, uint64_t epoch);
+    void noteTensorDelivered(uint64_t split_id, uint64_t epoch);
+    void noteStripeTransformed(uint64_t split_id, uint64_t epoch);
+    void finishExtraction(uint64_t split_id, uint64_t epoch);
+    void maybeCompleteSplit(uint64_t split_id);
+    /** Give up on a split (unreadable data): failSplit + cleanup. */
+    void abandonSplit(uint64_t split_id);
+
+    /** Simulate this worker process dying (worker.crash fault). */
+    void crash();
+
     // Synchronous-mode split processing.
-    void openSplit(const Split &split);
-    void processNextStripe();
+    bool openSplit(const Split &split);
+    bool processNextStripe();
     void closeSplit();
+    void abandonCurrentSplit();
 
     // Parallel pipeline stages.
     uint32_t extractThreadCount() const;
@@ -183,13 +242,20 @@ class Worker
     void extractLoop();
     void transformLoop();
 
-    /** Extract+inject one stripe (both modes). */
-    dwrf::RowBatch extractStripe(dwrf::FileReader &reader,
-                                 uint32_t stripe_index,
-                                 Metrics &metrics) const;
+    /**
+     * Extract+inject one stripe (both modes). nullopt when the stripe
+     * is unreadable after the reader's own retries.
+     */
+    std::optional<dwrf::RowBatch> extractStripe(dwrf::FileReader &reader,
+                                                uint32_t stripe_index,
+                                                Metrics &metrics) const;
 
-    /** Slice a stripe into mini-batch tensors via `graph`. */
-    void transformStripe(dwrf::RowBatch &stripe,
+    /**
+     * Slice a stripe into mini-batch tensors via `graph`. True when
+     * the whole stripe was enqueued (false: stopped/crashed mid-way).
+     */
+    bool transformStripe(dwrf::RowBatch &stripe, uint64_t split_id,
+                         uint64_t epoch, RowId first_row,
                          transforms::CompiledGraph &graph,
                          transforms::TransformStats &stats,
                          Metrics &metrics, bool blocking);
@@ -219,11 +285,18 @@ class Worker
     std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<BoundedQueue<ExtractedStripe>> stripe_queue_;
     std::atomic<bool> stop_requested_{false};
+    std::atomic<bool> crashed_{false};
     std::atomic<uint32_t> active_extractors_{0};
     std::atomic<uint32_t> active_transformers_{0};
 
+    // Delivery-tracked split progress (exactly-once completion).
+    mutable std::mutex progress_mutex_;
+    std::map<uint64_t, SplitProgress> split_progress_;
+    uint64_t next_epoch_ = 1; ///< guarded by progress_mutex_
+
     // Synchronous-mode in-progress split (stripe-granular pipelining).
     std::optional<Split> current_;
+    uint64_t current_epoch_ = 0;
     uint32_t next_stripe_ = 0;
     std::unique_ptr<dwrf::RandomAccessSource> source_;
     std::unique_ptr<dwrf::FileReader> reader_;

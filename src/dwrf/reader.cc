@@ -3,6 +3,8 @@
 #include "dwrf/checksum.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -44,12 +46,17 @@ FileReader::FileReader(const RandomAccessSource &source,
     : source_(source), options_(std::move(options)),
       cipher_(options_.cipher_key)
 {
-    // Fetch the tail, then the footer it points at.
+    // Fetch the tail, then the footer it points at. An unreadable
+    // footer leaves the reader invalid (recoverable) rather than
+    // aborting.
     Bytes file_size = source_.size();
     if (file_size < kTailBytes)
         return;
     Buffer tail;
-    source_.read(file_size - kTailBytes, kTailBytes, tail);
+    if (source_.readChecked(file_size - kTailBytes, kTailBytes, tail) !=
+        IoStatus::Ok) {
+        return;
+    }
     size_t pos = 0;
     uint64_t footer_len;
     uint32_t magic;
@@ -59,8 +66,10 @@ FileReader::FileReader(const RandomAccessSource &source,
         return;
     }
     Buffer footer_bytes;
-    source_.read(file_size - kTailBytes - footer_len, footer_len,
-                 footer_bytes);
+    if (source_.readChecked(file_size - kTailBytes - footer_len,
+                            footer_len, footer_bytes) != IoStatus::Ok) {
+        return;
+    }
     footer_ = FileFooter::deserialize(footer_bytes);
 }
 
@@ -106,13 +115,44 @@ FileReader::fetchStream(const StripeInfo &stripe, size_t stream_idx,
     dsi_panic("stream %zu not covered by IO plan", stream_idx);
 }
 
+ReadStatus
+FileReader::readStripe(size_t stripe_index, RowBatch &out)
+{
+    ReadStatus status = readStripeOnce(stripe_index, out);
+    for (uint32_t retry = 0; status != ReadStatus::Ok &&
+                             retry < options_.max_stripe_retries;
+         ++retry) {
+        ++stats_.stripe_retries;
+        if (options_.retry_backoff_us > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                options_.retry_backoff_us << retry));
+        }
+        // A re-read rotates the replica choice in the source, so a
+        // corrupt or failed replica is routed around.
+        status = readStripeOnce(stripe_index, out);
+    }
+    return status;
+}
+
 RowBatch
 FileReader::readStripe(size_t stripe_index)
+{
+    RowBatch batch;
+    ReadStatus status = readStripe(stripe_index, batch);
+    dsi_assert(status == ReadStatus::Ok,
+               "stripe %zu unreadable after %u retries", stripe_index,
+               options_.max_stripe_retries);
+    return batch;
+}
+
+ReadStatus
+FileReader::readStripeOnce(size_t stripe_index, RowBatch &out)
 {
     dsi_assert(valid(), "reader is invalid");
     dsi_assert(stripe_index < footer_->stripes.size(),
                "stripe %zu out of range", stripe_index);
     const StripeInfo &stripe = footer_->stripes[stripe_index];
+    out = RowBatch{};
 
     std::vector<size_t> wanted = selectStreams(stripe);
     auto plan = planStripeReads(stripe, wanted, options_.coalesce,
@@ -120,7 +160,11 @@ FileReader::readStripe(size_t stripe_index)
 
     std::vector<Buffer> io_data(plan.size());
     for (size_t p = 0; p < plan.size(); ++p) {
-        source_.read(plan[p].offset, plan[p].length, io_data[p]);
+        if (source_.readChecked(plan[p].offset, plan[p].length,
+                                io_data[p]) != IoStatus::Ok) {
+            ++stats_.io_errors;
+            return ReadStatus::IoError;
+        }
         stats_.bytes_read += plan[p].length;
         ++stats_.ios;
     }
@@ -128,49 +172,52 @@ FileReader::readStripe(size_t stripe_index)
         stats_.bytes_needed += stripe.streams[idx].length;
 
     return footer_->flattened
-        ? decodeFlattened(stripe, wanted, plan, io_data)
-        : decodeMapBlob(stripe, wanted, plan, io_data);
+        ? decodeFlattened(stripe, wanted, plan, io_data, out)
+        : decodeMapBlob(stripe, wanted, plan, io_data, out);
 }
 
-namespace {
-
-/** Verify, decrypt, then decompress a fetched stream. */
-Buffer
-openStream(const StreamInfo &info, Buffer stored, bool encrypted,
-           const StreamCipher &cipher, Codec codec, bool verify,
-           ReadStats &stats)
+ReadStatus
+FileReader::openStream(const StreamInfo &info, Buffer stored,
+                       Buffer &out)
 {
-    if (verify) {
-        dsi_assert(crc32(stored) == info.checksum,
-                   "checksum mismatch in stream at offset %llu "
-                   "(corrupt replica?)",
-                   static_cast<unsigned long long>(info.offset));
+    if (options_.verify_checksums && crc32(stored) != info.checksum) {
+        ++stats_.checksum_mismatches;
+        dsi_warn("checksum mismatch in stream at offset %llu "
+                 "(corrupt replica?)",
+                 static_cast<unsigned long long>(info.offset));
+        return ReadStatus::ChecksumMismatch;
     }
-    if (encrypted) {
-        cipher.apply(info.offset, stored);
-        stats.bytes_decrypted += stored.size();
+    if (footer_->encrypted) {
+        cipher_.apply(info.offset, stored);
+        stats_.bytes_decrypted += stored.size();
     }
-    auto raw = decompress(codec, stored);
-    dsi_assert(raw.has_value(), "stream at offset %llu failed to decode",
-               static_cast<unsigned long long>(info.offset));
-    dsi_assert(raw->size() == info.raw_length,
-               "stream raw length mismatch: %zu vs %llu", raw->size(),
-               static_cast<unsigned long long>(info.raw_length));
-    stats.bytes_decompressed += raw->size();
-    ++stats.streams_decoded;
-    return std::move(*raw);
+    auto raw = decompress(footer_->codec, stored);
+    if (!raw.has_value() || raw->size() != info.raw_length) {
+        ++stats_.decode_errors;
+        dsi_warn("stream at offset %llu failed to decode",
+                 static_cast<unsigned long long>(info.offset));
+        return ReadStatus::DecodeError;
+    }
+    stats_.bytes_decompressed += raw->size();
+    ++stats_.streams_decoded;
+    out = std::move(*raw);
+    return ReadStatus::Ok;
 }
 
-} // namespace
-
-RowBatch
+ReadStatus
 FileReader::decodeFlattened(const StripeInfo &stripe,
                             const std::vector<size_t> &wanted,
                             const std::vector<PlannedIo> &plan,
-                            const std::vector<Buffer> &io_data)
+                            const std::vector<Buffer> &io_data,
+                            RowBatch &batch)
 {
-    RowBatch batch;
     batch.rows = stripe.rows;
+    // Corruption that slips past the CRC (or truncated streams) maps
+    // to DecodeError here instead of aborting the process.
+    auto decode_fail = [&]() {
+        ++stats_.decode_errors;
+        return ReadStatus::DecodeError;
+    };
 
     // Group the wanted streams by feature so value/length/score
     // streams of one feature decode together.
@@ -197,15 +244,16 @@ FileReader::decodeFlattened(const StripeInfo &stripe,
         const auto &s = stripe.streams[idx];
         switch (s.kind) {
           case StreamKind::Labels: {
-            Buffer raw = openStream(
-                s, fetchStream(stripe, idx, plan, io_data),
-                footer_->encrypted, cipher_, footer_->codec,
-                options_.verify_checksums, stats_);
+            Buffer raw;
+            ReadStatus st = openStream(
+                s, fetchStream(stripe, idx, plan, io_data), raw);
+            if (st != ReadStatus::Ok)
+                return st;
             size_t pos = 0;
             batch.labels.resize(stripe.rows);
             for (uint32_t r = 0; r < stripe.rows; ++r) {
-                bool ok = getFloat(raw, pos, batch.labels[r]);
-                dsi_assert(ok, "label stream truncated");
+                if (!getFloat(raw, pos, batch.labels[r]))
+                    return decode_fail();
             }
             break;
           }
@@ -248,65 +296,74 @@ FileReader::decodeFlattened(const StripeInfo &stripe,
         if (fs.present && fs.dense_values) {
             DenseColumn col;
             col.id = fid;
-            Buffer present_raw = openStream(
+            Buffer present_raw;
+            ReadStatus st = openStream(
                 *fs.present,
                 fetchStream(stripe, fs.present_idx, plan, io_data),
-                footer_->encrypted, cipher_, footer_->codec,
-                options_.verify_checksums, stats_);
+                present_raw);
+            if (st != ReadStatus::Ok)
+                return st;
             col.present.assign(present_raw.begin(), present_raw.end());
-            dsi_assert(col.present.size() == (stripe.rows + 7) / 8,
-                       "present bitmap size mismatch");
-            Buffer values_raw = openStream(
+            if (col.present.size() != (stripe.rows + 7) / 8)
+                return decode_fail();
+            Buffer values_raw;
+            st = openStream(
                 *fs.dense_values,
                 fetchStream(stripe, fs.dense_idx, plan, io_data),
-                footer_->encrypted, cipher_, footer_->codec,
-                options_.verify_checksums, stats_);
+                values_raw);
+            if (st != ReadStatus::Ok)
+                return st;
             col.values.assign(stripe.rows, 0.0f);
             size_t pos = 0;
             for (uint32_t r = 0; r < stripe.rows; ++r) {
                 if (col.isPresent(r)) {
-                    bool ok = getFloat(values_raw, pos, col.values[r]);
-                    dsi_assert(ok, "dense value stream truncated");
+                    if (!getFloat(values_raw, pos, col.values[r]))
+                        return decode_fail();
                 }
             }
             batch.dense.push_back(std::move(col));
         } else if (fs.lengths && fs.sparse_values) {
             SparseColumn col;
             col.id = fid;
-            Buffer lengths_raw = openStream(
+            Buffer lengths_raw;
+            ReadStatus st = openStream(
                 *fs.lengths,
                 fetchStream(stripe, fs.lengths_idx, plan, io_data),
-                footer_->encrypted, cipher_, footer_->codec,
-                options_.verify_checksums, stats_);
+                lengths_raw);
+            if (st != ReadStatus::Ok)
+                return st;
             std::vector<int64_t> lengths;
             bool ok = rleDecode(lengths_raw, lengths);
-            dsi_assert(ok && lengths.size() == stripe.rows,
-                       "length stream malformed");
+            if (!ok || lengths.size() != stripe.rows)
+                return decode_fail();
             col.offsets.assign(stripe.rows + 1, 0);
             for (uint32_t r = 0; r < stripe.rows; ++r) {
                 col.offsets[r + 1] =
                     col.offsets[r] + static_cast<uint32_t>(lengths[r]);
             }
-            Buffer values_raw = openStream(
+            Buffer values_raw;
+            st = openStream(
                 *fs.sparse_values,
                 fetchStream(stripe, fs.values_idx, plan, io_data),
-                footer_->encrypted, cipher_, footer_->codec,
-                options_.verify_checksums, stats_);
+                values_raw);
+            if (st != ReadStatus::Ok)
+                return st;
             ok = decodeValues(values_raw, col.values);
-            dsi_assert(ok && col.values.size() ==
-                                 col.offsets[stripe.rows],
-                       "sparse value stream malformed");
+            if (!ok || col.values.size() != col.offsets[stripe.rows])
+                return decode_fail();
             if (fs.scores) {
-                Buffer scores_raw = openStream(
+                Buffer scores_raw;
+                st = openStream(
                     *fs.scores,
                     fetchStream(stripe, fs.scores_idx, plan, io_data),
-                    footer_->encrypted, cipher_, footer_->codec,
-                    options_.verify_checksums, stats_);
+                    scores_raw);
+                if (st != ReadStatus::Ok)
+                    return st;
                 col.scores.resize(col.values.size());
                 size_t pos = 0;
                 for (auto &sc : col.scores) {
-                    ok = getFloat(scores_raw, pos, sc);
-                    dsi_assert(ok, "score stream truncated");
+                    if (!getFloat(scores_raw, pos, sc))
+                        return decode_fail();
                 }
             }
             batch.sparse.push_back(std::move(col));
@@ -314,14 +371,15 @@ FileReader::decodeFlattened(const StripeInfo &stripe,
         // A feature with only some of its streams projected (shouldn't
         // happen through the public API) is silently skipped.
     }
-    return batch;
+    return ReadStatus::Ok;
 }
 
-RowBatch
+ReadStatus
 FileReader::decodeMapBlob(const StripeInfo &stripe,
                           const std::vector<size_t> &wanted,
                           const std::vector<PlannedIo> &plan,
-                          const std::vector<Buffer> &io_data)
+                          const std::vector<Buffer> &io_data,
+                          RowBatch &out)
 {
     // Legacy path: decode every row of the blob, then drop unprojected
     // features. This is the paper's "reading the entire row" baseline.
@@ -330,52 +388,61 @@ FileReader::decodeMapBlob(const StripeInfo &stripe,
     std::unordered_set<FeatureId> proj(options_.projection.begin(),
                                        options_.projection.end());
     bool keep_all = proj.empty();
+    auto decode_fail = [&]() {
+        ++stats_.decode_errors;
+        return ReadStatus::DecodeError;
+    };
 
     for (size_t idx : wanted) {
         const auto &s = stripe.streams[idx];
         if (s.kind != StreamKind::MapBlob)
             continue;
-        Buffer raw = openStream(
-            s, fetchStream(stripe, idx, plan, io_data),
-            footer_->encrypted, cipher_, footer_->codec,
-                options_.verify_checksums, stats_);
+        Buffer raw;
+        ReadStatus st = openStream(
+            s, fetchStream(stripe, idx, plan, io_data), raw);
+        if (st != ReadStatus::Ok)
+            return st;
         size_t pos = 0;
         for (uint32_t r = 0; r < stripe.rows; ++r) {
             Row row;
             bool ok = getFloat(raw, pos, row.label);
             uint64_t ndense;
             ok = ok && getVarint(raw, pos, ndense);
-            dsi_assert(ok, "map blob truncated");
+            if (!ok)
+                return decode_fail();
             for (uint64_t d = 0; d < ndense; ++d) {
                 uint64_t id;
                 float v;
-                ok = getVarint(raw, pos, id) && getFloat(raw, pos, v);
-                dsi_assert(ok, "map blob truncated");
+                if (!getVarint(raw, pos, id) || !getFloat(raw, pos, v))
+                    return decode_fail();
                 if (keep_all || proj.count(static_cast<FeatureId>(id)))
                     row.dense.push_back(
                         {static_cast<FeatureId>(id), v});
             }
             uint64_t nsparse;
-            ok = getVarint(raw, pos, nsparse);
-            dsi_assert(ok, "map blob truncated");
+            if (!getVarint(raw, pos, nsparse))
+                return decode_fail();
             for (uint64_t si = 0; si < nsparse; ++si) {
                 uint64_t id, len;
-                ok = getVarint(raw, pos, id) && getVarint(raw, pos, len);
-                dsi_assert(ok, "map blob truncated");
+                if (!getVarint(raw, pos, id) ||
+                    !getVarint(raw, pos, len)) {
+                    return decode_fail();
+                }
                 SparseFeature f;
                 f.id = static_cast<FeatureId>(id);
                 f.values.resize(len);
                 for (auto &v : f.values) {
-                    ok = getSignedVarint(raw, pos, v);
-                    dsi_assert(ok, "map blob truncated");
+                    if (!getSignedVarint(raw, pos, v))
+                        return decode_fail();
                 }
-                dsi_assert(pos < raw.size(), "map blob truncated");
+                if (pos >= raw.size())
+                    return decode_fail();
                 bool scored = raw[pos++] != 0;
                 if (scored) {
                     f.scores.resize(len);
                     for (auto &sc : f.scores) {
-                        ok = getFloat(raw, pos, sc);
-                        dsi_assert(ok, "map blob truncated");
+                        if (!getFloat(raw, pos, sc))
+                            return decode_fail();
                     }
                 }
                 if (keep_all || proj.count(f.id))
@@ -384,7 +451,8 @@ FileReader::decodeMapBlob(const StripeInfo &stripe,
             rows.push_back(std::move(row));
         }
     }
-    return batchFromRows(rows);
+    out = batchFromRows(rows);
+    return ReadStatus::Ok;
 }
 
 } // namespace dsi::dwrf

@@ -23,6 +23,19 @@
 
 namespace dsi::dwrf {
 
+/**
+ * Outcome of a checked stripe read. Everything but Ok is recoverable:
+ * the stripe's bytes stay untouched in storage, so the caller can
+ * retry (a re-read rotates to another replica) or abandon the split.
+ */
+enum class ReadStatus
+{
+    Ok,
+    IoError,           ///< storage could not serve the bytes
+    ChecksumMismatch,  ///< stream CRC32 disagreed with the footer
+    DecodeError,       ///< bytes fetched but undecodable (truncated?)
+};
+
 /** Read-side configuration. */
 struct ReadOptions
 {
@@ -38,6 +51,16 @@ struct ReadOptions
 
     /** Verify each stream's CRC32 against the footer. */
     bool verify_checksums = true;
+
+    /**
+     * Extra attempts after a failed stripe read. Retries re-fetch the
+     * stripe, which rotates replica choice — the path a corrupt or
+     * unavailable replica recovers through.
+     */
+    uint32_t max_stripe_retries = 2;
+
+    /** Base retry backoff; doubles per retry. 0 disables the sleep. */
+    uint64_t retry_backoff_us = 200;
 };
 
 /** Byte accounting of the extraction phase. */
@@ -49,6 +72,12 @@ struct ReadStats
     Bytes bytes_decrypted = 0;
     uint64_t ios = 0;
     uint64_t streams_decoded = 0;
+
+    // Fault-path accounting.
+    uint64_t checksum_mismatches = 0; ///< streams failing CRC32
+    uint64_t io_errors = 0;           ///< reads storage could not serve
+    uint64_t decode_errors = 0;       ///< undecodable fetched streams
+    uint64_t stripe_retries = 0;      ///< re-read attempts issued
 
     Bytes overRead() const
     {
@@ -93,25 +122,40 @@ class FileReader
         return valid() ? footer_->total_rows : 0;
     }
 
-    /** Read and decode one stripe, applying the projection. */
+    /**
+     * Read and decode one stripe into `out`, applying the projection.
+     * Failures (IO, checksum, decode) are retried up to
+     * ReadOptions::max_stripe_retries times with exponential backoff;
+     * the final status is returned instead of aborting, so callers
+     * can fail the split over to another worker or another replica.
+     */
+    ReadStatus readStripe(size_t stripe_index, RowBatch &out);
+
+    /** Legacy fail-stop wrapper: asserts the checked read succeeded. */
     RowBatch readStripe(size_t stripe_index);
 
     /** Cumulative extraction accounting across readStripe calls. */
     const ReadStats &stats() const { return stats_; }
 
   private:
+    ReadStatus readStripeOnce(size_t stripe_index, RowBatch &out);
     std::vector<size_t> selectStreams(const StripeInfo &stripe) const;
     Buffer fetchStream(const StripeInfo &stripe, size_t stream_idx,
                        const std::vector<PlannedIo> &plan,
                        const std::vector<Buffer> &io_data) const;
-    RowBatch decodeFlattened(const StripeInfo &stripe,
+    /** Verify, decrypt, then decompress a fetched stream into `out`. */
+    ReadStatus openStream(const StreamInfo &info, Buffer stored,
+                          Buffer &out);
+    ReadStatus decodeFlattened(const StripeInfo &stripe,
+                               const std::vector<size_t> &wanted,
+                               const std::vector<PlannedIo> &plan,
+                               const std::vector<Buffer> &io_data,
+                               RowBatch &out);
+    ReadStatus decodeMapBlob(const StripeInfo &stripe,
                              const std::vector<size_t> &wanted,
                              const std::vector<PlannedIo> &plan,
-                             const std::vector<Buffer> &io_data);
-    RowBatch decodeMapBlob(const StripeInfo &stripe,
-                           const std::vector<size_t> &wanted,
-                           const std::vector<PlannedIo> &plan,
-                           const std::vector<Buffer> &io_data);
+                             const std::vector<Buffer> &io_data,
+                             RowBatch &out);
 
     const RandomAccessSource &source_;
     ReadOptions options_;

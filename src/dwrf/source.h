@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "dwrf/encoding.h"
@@ -61,6 +62,17 @@ class IoTrace
     Bytes total_bytes_ = 0;
 };
 
+/**
+ * Outcome of a checked source read. Sources that model partial
+ * failure (replicas down, injected faults) report Unavailable instead
+ * of aborting; callers retry or surface the error upward.
+ */
+enum class IoStatus
+{
+    Ok,
+    Unavailable,
+};
+
 /** Read-only random access to stored file bytes. */
 class RandomAccessSource
 {
@@ -74,6 +86,27 @@ class RandomAccessSource
      * Implementations must record the IO in their trace.
      */
     virtual void read(Bytes offset, Bytes len, Buffer &out) const = 0;
+
+    /**
+     * Failure-aware variant of read(): returns Unavailable when the
+     * bytes cannot be served (all replicas of a block down, injected
+     * IO error) rather than asserting. The default forwards to
+     * read(), which for simple sources cannot fail, and honors the
+     * generic source.read fault points so corruption/unavailability
+     * can be injected against any source.
+     */
+    virtual IoStatus readChecked(Bytes offset, Bytes len,
+                                 Buffer &out) const
+    {
+        if (faultPoint(faults::kSourceReadError)) {
+            out.clear();
+            return IoStatus::Unavailable;
+        }
+        read(offset, len, out);
+        if (!out.empty() && faultPoint(faults::kSourceReadCorrupt))
+            out[out.size() / 2] ^= 0xff; // bit-rot mid-read
+        return IoStatus::Ok;
+    }
 
     /** Trace of IOs issued so far. */
     virtual const IoTrace &trace() const = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace dsi::storage {
@@ -68,6 +69,7 @@ void
 TectonicCluster::failNode(NodeId id)
 {
     dsi_assert(id < nodes_.size(), "no node %u", id);
+    std::scoped_lock lock(io_mutex_);
     node_down_[id] = true;
 }
 
@@ -75,12 +77,14 @@ void
 TectonicCluster::recoverNode(NodeId id)
 {
     dsi_assert(id < nodes_.size(), "no node %u", id);
+    std::scoped_lock lock(io_mutex_);
     node_down_[id] = false;
 }
 
 uint32_t
 TectonicCluster::liveNodes() const
 {
+    std::scoped_lock lock(io_mutex_);
     uint32_t n = 0;
     for (bool down : node_down_)
         n += !down;
@@ -201,7 +205,7 @@ TectonicCluster::resetAccounting()
     cache_misses_ = 0;
 }
 
-void
+bool
 TectonicCluster::routeBlockRead(const std::string &name,
                                 const FileState &file,
                                 uint64_t block_index, Bytes bytes) const
@@ -214,7 +218,7 @@ TectonicCluster::routeBlockRead(const std::string &name,
             it->second = ++cache_tick_;
             ++cache_hits_;
             cache_node_->recordIo(bytes);
-            return;
+            return true;
         }
         ++cache_misses_;
         // Admit with LRU eviction.
@@ -230,19 +234,22 @@ TectonicCluster::routeBlockRead(const std::string &name,
         cache_index_.emplace(key, ++cache_tick_);
     }
     const auto &loc = file.blocks.at(block_index);
-    // Rotate across replicas, skipping dead nodes.
+    // Rotate across replicas, skipping dead nodes and any replica the
+    // fault injector declares transiently broken.
     for (size_t attempt = 0; attempt < loc.replicas.size(); ++attempt) {
         NodeId replica =
             loc.replicas[next_replica_++ % loc.replicas.size()];
         if (node_down_[replica])
             continue;
+        if (faultPoint(faults::kTectonicReplicaError)) {
+            metrics_.inc("tectonic.replica_read_errors");
+            continue;
+        }
         const_cast<StorageNode &>(nodes_.at(replica))
             .recordIo(bytes);
-        return;
+        return true;
     }
-    dsi_fatal("block %llu of '%s' lost: all replicas down",
-              static_cast<unsigned long long>(block_index),
-              name.c_str());
+    return false;
 }
 
 TectonicSource::TectonicSource(const TectonicCluster &cluster,
@@ -260,6 +267,22 @@ TectonicSource::size() const
 void
 TectonicSource::read(Bytes offset, Bytes len, dwrf::Buffer &out) const
 {
+    // Legacy fail-stop contract for callers without a recovery path.
+    dwrf::IoStatus status = readChecked(offset, len, out);
+    if (status != dwrf::IoStatus::Ok) {
+        dsi_fatal("read [%llu, +%llu) of '%s' lost: all replicas down",
+                  static_cast<unsigned long long>(offset),
+                  static_cast<unsigned long long>(len), name_.c_str());
+    }
+}
+
+dwrf::IoStatus
+TectonicSource::readChecked(Bytes offset, Bytes len,
+                            dwrf::Buffer &out) const
+{
+    // Slow-replica fault: stalls here, then the read proceeds.
+    faultPoint(faults::kTectonicReadDelay);
+
     auto it = cluster_.files_.find(name_);
     dsi_assert(it != cluster_.files_.end(), "file vanished: '%s'",
                name_.c_str());
@@ -271,18 +294,33 @@ TectonicSource::read(Bytes offset, Bytes len, dwrf::Buffer &out) const
                file.data.begin() + static_cast<ptrdiff_t>(offset + len));
     trace_.record(offset, len);
 
+    // Corruption fault: a replica served bad bytes. Flip one byte so
+    // the DWRF checksum catches it downstream; a retried read draws a
+    // fresh (clean, unless re-fired) copy.
+    if (len > 0 && faultPoint(faults::kTectonicReadCorrupt)) {
+        out[out.size() / 2] ^= 0xff;
+        cluster_.metrics_.inc("tectonic.corrupt_reads");
+    }
+
     // Fan the logical IO out to the blocks it touches.
     Bytes bs = cluster_.options_.block_size;
     Bytes pos = offset;
     Bytes remaining = len;
+    bool ok = true;
     while (remaining > 0) {
         uint64_t block = pos / bs;
         Bytes within = pos % bs;
         Bytes chunk = std::min(remaining, bs - within);
-        cluster_.routeBlockRead(name_, file, block, chunk);
+        ok &= cluster_.routeBlockRead(name_, file, block, chunk);
         pos += chunk;
         remaining -= chunk;
     }
+    if (!ok) {
+        cluster_.metrics_.inc("tectonic.failed_reads");
+        out.clear();
+        return dwrf::IoStatus::Unavailable;
+    }
+    return dwrf::IoStatus::Ok;
 }
 
 } // namespace dsi::storage

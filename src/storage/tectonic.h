@@ -94,6 +94,12 @@ class TectonicCluster;
  * Read adapter exposing one stored file as a dwrf::RandomAccessSource.
  * Reads are routed to block replicas (and the cache) with full
  * accounting; a logical IO spanning blocks fans out to each node.
+ *
+ * readChecked() is the failure-aware entry point: a read whose blocks
+ * cannot all be served by live replicas returns IoStatus::Unavailable
+ * instead of aborting, and armed fault points (tectonic.read.*) can
+ * inject corruption, replica errors, and latency. read() keeps the
+ * legacy fail-stop contract for callers without a recovery path.
  */
 class TectonicSource : public dwrf::RandomAccessSource
 {
@@ -102,6 +108,8 @@ class TectonicSource : public dwrf::RandomAccessSource
 
     Bytes size() const override;
     void read(Bytes offset, Bytes len, dwrf::Buffer &out) const override;
+    dwrf::IoStatus readChecked(Bytes offset, Bytes len,
+                               dwrf::Buffer &out) const override;
     const dwrf::IoTrace &trace() const override { return trace_; }
     void clearTrace() override { trace_.clear(); }
 
@@ -170,12 +178,20 @@ class TectonicCluster
 
     /**
      * Mark a storage node dead (maintenance / failure). Reads route
-     * to surviving replicas; dies only if every replica of a needed
-     * block is down (triplicate replication makes that rare).
+     * to surviving replicas; checked reads report Unavailable only if
+     * every replica of a needed block is down (triplicate replication
+     * makes that rare). Safe to call while reads are in flight —
+     * chaos tests kill nodes mid-session.
      */
     void failNode(NodeId id);
     void recoverNode(NodeId id);
     uint32_t liveNodes() const;
+
+    /**
+     * Fault-path counters (tectonic.replica_read_errors,
+     * tectonic.failed_reads, tectonic.corrupt_reads).
+     */
+    const Metrics &metrics() const { return metrics_; }
 
     /** Aggregate node power (plus the cache device if enabled). */
     double totalPowerWatts() const;
@@ -199,13 +215,15 @@ class TectonicCluster
 
     /**
      * Route one intra-block read, handling cache and replica choice.
-     * Mutex-guarded: many DPP extract threads read concurrently
-     * through their own TectonicSources, but cache state, replica
-     * rotation, and per-node accounting are cluster-wide. Metadata
-     * mutation (create/append/remove/failNode) is NOT synchronized
+     * Returns false when no live replica could serve the block (the
+     * recoverable all-replicas-down case). Mutex-guarded: many DPP
+     * extract threads read concurrently through their own
+     * TectonicSources, but cache state, replica rotation, node
+     * liveness, and per-node accounting are cluster-wide. File
+     * metadata mutation (create/append/remove) is NOT synchronized
      * against readers — ingestion and training are distinct phases.
      */
-    void routeBlockRead(const std::string &name, const FileState &file,
+    bool routeBlockRead(const std::string &name, const FileState &file,
                         uint64_t block_index, Bytes bytes) const;
 
     void placeBlocks(FileState &file);
@@ -225,6 +243,7 @@ class TectonicCluster
     mutable uint64_t cache_misses_ = 0;
     mutable std::unique_ptr<StorageNode> cache_node_;
     mutable uint32_t next_replica_ = 0;
+    mutable Metrics metrics_; ///< fault-path counters (thread-safe)
 };
 
 } // namespace dsi::storage

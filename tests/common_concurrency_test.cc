@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/stats.h"
 #include "common/thread_pool.h"
 
 namespace dsi {
@@ -194,6 +195,46 @@ TEST(BoundedQueue, MpmcStressDeliversEveryItemOnce)
     EXPECT_EQ(count.load(), n);
     EXPECT_EQ(sum.load(), n * (n - 1) / 2);
     EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(PercentileSampler, ConcurrentReadersAndWritersAreSafe)
+{
+    // percentile() sorts lazily inside a const method; before it took
+    // the sampler mutex, concurrent readers raced on the sort (and on
+    // the dirty flag) — this is the TSan regression test for that.
+    PercentileSampler sampler;
+    for (int i = 0; i < 1000; ++i)
+        sampler.add(static_cast<double>(i));
+
+    constexpr int kReaders = 4;
+    constexpr int kWriters = 2;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int r = 0; r < kReaders; ++r) {
+        threads.emplace_back([&] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < 500; ++i) {
+                double p50 = sampler.percentile(50.0);
+                double p99 = sampler.percentile(99.0);
+                EXPECT_LE(p50, p99);
+                EXPECT_GE(sampler.mean(), 0.0);
+                EXPECT_GE(sampler.stddev(), 0.0);
+            }
+        });
+    }
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&, w] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < 500; ++i)
+                sampler.add(static_cast<double>(1000 + w * 500 + i));
+        });
+    }
+    go = true;
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(sampler.count(), 1000u + kWriters * 500u);
 }
 
 } // namespace

@@ -193,6 +193,31 @@ TEST(Tectonic, AllReplicasDownIsFatal)
     EXPECT_DEATH(src->read(0, 16, out), "all replicas down");
 }
 
+TEST(Tectonic, AllReplicasDownIsRecoverableViaCheckedRead)
+{
+    // The checked read path reports the loss as a status instead of
+    // dying, so callers (the DWRF reader, the Master's checkpoint
+    // restore) can retry or fail over.
+    StorageOptions o;
+    o.block_size = 1_MiB;
+    o.replication = 2;
+    o.hdd_nodes = 2;
+    TectonicCluster cluster(o);
+    cluster.put("f", bytesOf(1000));
+    cluster.failNode(0);
+    cluster.failNode(1);
+    auto src = cluster.open("f");
+    dwrf::Buffer out;
+    EXPECT_EQ(src->readChecked(0, 16, out),
+              dwrf::IoStatus::Unavailable);
+    EXPECT_TRUE(out.empty());
+    EXPECT_GE(cluster.metrics().counter("tectonic.failed_reads"), 1.0);
+    // Recovery makes the same read succeed.
+    cluster.recoverNode(0);
+    EXPECT_EQ(src->readChecked(0, 16, out), dwrf::IoStatus::Ok);
+    EXPECT_EQ(out.size(), 16u);
+}
+
 TEST(Tectonic, DwrfReaderWorksOverTectonic)
 {
     // Integration: a DWRF file stored in the cluster decodes through
