@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Retry backoff with decorrelated jitter.
+ *
+ * Deterministic doubling backoff re-synchronizes every retrier in the
+ * system: after a replica hiccup, all of its waiting readers sleep the
+ * same 200/400/800 us ladder and then *re-stampede* the recovering
+ * node in lockstep. Decorrelated jitter (the AWS architecture-blog
+ * variant: next = uniform(base, prev * 3), capped) spreads the retry
+ * instants so a recovering replica sees a trickle instead of a wave.
+ *
+ * Used by the DWRF reader's stripe retries (which rotate Tectonic
+ * replica choice — the failover path) and by the DPP worker's
+ * overload/admission retry loop. Seeded from dsi::Rng so chaos runs
+ * stay reproducible under a fixed seed.
+ */
+
+#ifndef DSI_COMMON_BACKOFF_H
+#define DSI_COMMON_BACKOFF_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/deadline.h"
+#include "common/rng.h"
+
+namespace dsi {
+
+/** Backoff tuning. */
+struct BackoffOptions
+{
+    /** First delay, and the lower bound of every jittered draw. */
+    uint64_t base_us = 200;
+
+    /** Hard cap on any single delay. */
+    uint64_t cap_us = 50'000;
+
+    /** Upper-bound growth factor per step (decorrelated jitter). */
+    double multiplier = 3.0;
+};
+
+/** Decorrelated-jitter delay sequence; one instance per retry loop. */
+class Backoff
+{
+  public:
+    explicit Backoff(BackoffOptions options = {},
+                     uint64_t seed = 0xb0ffb0ffULL)
+        : options_(options), rng_(seed), prev_us_(options.base_us)
+    {
+    }
+
+    /** Next delay in the sequence (microseconds). */
+    uint64_t nextDelayUs()
+    {
+        uint64_t lo = options_.base_us;
+        uint64_t hi = std::max<uint64_t>(
+            lo + 1, std::min<uint64_t>(
+                        options_.cap_us,
+                        static_cast<uint64_t>(
+                            static_cast<double>(prev_us_) *
+                            options_.multiplier)));
+        uint64_t next = lo + rng_.nextUint(hi - lo + 1);
+        prev_us_ = next;
+        return next;
+    }
+
+    /** Restart the sequence after a success. */
+    void reset() { prev_us_ = options_.base_us; }
+
+    /**
+     * Sleep the next delay, truncated to the deadline's remaining
+     * budget. Returns false when the deadline had already expired
+     * (nothing slept) — the caller should give up, not retry.
+     */
+    bool sleep(const Deadline &deadline = Deadline::unbounded())
+    {
+        if (deadline.expired())
+            return false;
+        double delay_s =
+            static_cast<double>(nextDelayUs()) / 1e6;
+        delay_s = std::min(delay_s, deadline.remainingSeconds());
+        if (delay_s > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(delay_s));
+        }
+        return true;
+    }
+
+    const BackoffOptions &options() const { return options_; }
+
+  private:
+    BackoffOptions options_;
+    Rng rng_;
+    uint64_t prev_us_;
+};
+
+} // namespace dsi
+
+#endif // DSI_COMMON_BACKOFF_H

@@ -23,6 +23,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/deadline.h"
+
 namespace dsi {
 
 /** Fixed-capacity multi-producer / multi-consumer blocking queue. */
@@ -56,6 +58,28 @@ class BoundedQueue
         return true;
     }
 
+    /**
+     * Deadline-bounded push: block until there is room, the queue
+     * closes, or the deadline expires — whichever first. Returns false
+     * (dropping `value`) on close or expiry; callers distinguish the
+     * two via closed(). This is how pipeline backpressure observes a
+     * split's time budget instead of waiting forever on a stalled
+     * consumer.
+     */
+    bool push(T value, const Deadline &deadline)
+    {
+        std::unique_lock lock(mutex_);
+        bool ok = deadline.wait(not_full_, lock, [this] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (!ok || closed_)
+            return false;
+        items_.push_back(std::move(value));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
     /** Non-blocking push; false when full or closed. */
     bool tryPush(T value)
     {
@@ -78,6 +102,24 @@ class BoundedQueue
         std::unique_lock lock(mutex_);
         not_empty_.wait(lock,
                         [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T value = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /**
+     * Deadline-bounded pop: nullopt when the queue closed-and-drained
+     * OR the deadline expired while empty.
+     */
+    std::optional<T> pop(const Deadline &deadline)
+    {
+        std::unique_lock lock(mutex_);
+        deadline.wait(not_empty_, lock,
+                      [this] { return closed_ || !items_.empty(); });
         if (items_.empty())
             return std::nullopt;
         T value = std::move(items_.front());

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Per-endpoint circuit breaker with half-open probing.
+ *
+ * Protects callers from persistently failing or slow endpoints (a
+ * storage replica on a dying disk, a flapping node): after a run of
+ * consecutive failures the breaker *opens* and the endpoint is ejected
+ * from rotation; after a cooldown it goes *half-open* and admits a
+ * single probe; a successful probe closes it, a failed one re-opens
+ * it (with the cooldown restarted). This turns "every read tries the
+ * bad replica and eats its timeout" into "the bad replica is skipped
+ * until it proves itself again".
+ *
+ * Pure state machine over caller-supplied timestamps (seconds on any
+ * monotonic clock), so tests can drive it with a fake clock and the
+ * Tectonic cluster can drive it with its own time source. NOT
+ * internally synchronized — the owner serializes access (the cluster
+ * calls it under its routing mutex).
+ */
+
+#ifndef DSI_COMMON_CIRCUIT_BREAKER_H
+#define DSI_COMMON_CIRCUIT_BREAKER_H
+
+#include <cstdint>
+
+namespace dsi {
+
+/** Breaker tuning. */
+struct CircuitBreakerOptions
+{
+    /** Consecutive failures that open the breaker. 0 disables it. */
+    uint32_t failure_threshold = 5;
+
+    /** Seconds the breaker stays open before a half-open probe. */
+    double open_seconds = 0.05;
+};
+
+/** One endpoint's breaker. */
+class CircuitBreaker
+{
+  public:
+    enum class State
+    {
+        Closed,   ///< normal operation
+        Open,     ///< ejected; requests skip this endpoint
+        HalfOpen, ///< one probe in flight to test recovery
+    };
+
+    explicit CircuitBreaker(CircuitBreakerOptions options = {})
+        : options_(options)
+    {
+    }
+
+    /**
+     * May a request be sent to this endpoint now? Open breakers
+     * transition to HalfOpen (admitting exactly one probe) once the
+     * cooldown has elapsed.
+     */
+    bool allowRequest(double now)
+    {
+        if (options_.failure_threshold == 0)
+            return true;
+        switch (state_) {
+          case State::Closed:
+            return true;
+          case State::Open:
+            if (now - opened_at_ >= options_.open_seconds) {
+                state_ = State::HalfOpen;
+                return true; // the probe
+            }
+            return false;
+          case State::HalfOpen:
+            return false; // one probe at a time
+        }
+        return true;
+    }
+
+    /** The endpoint served a request. Closes the breaker. */
+    void recordSuccess()
+    {
+        consecutive_failures_ = 0;
+        state_ = State::Closed;
+    }
+
+    /** The endpoint failed (error or budget-blowing slowness). */
+    void recordFailure(double now)
+    {
+        if (options_.failure_threshold == 0)
+            return;
+        if (state_ == State::HalfOpen) {
+            // Failed probe: straight back to Open, cooldown restarts.
+            state_ = State::Open;
+            opened_at_ = now;
+            return;
+        }
+        if (++consecutive_failures_ >= options_.failure_threshold &&
+            state_ == State::Closed) {
+            state_ = State::Open;
+            opened_at_ = now;
+        }
+    }
+
+    State state() const { return state_; }
+    uint32_t consecutiveFailures() const
+    {
+        return consecutive_failures_;
+    }
+
+  private:
+    CircuitBreakerOptions options_;
+    State state_ = State::Closed;
+    uint32_t consecutive_failures_ = 0;
+    double opened_at_ = 0.0;
+};
+
+} // namespace dsi
+
+#endif // DSI_COMMON_CIRCUIT_BREAKER_H

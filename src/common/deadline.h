@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deadline budgets for bounded waiting (tail-tolerance discipline).
+ *
+ * A Deadline is an absolute point in steady-clock time that a unit of
+ * work must finish by. It is created once at the top of a request
+ * (Client fetch, split grant) and *propagated* down the call chain —
+ * Session -> Master -> Worker -> reader -> storage — so that every
+ * blocking wait along the path observes the same budget instead of
+ * inventing its own timeout (or worse, waiting forever). Expired work
+ * is requeued/abandoned by the caller rather than hung on.
+ *
+ * Deadlines are value types, cheap to copy, and thread-safe to read
+ * concurrently (immutable after construction).
+ */
+
+#ifndef DSI_COMMON_DEADLINE_H
+#define DSI_COMMON_DEADLINE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace dsi {
+
+/** An absolute time budget; unbounded() never expires. */
+class Deadline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** No budget: waits block indefinitely, expired() is never true. */
+    Deadline() = default;
+
+    /** A budget of `seconds` from now. Non-positive = already expired. */
+    static Deadline after(double seconds)
+    {
+        Deadline d;
+        d.bounded_ = true;
+        d.at_ = Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(seconds));
+        return d;
+    }
+
+    /** The no-budget deadline, spelled out. */
+    static Deadline unbounded() { return Deadline(); }
+
+    bool bounded() const { return bounded_; }
+
+    bool expired() const { return bounded_ && Clock::now() >= at_; }
+
+    /**
+     * Seconds left in the budget; never negative. Unbounded deadlines
+     * report a very large (but finite, sleepable) value.
+     */
+    double remainingSeconds() const
+    {
+        if (!bounded_)
+            return 3600.0 * 24 * 365;
+        auto left = at_ - Clock::now();
+        double s = std::chrono::duration<double>(left).count();
+        return s > 0 ? s : 0.0;
+    }
+
+    /** Absolute wait target for condition_variable::wait_until. */
+    Clock::time_point timePoint() const
+    {
+        if (bounded_)
+            return at_;
+        return Clock::now() + std::chrono::hours(24 * 365);
+    }
+
+    /** The earlier of two deadlines (budget intersection). */
+    Deadline min(const Deadline &other) const
+    {
+        if (!bounded_)
+            return other;
+        if (!other.bounded_)
+            return *this;
+        return at_ <= other.at_ ? *this : other;
+    }
+
+    /**
+     * Deadline-bounded condition wait: true when `pred` became true,
+     * false when the deadline expired first. Unbounded deadlines wait
+     * without a timeout.
+     */
+    template <typename Pred>
+    bool wait(std::condition_variable &cv,
+              std::unique_lock<std::mutex> &lock, Pred pred) const
+    {
+        if (!bounded_) {
+            cv.wait(lock, pred);
+            return true;
+        }
+        return cv.wait_until(lock, at_, pred);
+    }
+
+  private:
+    bool bounded_ = false;
+    Clock::time_point at_{};
+};
+
+} // namespace dsi
+
+#endif // DSI_COMMON_DEADLINE_H

@@ -1,5 +1,8 @@
 #include "client.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/logging.h"
 
 namespace dsi::dpp {
@@ -69,6 +72,25 @@ Client::next()
     }
     metrics_.inc("client.empty_polls");
     return std::nullopt;
+}
+
+std::optional<TensorBatch>
+Client::next(const Deadline &deadline)
+{
+    for (;;) {
+        auto tensor = next();
+        if (tensor)
+            return tensor;
+        if (exhausted())
+            return std::nullopt;
+        if (deadline.expired()) {
+            metrics_.inc("client.deadline_expired");
+            return std::nullopt;
+        }
+        // Workers are producing but nothing is buffered yet; yield
+        // briefly instead of hammering their buffer locks.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
 }
 
 bool

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "dpp/worker.h"
 
@@ -98,6 +99,15 @@ class Client
      * Worker is drained.
      */
     std::optional<TensorBatch> next();
+
+    /**
+     * Deadline-bounded fetch: poll connected Workers until a tensor
+     * arrives, every Worker is drained, or the budget runs out —
+     * whichever first. A trainer batch-fetch RPC with a timeout:
+     * nullopt on expiry (client.deadline_expired counted) instead of
+     * an unbounded wait on a stalled pipeline.
+     */
+    std::optional<TensorBatch> next(const Deadline &deadline);
 
     /** True when all connected workers are drained. */
     bool exhausted() const;

@@ -122,22 +122,119 @@ Master::touchLocked(WorkerId worker)
 std::optional<Split>
 Master::requestSplit(WorkerId worker)
 {
+    SplitGrant grant = acquireSplit(worker, WorkerLoad{});
+    return grant.split;
+}
+
+SplitGrant
+Master::acquireSplit(WorkerId worker, const WorkerLoad &load)
+{
     std::scoped_lock lock(mutex_);
+    SplitGrant grant;
     if (!live_workers_.count(worker)) {
         // A zombie (lease-expired or manually failed) asking for more
         // work: its old splits are already requeued, so feeding it
         // would double-process rows. Starve it instead.
         metrics_.inc("master.stale_requests");
-        return std::nullopt;
+        grant.status = GrantStatus::Rejected;
+        return grant;
     }
     touchLocked(worker);
-    if (pending_.empty())
-        return std::nullopt;
+    if (pending_.empty()) {
+        // Checked before admission so a saturated worker still
+        // observes end-of-work and can finish its drain.
+        grant.status = GrantStatus::NoWork;
+        return grant;
+    }
+    // Admission control: shed rather than pile work onto a worker
+    // that cannot absorb it (full buffer means trainers are the
+    // bottleneck; more extraction only grows memory).
+    bool shed = admission_.shed_on_full_buffer && load.buffer_full;
+    if (!shed && admission_.max_inflight_per_worker > 0) {
+        uint32_t held = 0;
+        for (const auto &[split_id, w] : inflight_)
+            held += w == worker;
+        shed = held >= admission_.max_inflight_per_worker;
+    }
+    if (shed) {
+        metrics_.inc("master.splits_shed");
+        grant.status = GrantStatus::Overloaded;
+        return grant;
+    }
     uint64_t split_id = pending_.front();
     pending_.pop_front();
     inflight_.emplace(split_id, worker);
+    if (admission_.split_deadline_s > 0.0) {
+        deadline_at_[split_id] =
+            clock_() + admission_.split_deadline_s;
+        grant.deadline = Deadline::after(admission_.split_deadline_s);
+    }
     metrics_.inc("master.splits_assigned");
-    return splits_[split_id];
+    grant.status = GrantStatus::Granted;
+    grant.split = splits_[split_id];
+    return grant;
+}
+
+void
+Master::releaseSplit(WorkerId worker, uint64_t split_id)
+{
+    std::scoped_lock lock(mutex_);
+    touchLocked(worker);
+    auto it = inflight_.find(split_id);
+    if (it == inflight_.end() || it->second != worker) {
+        metrics_.inc("master.stale_releases");
+        return;
+    }
+    inflight_.erase(it);
+    deadline_at_.erase(split_id);
+    // No attempt penalty: the data is fine, the worker's timing
+    // (or drain) is not.
+    pending_.push_front(split_id);
+    metrics_.inc("master.splits_released");
+}
+
+uint64_t
+Master::expireDeadlines()
+{
+    std::scoped_lock lock(mutex_);
+    if (admission_.split_deadline_s <= 0.0)
+        return 0;
+    double now = clock_();
+    uint64_t expired = 0;
+    for (auto it = deadline_at_.begin(); it != deadline_at_.end();) {
+        uint64_t split_id = it->first;
+        auto holder = inflight_.find(split_id);
+        if (it->second > now || holder == inflight_.end()) {
+            ++it;
+            continue;
+        }
+        // Bound re-grants of a split that keeps blowing its budget:
+        // charge an attempt so a pathological split still reaches a
+        // terminal state instead of cycling forever.
+        it = deadline_at_.erase(it);
+        inflight_.erase(holder);
+        ++expired;
+        metrics_.inc("master.deadline_expired");
+        uint32_t failures = ++attempts_[split_id];
+        if (failures >= max_split_attempts_) {
+            failed_.insert(split_id);
+            metrics_.inc("master.splits_failed");
+            dsi_warn("split %llu blew %u deadlines; giving up",
+                     static_cast<unsigned long long>(split_id),
+                     failures);
+        } else {
+            pending_.push_front(split_id);
+            metrics_.inc("master.splits_requeued");
+        }
+    }
+    return expired;
+}
+
+void
+Master::setAdmission(AdmissionOptions admission)
+{
+    std::scoped_lock lock(mutex_);
+    admission_ = admission;
 }
 
 void
@@ -154,6 +251,7 @@ Master::completeSplit(WorkerId worker, uint64_t split_id)
         return;
     }
     inflight_.erase(it);
+    deadline_at_.erase(split_id);
     completed_.insert(split_id);
     metrics_.inc("master.splits_completed");
 }
@@ -169,6 +267,7 @@ Master::failSplit(WorkerId worker, uint64_t split_id)
         return;
     }
     inflight_.erase(it);
+    deadline_at_.erase(split_id);
     uint32_t failures = ++attempts_[split_id];
     if (failures >= max_split_attempts_) {
         failed_.insert(split_id);
@@ -197,6 +296,7 @@ Master::failWorkerLocked(WorkerId worker)
     for (auto it = inflight_.begin(); it != inflight_.end();) {
         if (it->second == worker) {
             pending_.push_front(it->first);
+            deadline_at_.erase(it->first);
             metrics_.inc("master.splits_requeued");
             it = inflight_.erase(it);
         } else {
@@ -345,6 +445,7 @@ Master::restore(const MasterCheckpoint &checkpoint)
     failed_.clear();
     attempts_.clear();
     inflight_.clear();
+    deadline_at_.clear();
     pending_.clear();
     for (uint64_t i = 0; i < splits_.size(); ++i) {
         if (!completed_.count(i))

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "dpp/spec.h"
 #include "warehouse/table.h"
@@ -61,6 +62,57 @@ struct SessionProgress
     }
 };
 
+/** Outcome of a split request under admission control. */
+enum class GrantStatus
+{
+    Granted,    ///< a split was leased to the caller
+    NoWork,     ///< pending queue empty — idle or drain
+    Overloaded, ///< request shed: back off, then ask again
+    Rejected,   ///< caller is a zombie; it must stop working
+};
+
+/**
+ * Worker-side load snapshot attached to a split request, the signal
+ * admission control sheds on. A production Worker piggybacks this on
+ * its getWork RPC.
+ */
+struct WorkerLoad
+{
+    uint64_t buffered_tensors = 0; ///< output buffer occupancy
+    bool buffer_full = false;      ///< trainers are not keeping up
+};
+
+/** A granted split plus the time budget it must complete within. */
+struct SplitGrant
+{
+    GrantStatus status = GrantStatus::NoWork;
+    std::optional<Split> split;
+    Deadline deadline; ///< unbounded when deadlines are disabled
+};
+
+/**
+ * Overload-protection knobs. Defaults keep every behaviour off so
+ * existing callers see the old unconditional-grant semantics.
+ */
+struct AdmissionOptions
+{
+    /**
+     * Splits one worker may hold concurrently; 0 = unlimited. A
+     * worker at the cap is shed (Overloaded) instead of granted.
+     */
+    uint32_t max_inflight_per_worker = 0;
+
+    /** Shed requests from workers reporting a full output buffer. */
+    bool shed_on_full_buffer = true;
+
+    /**
+     * Per-split completion budget in seconds; 0 disables deadlines.
+     * expireDeadlines() requeues splits that blow the budget, and the
+     * grant carries the Deadline so the worker bounds its own reads.
+     */
+    double split_deadline_s = 0.0;
+};
+
 /** The DPP control-plane master for one session. */
 class Master
 {
@@ -86,8 +138,40 @@ class Master
      * remain (the Worker should idle/drain) — or when the caller is
      * unknown or lease-expired (a zombie: its splits have already
      * been requeued, so handing it more work would double-process).
+     * Compatibility wrapper over acquireSplit() that reports no load
+     * (so admission control never sheds it) and drops the deadline.
      */
     std::optional<Split> requestSplit(WorkerId worker);
+
+    /**
+     * The admission-controlled request path. Zombies are Rejected;
+     * an empty queue is NoWork; a caller over the in-flight cap or
+     * reporting a full buffer is shed with Overloaded (the split
+     * stays queued for a less-loaded worker — Section VI-C
+     * overload protection); otherwise the split is Granted with the
+     * session's per-split deadline attached.
+     */
+    SplitGrant acquireSplit(WorkerId worker, const WorkerLoad &load);
+
+    /**
+     * A Worker voluntarily returns an unfinished split (its deadline
+     * expired mid-read, or it is draining for scale-down). The split
+     * is requeued with no attempt penalty — nothing is wrong with the
+     * data, only with this worker's timing.
+     */
+    void releaseSplit(WorkerId worker, uint64_t split_id);
+
+    /**
+     * Requeue in-flight splits whose completion deadline has passed
+     * (the holding worker may be stuck in a storage stall; its late
+     * completion will be dropped as stale and its duplicate rows
+     * deduplicated by the client ledger). Returns how many expired.
+     * No-op unless AdmissionOptions::split_deadline_s > 0.
+     */
+    uint64_t expireDeadlines();
+
+    /** Configure overload protection (default: everything off). */
+    void setAdmission(AdmissionOptions admission);
 
     /**
      * A Worker reports a split finished. Stale reports — from a
@@ -181,6 +265,8 @@ class Master
     std::set<uint64_t> completed_;
     std::set<uint64_t> failed_;                 ///< attempts exhausted
     std::map<uint64_t, uint32_t> attempts_;     ///< split -> failures
+    std::map<uint64_t, double> deadline_at_;    ///< split -> clock_()
+    AdmissionOptions admission_;
     uint32_t max_split_attempts_ = 3;
     WorkerId next_worker_ = 0;
     std::set<WorkerId> live_workers_;

@@ -1,10 +1,24 @@
 #include "session.h"
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "common/logging.h"
 
 namespace dsi::dpp {
+
+namespace {
+
+double
+steadySeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 InProcessSession::InProcessSession(const warehouse::Warehouse &warehouse,
                                    SessionSpec spec,
@@ -15,8 +29,14 @@ InProcessSession::InProcessSession(const warehouse::Warehouse &warehouse,
     dsi_assert(options_.clients >= 1, "session needs >= 1 client");
     master_ = std::make_unique<Master>(warehouse_, std::move(spec));
     master_->setMaxSplitAttempts(options_.max_split_attempts);
+    master_->setAdmission(options_.admission);
     if (options_.lease_timeout > 0)
         master_->setLeaseTimeout(options_.lease_timeout);
+    if (options_.autoscale.enabled) {
+        scaler_ =
+            std::make_unique<AutoScaler>(options_.autoscale.scaler);
+        last_eval_ = steadySeconds();
+    }
     for (uint32_t w = 0; w < options_.workers; ++w) {
         workers_.push_back(std::make_unique<Worker>(
             *master_, warehouse_, options_.worker));
@@ -89,6 +109,87 @@ InProcessSession::checkLeases()
     return replaced;
 }
 
+void
+InProcessSession::maybeAutoscale(const SessionResult &result)
+{
+    if (!scaler_)
+        return;
+    double now = steadySeconds();
+    double dt = now - last_eval_;
+    if (dt < options_.autoscale.interval_s)
+        return;
+    last_eval_ = now;
+
+    ScalingEvent ev;
+    double supplied = 0.0;
+    for (auto &w : workers_) {
+        supplied += w->metrics().counter("worker.tensors");
+        // Draining victims are leaving the pool; they are not part of
+        // the capacity the controller reasons about.
+        if (!w->draining() && !w->crashed())
+            ev.reports.push_back(w->report());
+    }
+    ev.demand_rate =
+        (static_cast<double>(result.tensors_delivered) -
+         static_cast<double>(last_delivered_)) /
+        dt;
+    // Worker replacement resets counters; clamp the window delta.
+    ev.supply_rate = std::max(0.0, (supplied - last_supplied_) / dt);
+    last_delivered_ = result.tensors_delivered;
+    last_supplied_ = supplied;
+    ev.decision =
+        scaler_->evaluate(ev.reports, ev.demand_rate, ev.supply_rate);
+
+    if (ev.decision.delta > 0) {
+        // Launch: stateless workers join the split pool immediately.
+        for (int64_t i = 0; i < ev.decision.delta; ++i) {
+            workers_.push_back(std::make_unique<Worker>(
+                *master_, warehouse_, options_.worker));
+            if (running_parallel_)
+                workers_.back()->start();
+            ++workers_launched_;
+        }
+        rebuildClients();
+    } else if (ev.decision.delta < 0) {
+        // Graceful drain: victims stop acquiring splits, finish and
+        // deliver everything held, and are retired by
+        // retireDrainedWorkers() once empty. Nothing is abandoned.
+        int64_t to_drain = -ev.decision.delta;
+        for (auto it = workers_.rbegin();
+             it != workers_.rend() && to_drain > 0; ++it) {
+            if ((*it)->draining() || (*it)->crashed())
+                continue;
+            (*it)->beginDrain();
+            --to_drain;
+        }
+    }
+    scaling_log_.push_back(std::move(ev));
+}
+
+bool
+InProcessSession::retireDrainedWorkers()
+{
+    if (!scaler_)
+        return false;
+    bool removed = false;
+    for (size_t i = 0; i < workers_.size();) {
+        if (workers_[i]->draining() && workers_[i]->drained() &&
+            workers_.size() > 1) {
+            foldWorkerStats(*workers_[i]);
+            workers_[i]->stop();
+            workers_.erase(workers_.begin() +
+                           static_cast<ptrdiff_t>(i));
+            ++workers_drained_;
+            removed = true;
+        } else {
+            ++i;
+        }
+    }
+    if (removed)
+        rebuildClients();
+    return removed;
+}
+
 uint64_t
 InProcessSession::drainClients(SessionResult &result, TensorSink &sink)
 {
@@ -142,8 +243,15 @@ InProcessSession::runSynchronous(TensorSink sink,
         }
 
         // Control plane: replace workers whose lease expired (e.g. a
-        // crashed worker that stopped pumping and heartbeating).
+        // crashed worker that stopped pumping and heartbeating),
+        // requeue splits that blew their deadline, and evaluate the
+        // scaling policy.
         any_work = checkLeases() || any_work;
+        uint64_t expired = master_->expireDeadlines();
+        result.deadline_expirations += expired;
+        any_work = any_work || expired > 0;
+        maybeAutoscale(result);
+        any_work = retireDrainedWorkers() || any_work;
 
         // Trainers: each client drains what is available.
         bool any_tensor = drainClients(result, sink) > 0;
@@ -182,6 +290,9 @@ InProcessSession::runParallel(TensorSink sink,
         }
 
         checkLeases();
+        result.deadline_expirations += master_->expireDeadlines();
+        maybeAutoscale(result);
+        retireDrainedWorkers();
 
         bool any_tensor = drainClients(result, sink) > 0;
         if (!any_tensor) {
@@ -201,6 +312,24 @@ InProcessSession::runParallel(TensorSink sink,
     return finishResult(result);
 }
 
+void
+InProcessSession::foldWorkerStats(const Worker &w)
+{
+    const auto &rs = w.readStats();
+    retired_read_stats_.bytes_read += rs.bytes_read;
+    retired_read_stats_.bytes_needed += rs.bytes_needed;
+    retired_read_stats_.bytes_decompressed += rs.bytes_decompressed;
+    retired_read_stats_.bytes_decrypted += rs.bytes_decrypted;
+    retired_read_stats_.ios += rs.ios;
+    retired_read_stats_.streams_decoded += rs.streams_decoded;
+    retired_read_stats_.checksum_mismatches += rs.checksum_mismatches;
+    retired_read_stats_.io_errors += rs.io_errors;
+    retired_read_stats_.decode_errors += rs.decode_errors;
+    retired_read_stats_.stripe_retries += rs.stripe_retries;
+    retired_read_stats_.deadline_expired += rs.deadline_expired;
+    retired_transform_stats_.merge(w.transformStats());
+}
+
 SessionResult
 InProcessSession::finishResult(SessionResult result)
 {
@@ -211,20 +340,12 @@ InProcessSession::finishResult(SessionResult result)
     // the authoritative session-wide suppression count.
     result.duplicates_suppressed = ledger_.duplicates();
     result.splits_failed = master_->progress().failed_splits;
-    for (auto &w : workers_) {
-        const auto &rs = w->readStats();
-        result.read_stats.bytes_read += rs.bytes_read;
-        result.read_stats.bytes_needed += rs.bytes_needed;
-        result.read_stats.bytes_decompressed += rs.bytes_decompressed;
-        result.read_stats.bytes_decrypted += rs.bytes_decrypted;
-        result.read_stats.ios += rs.ios;
-        result.read_stats.streams_decoded += rs.streams_decoded;
-        result.read_stats.checksum_mismatches += rs.checksum_mismatches;
-        result.read_stats.io_errors += rs.io_errors;
-        result.read_stats.decode_errors += rs.decode_errors;
-        result.read_stats.stripe_retries += rs.stripe_retries;
-        result.transform_stats.merge(w->transformStats());
-    }
+    result.workers_launched = workers_launched_;
+    result.workers_drained = workers_drained_;
+    for (auto &w : workers_)
+        foldWorkerStats(*w);
+    result.read_stats = retired_read_stats_;
+    result.transform_stats = retired_transform_stats_;
     return result;
 }
 

@@ -29,11 +29,30 @@
 #include <memory>
 #include <vector>
 
+#include "dpp/autoscaler.h"
 #include "dpp/client.h"
 #include "dpp/master.h"
 #include "dpp/worker.h"
 
 namespace dsi::dpp {
+
+/**
+ * Live auto-scaling knobs. When enabled, the session periodically
+ * collects WorkerReports from the live pool, computes demand (tensors
+ * delivered to trainers) and supply (tensors produced) rates over the
+ * period, and applies the shared AutoScaler policy: positive deltas
+ * launch stateless workers into the running session, negative deltas
+ * gracefully drain victims (they finish and deliver everything held,
+ * then retire) — the same controller sim_session simulates.
+ */
+struct AutoScaleOptions
+{
+    bool enabled = false;
+    AutoScalerConfig scaler;
+
+    /** Wall-clock seconds between scaling evaluations. */
+    double interval_s = 0.02;
+};
 
 /** Session-level configuration. */
 struct SessionOptions
@@ -54,6 +73,12 @@ struct SessionOptions
 
     /** Attempts a split gets before the Master marks it failed. */
     uint32_t max_split_attempts = 3;
+
+    /** Overload protection (shedding, per-split deadlines). */
+    AdmissionOptions admission;
+
+    /** Live auto-scaling (off by default). */
+    AutoScaleOptions autoscale;
 };
 
 /** Aggregate outcome of a completed session. */
@@ -65,8 +90,25 @@ struct SessionResult
     uint64_t worker_failures = 0; ///< injected + lease-expired
     uint64_t duplicates_suppressed = 0; ///< replayed batches dropped
     uint64_t splits_failed = 0; ///< splits that exhausted attempts
+    uint64_t deadline_expirations = 0; ///< splits requeued on budget
+    uint64_t workers_launched = 0; ///< added by live auto-scaling
+    uint64_t workers_drained = 0;  ///< retired by live auto-scaling
     dwrf::ReadStats read_stats;
     transforms::TransformStats transform_stats;
+};
+
+/**
+ * One live scaling evaluation: exactly what the controller saw and
+ * what it decided. The log lets tests replay the same input stream
+ * through a fresh AutoScaler (the sim_session path) and assert the
+ * live session did not drift from the shared policy.
+ */
+struct ScalingEvent
+{
+    std::vector<WorkerReport> reports;
+    double demand_rate = 0.0;
+    double supply_rate = 0.0;
+    ScalingDecision decision;
 };
 
 /** A runnable, fault-injectable DPP session. */
@@ -101,8 +143,26 @@ class InProcessSession
     SessionResult run(TensorSink sink = nullptr,
                       uint64_t fail_after_splits = 0);
 
+    /** Every scaling evaluation the live controller made this run. */
+    const std::vector<ScalingEvent> &scalingLog() const
+    {
+        return scaling_log_;
+    }
+
+    /** Current worker-pool size (drained victims already retired). */
+    size_t workerCount() const { return workers_.size(); }
+
   private:
     void rebuildClients();
+    /**
+     * Periodic scaling evaluation (no-op unless autoscale.enabled and
+     * interval_s has elapsed): collect live reports, launch or drain.
+     */
+    void maybeAutoscale(const SessionResult &result);
+    /** Remove drained scale-down victims from the pool. */
+    bool retireDrainedWorkers();
+    /** Fold one worker's stats into the retired accumulators. */
+    void foldWorkerStats(const Worker &w);
     /** Stop worker `i` and start a stateless replacement. */
     void replaceWorker(size_t i);
     /**
@@ -127,6 +187,19 @@ class InProcessSession
     DeliveryLedger ledger_; ///< session-wide exactly-once dedup
     uint64_t failures_ = 0;
     bool running_parallel_ = false;
+
+    // Live auto-scaling state.
+    std::unique_ptr<AutoScaler> scaler_;
+    std::vector<ScalingEvent> scaling_log_;
+    double last_eval_ = 0.0;      ///< wall clock of last evaluation
+    uint64_t last_delivered_ = 0; ///< demand-rate window anchor
+    double last_supplied_ = 0.0;  ///< supply-rate window anchor
+    uint64_t workers_launched_ = 0;
+    uint64_t workers_drained_ = 0;
+    // Stats of retired (scaled-down) workers, folded at retirement so
+    // finishResult still accounts for every byte they processed.
+    dwrf::ReadStats retired_read_stats_;
+    transforms::TransformStats retired_transform_stats_;
 };
 
 } // namespace dsi::dpp

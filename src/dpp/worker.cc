@@ -1,5 +1,6 @@
 #include "worker.h"
 
+#include "common/backoff.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "dwrf/reader.h"
@@ -149,11 +150,20 @@ injectFeature(dwrf::RowBatch &batch, const warehouse::FeatureSpec &f,
 
 std::optional<dwrf::RowBatch>
 Worker::extractStripe(dwrf::FileReader &reader, uint32_t stripe_index,
-                      Metrics &metrics) const
+                      Metrics &metrics,
+                      dwrf::ReadStatus *status_out) const
 {
     const SessionSpec &spec = master_.spec();
     dwrf::RowBatch stripe;
     dwrf::ReadStatus status = reader.readStripe(stripe_index, stripe);
+    if (status_out != nullptr)
+        *status_out = status;
+    if (status == dwrf::ReadStatus::DeadlineExpired) {
+        // The read budget ran out: nothing is wrong with the data.
+        // The caller releases the split so a fresh grant (elsewhere,
+        // with a fresh budget) can finish it.
+        return std::nullopt;
+    }
     if (status != dwrf::ReadStatus::Ok) {
         // Reader-level retries (replica rotation) already ran; this
         // stripe is unreadable from here. The caller abandons the
@@ -227,28 +237,46 @@ void
 Worker::extractLoop()
 {
     const SessionSpec &spec = master_.spec();
-    while (!stop_requested_ && !crashed_) {
-        auto split = master_.requestSplit(id_);
-        if (!split)
-            break;
-        uint64_t epoch = beginSplit(split->id, split->stripe_count);
-        auto source = warehouse_.cluster().open(split->file);
+    // Shed-retry pacing: decorrelated jitter with a tight cap keeps a
+    // shed worker responsive without hammering the Master in lockstep
+    // with its sibling threads.
+    Backoff shed_backoff(
+        BackoffOptions{.base_us = 200, .cap_us = 2000},
+        0xb0ffULL + id_);
+    while (!stop_requested_ && !crashed_ && !draining_) {
+        WorkerLoad load;
+        load.buffered_tensors = buffered();
+        load.buffer_full = bufferFull();
+        SplitGrant grant = master_.acquireSplit(id_, load);
+        if (grant.status == GrantStatus::Overloaded) {
+            metrics_.inc("worker.requests_shed");
+            shed_backoff.sleep(Deadline::unbounded());
+            continue;
+        }
+        if (grant.status != GrantStatus::Granted)
+            break; // NoWork (idle out) or Rejected (zombie)
+        shed_backoff.reset();
+        const Split &split = *grant.split;
+        uint64_t epoch = beginSplit(split.id, split.stripe_count);
+        auto source = warehouse_.cluster().open(split.file);
         dwrf::ReadOptions read = spec.read;
         read.projection = spec.projection;
         read.verify_checksums = options_.verify_checksums;
         dwrf::FileReader reader(*source, read);
         if (!reader.valid()) {
             dsi_warn("worker %u: unreadable file '%s'", id_,
-                     split->file.c_str());
-            abandonSplit(split->id);
+                     split.file.c_str());
+            abandonSplit(split.id);
             continue;
         }
+        reader.setDeadline(grant.deadline);
 
         // Per-thread metric accumulation, folded in once per split.
         Metrics local;
         bool aborted = false;
         bool abandoned = false;
-        for (uint32_t s = 0; s < split->stripe_count; ++s) {
+        bool released = false;
+        for (uint32_t s = 0; s < split.stripe_count; ++s) {
             if (stop_requested_ || crashed_) {
                 aborted = true;
                 break;
@@ -259,20 +287,40 @@ Worker::extractLoop()
                 break;
             }
             master_.heartbeat(id_); // per-stripe lease renewal
-            uint32_t stripe_index = split->first_stripe + s;
-            auto rows = extractStripe(reader, stripe_index, local);
+            if (grant.deadline.expired()) {
+                local.inc("worker.deadline_expired");
+                released = true;
+                break;
+            }
+            uint32_t stripe_index = split.first_stripe + s;
+            dwrf::ReadStatus status = dwrf::ReadStatus::Ok;
+            auto rows =
+                extractStripe(reader, stripe_index, local, &status);
             if (!rows) {
-                abandoned = true;
+                if (status == dwrf::ReadStatus::DeadlineExpired) {
+                    local.inc("worker.deadline_expired");
+                    released = true;
+                } else {
+                    abandoned = true;
+                }
                 break;
             }
             ExtractedStripe work;
-            work.split_id = split->id;
+            work.split_id = split.id;
             work.first_row =
                 reader.footer().stripes[stripe_index].first_row;
             work.epoch = epoch;
             work.rows = std::move(*rows);
-            if (!stripe_queue_->push(std::move(work))) {
-                aborted = true; // queue closed: shutting down
+            // Backpressure observes the split budget: a stalled
+            // transform stage must not pin an expired split forever.
+            if (!stripe_queue_->push(std::move(work),
+                                     grant.deadline)) {
+                if (stripe_queue_->closed()) {
+                    aborted = true; // shutting down
+                } else {
+                    local.inc("worker.deadline_expired");
+                    released = true;
+                }
                 break;
             }
         }
@@ -280,12 +328,16 @@ Worker::extractLoop()
         metrics_.merge(local);
         if (aborted)
             break; // split stays in flight; the Master requeues it
+        if (released) {
+            returnSplit(split.id);
+            continue;
+        }
         if (abandoned) {
-            abandonSplit(split->id);
+            abandonSplit(split.id);
             continue;
         }
         // Extraction done; completion waits for the last delivery.
-        finishExtraction(split->id, epoch);
+        finishExtraction(split.id, epoch);
     }
     // Last extractor out ends the stripe stream so transformers can
     // drain and quiesce.
@@ -346,13 +398,26 @@ Worker::pump()
             return true; // backpressure: trainers are behind
     }
     if (!current_) {
-        auto split = master_.requestSplit(id_);
-        if (!split) {
+        if (draining_) {
             std::scoped_lock lock(buffer_mutex_);
             no_more_work_ = true;
             return false;
         }
-        if (!openSplit(*split))
+        WorkerLoad load;
+        load.buffered_tensors = buffered();
+        load.buffer_full = bufferFull();
+        SplitGrant grant = master_.acquireSplit(id_, load);
+        if (grant.status == GrantStatus::Overloaded) {
+            metrics_.inc("worker.requests_shed");
+            return true; // shed; ask again next pump
+        }
+        if (grant.status != GrantStatus::Granted) {
+            std::scoped_lock lock(buffer_mutex_);
+            no_more_work_ = true;
+            return false;
+        }
+        current_deadline_ = grant.deadline;
+        if (!openSplit(*grant.split))
             return true; // split abandoned; try another next pump
     }
     // Per-stripe crash point, checked while a split is held — same
@@ -362,10 +427,13 @@ Worker::pump()
         crash();
         return false;
     }
-    if (!processNextStripe()) {
-        abandonCurrentSplit();
+    if (current_deadline_.expired()) {
+        metrics_.inc("worker.deadline_expired");
+        releaseCurrentSplit();
         return true;
     }
+    if (!processNextStripe())
+        return true; // released or abandoned internally
     if (next_stripe_ >= current_->stripe_count)
         closeSplit();
     return true;
@@ -388,6 +456,7 @@ Worker::openSplit(const Split &split)
         abandonCurrentSplit();
         return false;
     }
+    reader_->setDeadline(current_deadline_);
     current_epoch_ = beginSplit(split.id, split.stripe_count);
     return true;
 }
@@ -396,9 +465,18 @@ bool
 Worker::processNextStripe()
 {
     uint32_t stripe_index = current_->first_stripe + next_stripe_;
-    auto stripe = extractStripe(*reader_, stripe_index, metrics_);
-    if (!stripe)
+    dwrf::ReadStatus status = dwrf::ReadStatus::Ok;
+    auto stripe =
+        extractStripe(*reader_, stripe_index, metrics_, &status);
+    if (!stripe) {
+        if (status == dwrf::ReadStatus::DeadlineExpired) {
+            metrics_.inc("worker.deadline_expired");
+            releaseCurrentSplit();
+        } else {
+            abandonCurrentSplit();
+        }
         return false;
+    }
     RowId first_row = reader_->footer().stripes[stripe_index].first_row;
     ++next_stripe_;
     if (transformStripe(*stripe, current_->id, current_epoch_,
@@ -431,6 +509,33 @@ Worker::abandonCurrentSplit()
     source_.reset();
     current_.reset();
     abandonSplit(split_id);
+}
+
+void
+Worker::releaseCurrentSplit()
+{
+    if (reader_)
+        mergeReadStats(reader_->stats());
+    uint64_t split_id = current_->id;
+    reader_.reset();
+    source_.reset();
+    current_.reset();
+    returnSplit(split_id);
+}
+
+void
+Worker::beginDrain()
+{
+    if (!draining_.exchange(true))
+        metrics_.inc("worker.drains_begun");
+}
+
+WorkerReport
+Worker::report() const
+{
+    WorkerReport r;
+    r.buffered_tensors = buffered();
+    return r;
 }
 
 // ---------------------------------------------------------------------
@@ -545,6 +650,7 @@ Worker::mergeReadStats(const dwrf::ReadStats &rs)
     read_stats_.io_errors += rs.io_errors;
     read_stats_.decode_errors += rs.decode_errors;
     read_stats_.stripe_retries += rs.stripe_retries;
+    read_stats_.deadline_expired += rs.deadline_expired;
 }
 
 // ---------------------------------------------------------------------
@@ -655,6 +761,20 @@ Worker::abandonSplit(uint64_t split_id)
     }
     master_.failSplit(id_, split_id);
     metrics_.inc("worker.splits_abandoned");
+}
+
+void
+Worker::returnSplit(uint64_t split_id)
+{
+    // Same cleanup as abandonSplit, but the Master requeues with no
+    // attempt penalty: leftover tensors of this attempt are filtered
+    // by epoch here and deduplicated by the client ledger.
+    {
+        std::scoped_lock lock(progress_mutex_);
+        split_progress_.erase(split_id);
+    }
+    master_.releaseSplit(id_, split_id);
+    metrics_.inc("worker.splits_released");
 }
 
 void

@@ -46,8 +46,10 @@
 #include <optional>
 
 #include "common/bounded_queue.h"
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "dpp/autoscaler.h"
 #include "dpp/master.h"
 #include "dpp/spec.h"
 #include "transforms/graph.h"
@@ -160,6 +162,22 @@ class Worker
     bool drained() const;
 
     /**
+     * Graceful scale-down: stop acquiring new splits, finish (and
+     * deliver) everything already held, then quiesce. The session
+     * retires the worker once drained() turns true — no split is
+     * abandoned and no delivered row is lost, unlike stop(). Safe in
+     * both modes; idempotent.
+     */
+    void beginDrain();
+    bool draining() const { return draining_; }
+
+    /**
+     * Load snapshot for the auto-scaler (what a production worker
+     * piggybacks on its periodic report RPC).
+     */
+    WorkerReport report() const;
+
+    /**
      * True once the worker.crash fault point fired on this worker.
      * A crashed worker stops producing, serves no tensors (its
      * buffered batches are lost), and no longer heartbeats — so its
@@ -226,6 +244,8 @@ class Worker
     void maybeCompleteSplit(uint64_t split_id);
     /** Give up on a split (unreadable data): failSplit + cleanup. */
     void abandonSplit(uint64_t split_id);
+    /** Hand a split back (deadline blown): releaseSplit + cleanup. */
+    void returnSplit(uint64_t split_id);
 
     /** Simulate this worker process dying (worker.crash fault). */
     void crash();
@@ -235,6 +255,7 @@ class Worker
     bool processNextStripe();
     void closeSplit();
     void abandonCurrentSplit();
+    void releaseCurrentSplit();
 
     // Parallel pipeline stages.
     uint32_t extractThreadCount() const;
@@ -244,11 +265,13 @@ class Worker
 
     /**
      * Extract+inject one stripe (both modes). nullopt when the stripe
-     * is unreadable after the reader's own retries.
+     * is unreadable after the reader's own retries, or when the read
+     * budget expired mid-stripe — `status` (optional) tells the
+     * caller which, so it can abandon vs. release the split.
      */
-    std::optional<dwrf::RowBatch> extractStripe(dwrf::FileReader &reader,
-                                                uint32_t stripe_index,
-                                                Metrics &metrics) const;
+    std::optional<dwrf::RowBatch> extractStripe(
+        dwrf::FileReader &reader, uint32_t stripe_index,
+        Metrics &metrics, dwrf::ReadStatus *status = nullptr) const;
 
     /**
      * Slice a stripe into mini-batch tensors via `graph`. True when
@@ -285,6 +308,7 @@ class Worker
     std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<BoundedQueue<ExtractedStripe>> stripe_queue_;
     std::atomic<bool> stop_requested_{false};
+    std::atomic<bool> draining_{false}; ///< graceful scale-down
     std::atomic<bool> crashed_{false};
     std::atomic<uint32_t> active_extractors_{0};
     std::atomic<uint32_t> active_transformers_{0};
@@ -296,6 +320,7 @@ class Worker
 
     // Synchronous-mode in-progress split (stripe-granular pipelining).
     std::optional<Split> current_;
+    Deadline current_deadline_; ///< budget of the held grant
     uint64_t current_epoch_ = 0;
     uint32_t next_stripe_ = 0;
     std::unique_ptr<dwrf::RandomAccessSource> source_;

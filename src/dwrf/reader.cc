@@ -3,8 +3,6 @@
 #include "dwrf/checksum.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -44,7 +42,9 @@ planStripeReads(const StripeInfo &stripe,
 FileReader::FileReader(const RandomAccessSource &source,
                        ReadOptions options)
     : source_(source), options_(std::move(options)),
-      cipher_(options_.cipher_key)
+      cipher_(options_.cipher_key),
+      backoff_(BackoffOptions{.base_us = options_.retry_backoff_us,
+                              .cap_us = options_.retry_backoff_cap_us})
 {
     // Fetch the tail, then the footer it points at. An unreadable
     // footer leaves the reader invalid (recoverable) rather than
@@ -118,18 +118,34 @@ FileReader::fetchStream(const StripeInfo &stripe, size_t stream_idx,
 ReadStatus
 FileReader::readStripe(size_t stripe_index, RowBatch &out)
 {
+    if (deadline_.expired()) {
+        ++stats_.deadline_expired;
+        return ReadStatus::DeadlineExpired;
+    }
     ReadStatus status = readStripeOnce(stripe_index, out);
-    for (uint32_t retry = 0; status != ReadStatus::Ok &&
-                             retry < options_.max_stripe_retries;
+    if (status == ReadStatus::Ok) {
+        backoff_.reset();
+        return status;
+    }
+    for (uint32_t retry = 0; retry < options_.max_stripe_retries;
          ++retry) {
         ++stats_.stripe_retries;
-        if (options_.retry_backoff_us > 0) {
-            std::this_thread::sleep_for(std::chrono::microseconds(
-                options_.retry_backoff_us << retry));
+        if (options_.retry_backoff_us > 0 &&
+            !backoff_.sleep(deadline_)) {
+            ++stats_.deadline_expired;
+            return ReadStatus::DeadlineExpired;
+        }
+        if (deadline_.expired()) {
+            ++stats_.deadline_expired;
+            return ReadStatus::DeadlineExpired;
         }
         // A re-read rotates the replica choice in the source, so a
         // corrupt or failed replica is routed around.
         status = readStripeOnce(stripe_index, out);
+        if (status == ReadStatus::Ok) {
+            backoff_.reset();
+            return status;
+        }
     }
     return status;
 }

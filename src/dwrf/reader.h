@@ -16,6 +16,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/backoff.h"
+#include "common/deadline.h"
 #include "dwrf/cipher.h"
 #include "dwrf/format.h"
 #include "dwrf/row.h"
@@ -34,6 +36,7 @@ enum class ReadStatus
     IoError,           ///< storage could not serve the bytes
     ChecksumMismatch,  ///< stream CRC32 disagreed with the footer
     DecodeError,       ///< bytes fetched but undecodable (truncated?)
+    DeadlineExpired,   ///< the read budget ran out mid-retry
 };
 
 /** Read-side configuration. */
@@ -59,8 +62,16 @@ struct ReadOptions
      */
     uint32_t max_stripe_retries = 2;
 
-    /** Base retry backoff; doubles per retry. 0 disables the sleep. */
+    /**
+     * Base retry delay (the floor of every jittered draw); 0 disables
+     * the sleep. Retries use dsi::Backoff decorrelated jitter — a
+     * deterministic doubling ladder would re-stampede a recovering
+     * replica with synchronized retry waves.
+     */
     uint64_t retry_backoff_us = 200;
+
+    /** Cap on any single retry delay. */
+    uint64_t retry_backoff_cap_us = 50'000;
 };
 
 /** Byte accounting of the extraction phase. */
@@ -78,6 +89,7 @@ struct ReadStats
     uint64_t io_errors = 0;           ///< reads storage could not serve
     uint64_t decode_errors = 0;       ///< undecodable fetched streams
     uint64_t stripe_retries = 0;      ///< re-read attempts issued
+    uint64_t deadline_expired = 0;    ///< reads abandoned on budget
 
     Bytes overRead() const
     {
@@ -125,11 +137,20 @@ class FileReader
     /**
      * Read and decode one stripe into `out`, applying the projection.
      * Failures (IO, checksum, decode) are retried up to
-     * ReadOptions::max_stripe_retries times with exponential backoff;
-     * the final status is returned instead of aborting, so callers
-     * can fail the split over to another worker or another replica.
+     * ReadOptions::max_stripe_retries times with decorrelated-jitter
+     * backoff; the final status is returned instead of aborting, so
+     * callers can fail the split over to another worker or another
+     * replica. Retries (and their sleeps) observe the deadline set by
+     * setDeadline(): an expired budget returns DeadlineExpired so the
+     * caller can requeue the work instead of hanging on it.
      */
     ReadStatus readStripe(size_t stripe_index, RowBatch &out);
+
+    /**
+     * Attach the time budget of the work this reader serves (a split
+     * grant's deadline). Default: unbounded.
+     */
+    void setDeadline(Deadline deadline) { deadline_ = deadline; }
 
     /** Legacy fail-stop wrapper: asserts the checked read succeeded. */
     RowBatch readStripe(size_t stripe_index);
@@ -162,6 +183,8 @@ class FileReader
     StreamCipher cipher_;
     std::optional<FileFooter> footer_;
     ReadStats stats_;
+    Deadline deadline_; ///< budget for reads; default unbounded
+    Backoff backoff_;   ///< jittered retry delays
 };
 
 } // namespace dsi::dwrf

@@ -1,11 +1,25 @@
 #include "tectonic.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 
 #include "common/fault.h"
 #include "common/logging.h"
 
 namespace dsi::storage {
+
+namespace {
+
+double
+steadySeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 StorageNode::StorageNode(NodeId id, Tier tier) : id_(id), tier_(tier)
 {
@@ -63,6 +77,49 @@ TectonicCluster::TectonicCluster(StorageOptions options)
         cache_node_ = std::make_unique<StorageNode>(id++, Tier::Ssd);
     }
     node_down_.assign(nodes_.size(), false);
+    breakers_.assign(nodes_.size(),
+                     CircuitBreaker(options_.breaker));
+    hedge_ = options_.hedge;
+}
+
+void
+TectonicCluster::setHedging(HedgeOptions hedge)
+{
+    std::scoped_lock lock(hedge_mutex_);
+    hedge_ = hedge;
+}
+
+double
+TectonicCluster::hedgeDelaySeconds() const
+{
+    HedgeOptions h;
+    {
+        std::scoped_lock lock(hedge_mutex_);
+        h = hedge_;
+    }
+    if (read_latency_.count() < h.min_samples)
+        return h.min_delay_s;
+    double p = read_latency_.percentile(h.delay_percentile);
+    return std::clamp(p, h.min_delay_s, h.max_delay_s);
+}
+
+CircuitBreaker::State
+TectonicCluster::breakerState(NodeId id) const
+{
+    dsi_assert(id < breakers_.size(), "no node %u", id);
+    std::scoped_lock lock(io_mutex_);
+    return breakers_[id].state();
+}
+
+void
+TectonicCluster::submitHedge(std::function<void()> task) const
+{
+    {
+        std::scoped_lock lock(hedge_mutex_);
+        if (!hedge_pool_)
+            hedge_pool_ = std::make_unique<ThreadPool>(4);
+    }
+    hedge_pool_->submit(std::move(task));
 }
 
 void
@@ -234,22 +291,57 @@ TectonicCluster::routeBlockRead(const std::string &name,
         cache_index_.emplace(key, ++cache_tick_);
     }
     const auto &loc = file.blocks.at(block_index);
-    // Rotate across replicas, skipping dead nodes and any replica the
-    // fault injector declares transiently broken.
+    double now = steadySeconds();
+    // Pass 1: rotate across replicas, skipping dead nodes and any
+    // replica whose breaker is open.
+    std::vector<NodeId> skipped;
     for (size_t attempt = 0; attempt < loc.replicas.size(); ++attempt) {
         NodeId replica =
             loc.replicas[next_replica_++ % loc.replicas.size()];
         if (node_down_[replica])
             continue;
-        if (faultPoint(faults::kTectonicReplicaError)) {
-            metrics_.inc("tectonic.replica_read_errors");
+        CircuitBreaker::State before = breakers_[replica].state();
+        if (!breakers_[replica].allowRequest(now)) {
+            metrics_.inc("tectonic.breaker_skips");
+            skipped.push_back(replica);
             continue;
         }
-        const_cast<StorageNode &>(nodes_.at(replica))
-            .recordIo(bytes);
-        return true;
+        if (before == CircuitBreaker::State::Open)
+            metrics_.inc("breaker.half_open_probes");
+        if (tryReplicaIo(replica, bytes, now))
+            return true;
+    }
+    // Pass 2 (fail-open): a breaker must never turn a still-readable
+    // block into data loss, so when every admitted replica failed the
+    // ejected ones get one more chance before the read is declared
+    // unservable.
+    for (NodeId replica : skipped) {
+        if (tryReplicaIo(replica, bytes, now))
+            return true;
     }
     return false;
+}
+
+bool
+TectonicCluster::tryReplicaIo(NodeId replica, Bytes bytes,
+                              double now) const
+{
+    // Caller holds io_mutex_, which also guards breakers_.
+    CircuitBreaker &breaker = breakers_[replica];
+    if (faultPoint(faults::kTectonicReplicaError)) {
+        metrics_.inc("tectonic.replica_read_errors");
+        CircuitBreaker::State before = breaker.state();
+        breaker.recordFailure(now);
+        if (breaker.state() == CircuitBreaker::State::Open &&
+            before != CircuitBreaker::State::Open)
+            metrics_.inc("breaker.open");
+        return false;
+    }
+    if (breaker.state() != CircuitBreaker::State::Closed)
+        metrics_.inc("breaker.closed");
+    breaker.recordSuccess();
+    const_cast<StorageNode &>(nodes_.at(replica)).recordIo(bytes);
+    return true;
 }
 
 TectonicSource::TectonicSource(const TectonicCluster &cluster,
@@ -280,30 +372,113 @@ dwrf::IoStatus
 TectonicSource::readChecked(Bytes offset, Bytes len,
                             dwrf::Buffer &out) const
 {
+    // Trace exactly once per logical read, on the caller thread — a
+    // hedge backup is a tail-tolerance retry, not a second logical IO.
+    trace_.record(offset, len);
+    bool hedged;
+    {
+        std::scoped_lock lock(cluster_.hedge_mutex_);
+        hedged = cluster_.hedge_.enabled;
+    }
+    if (hedged)
+        return readHedged(offset, len, out);
+    return cluster_.readFileRange(name_, offset, len, out);
+}
+
+dwrf::IoStatus
+TectonicSource::readHedged(Bytes offset, Bytes len,
+                           dwrf::Buffer &out) const
+{
+    struct HedgeState
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool primary_done = false;
+        dwrf::IoStatus primary_status = dwrf::IoStatus::Unavailable;
+        dwrf::Buffer primary_out;
+    };
+    auto state = std::make_shared<HedgeState>();
+    // The primary runs on the hedge pool and may outlive this source
+    // (a laggard stuck in an injected delay), so it captures the
+    // cluster and file name by value — never `this`.
+    cluster_.submitHedge(
+        [state, cluster = &cluster_, name = name_, offset, len] {
+            dwrf::Buffer buf;
+            dwrf::IoStatus status =
+                cluster->readFileRange(name, offset, len, buf);
+            {
+                std::scoped_lock lock(state->mutex);
+                state->primary_status = status;
+                state->primary_out = std::move(buf);
+                state->primary_done = true;
+            }
+            state->cv.notify_all();
+        });
+
+    double delay = cluster_.hedgeDelaySeconds();
+    {
+        std::unique_lock lock(state->mutex);
+        state->cv.wait_for(lock, std::chrono::duration<double>(delay),
+                           [&] { return state->primary_done; });
+        if (state->primary_done &&
+            state->primary_status == dwrf::IoStatus::Ok) {
+            out = std::move(state->primary_out);
+            return dwrf::IoStatus::Ok;
+        }
+    }
+
+    // The primary is a laggard (or already failed): issue the backup
+    // inline. First success wins.
+    cluster_.metrics_.inc("tectonic.hedges_issued");
+    dwrf::Buffer backup;
+    dwrf::IoStatus backup_status =
+        cluster_.readFileRange(name_, offset, len, backup);
+    if (backup_status == dwrf::IoStatus::Ok) {
+        bool primary_won;
+        {
+            std::scoped_lock lock(state->mutex);
+            primary_won = state->primary_done;
+        }
+        if (!primary_won)
+            cluster_.metrics_.inc("tectonic.hedge_wins");
+        out = std::move(backup);
+        return dwrf::IoStatus::Ok;
+    }
+
+    // Backup failed too — the primary's verdict is all that's left.
+    std::unique_lock lock(state->mutex);
+    state->cv.wait(lock, [&] { return state->primary_done; });
+    out = std::move(state->primary_out);
+    return state->primary_status;
+}
+
+dwrf::IoStatus
+TectonicCluster::readFileRange(const std::string &name, Bytes offset,
+                               Bytes len, dwrf::Buffer &out) const
+{
+    double start = steadySeconds();
     // Slow-replica fault: stalls here, then the read proceeds.
     faultPoint(faults::kTectonicReadDelay);
 
-    auto it = cluster_.files_.find(name_);
-    dsi_assert(it != cluster_.files_.end(), "file vanished: '%s'",
-               name_.c_str());
+    auto it = files_.find(name);
+    dsi_assert(it != files_.end(), "file vanished: '%s'", name.c_str());
     const auto &file = it->second;
     dsi_assert(offset + len <= file.data.size(),
-               "read past EOF in '%s'", name_.c_str());
+               "read past EOF in '%s'", name.c_str());
 
     out.assign(file.data.begin() + static_cast<ptrdiff_t>(offset),
                file.data.begin() + static_cast<ptrdiff_t>(offset + len));
-    trace_.record(offset, len);
 
     // Corruption fault: a replica served bad bytes. Flip one byte so
     // the DWRF checksum catches it downstream; a retried read draws a
     // fresh (clean, unless re-fired) copy.
     if (len > 0 && faultPoint(faults::kTectonicReadCorrupt)) {
         out[out.size() / 2] ^= 0xff;
-        cluster_.metrics_.inc("tectonic.corrupt_reads");
+        metrics_.inc("tectonic.corrupt_reads");
     }
 
     // Fan the logical IO out to the blocks it touches.
-    Bytes bs = cluster_.options_.block_size;
+    Bytes bs = options_.block_size;
     Bytes pos = offset;
     Bytes remaining = len;
     bool ok = true;
@@ -311,12 +486,13 @@ TectonicSource::readChecked(Bytes offset, Bytes len,
         uint64_t block = pos / bs;
         Bytes within = pos % bs;
         Bytes chunk = std::min(remaining, bs - within);
-        ok &= cluster_.routeBlockRead(name_, file, block, chunk);
+        ok &= routeBlockRead(name, file, block, chunk);
         pos += chunk;
         remaining -= chunk;
     }
+    read_latency_.add(steadySeconds() - start);
     if (!ok) {
-        cluster_.metrics_.inc("tectonic.failed_reads");
+        metrics_.inc("tectonic.failed_reads");
         out.clear();
         return dwrf::IoStatus::Unavailable;
     }

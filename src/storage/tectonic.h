@@ -23,8 +23,11 @@
 #include <string>
 #include <vector>
 
+#include "common/circuit_breaker.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "dwrf/source.h"
 #include "sim/device.h"
@@ -75,6 +78,30 @@ class StorageNode
     double busy_seconds_ = 0.0;
 };
 
+/**
+ * Hedged-read (tail-tolerance) configuration. When a read has taken
+ * longer than the p`delay_percentile` of recent reads, a backup read
+ * is issued against another replica and the first success wins — the
+ * "hedged requests" technique of The Tail at Scale. Until enough
+ * latency samples accumulate, `min_delay_s` is the hedge trigger.
+ */
+struct HedgeOptions
+{
+    bool enabled = false;
+
+    /** Percentile of observed read latency that arms the hedge. */
+    double delay_percentile = 99.0;
+
+    /** Floor (and cold-start value) of the hedge delay. */
+    double min_delay_s = 0.0002;
+
+    /** Cap on the hedge delay, whatever the percentile says. */
+    double max_delay_s = 0.05;
+
+    /** Latency samples needed before the percentile is trusted. */
+    uint64_t min_samples = 32;
+};
+
 /** Cluster-wide configuration. */
 struct StorageOptions
 {
@@ -86,6 +113,17 @@ struct StorageOptions
     /** Blocks the SSD cache can hold; 0 disables the cache. */
     uint64_t cache_blocks = 0;
     uint64_t seed = 1;
+
+    /** Hedged stripe reads (off by default; benches/sessions opt in). */
+    HedgeOptions hedge;
+
+    /**
+     * Per-storage-node circuit breaker: a node with this many
+     * consecutive failed block IOs is ejected from replica rotation
+     * until a half-open probe succeeds. failure_threshold = 0
+     * disables breakers entirely.
+     */
+    CircuitBreakerOptions breaker;
 };
 
 class TectonicCluster;
@@ -114,6 +152,10 @@ class TectonicSource : public dwrf::RandomAccessSource
     void clearTrace() override { trace_.clear(); }
 
   private:
+    /** One attempt, optionally hedged with a backup to another replica. */
+    dwrf::IoStatus readHedged(Bytes offset, Bytes len,
+                              dwrf::Buffer &out) const;
+
     const TectonicCluster &cluster_;
     std::string name_;
     mutable dwrf::IoTrace trace_;
@@ -189,9 +231,33 @@ class TectonicCluster
 
     /**
      * Fault-path counters (tectonic.replica_read_errors,
-     * tectonic.failed_reads, tectonic.corrupt_reads).
+     * tectonic.failed_reads, tectonic.corrupt_reads) plus tail-path
+     * counters (tectonic.hedges_issued, tectonic.hedge_wins,
+     * tectonic.breaker_skips, breaker.open, breaker.closed,
+     * breaker.half_open_probes).
      */
     const Metrics &metrics() const { return metrics_; }
+
+    // --- overload protection / tail tolerance ---
+
+    /** Enable or reconfigure hedged reads on a live cluster. */
+    void setHedging(HedgeOptions hedge);
+
+    /**
+     * Current hedge trigger: p`delay_percentile` of observed read
+     * latency (clamped to [min_delay_s, max_delay_s]), or min_delay_s
+     * until min_samples reads have been observed.
+     */
+    double hedgeDelaySeconds() const;
+
+    /** Latency distribution of logical read attempts (seconds). */
+    const PercentileSampler &readLatency() const
+    {
+        return read_latency_;
+    }
+
+    /** Breaker state of one storage node (tests/observability). */
+    CircuitBreaker::State breakerState(NodeId id) const;
 
     /** Aggregate node power (plus the cache device if enabled). */
     double totalPowerWatts() const;
@@ -226,6 +292,22 @@ class TectonicCluster
     bool routeBlockRead(const std::string &name, const FileState &file,
                         uint64_t block_index, Bytes bytes) const;
 
+    /**
+     * One full logical read attempt of a stored file range: delay
+     * fault, byte copy, corruption fault, block fan-out with replica
+     * routing. Latency is sampled into read_latency_. Lives on the
+     * cluster (not the source) so hedge backup attempts can run on
+     * pool threads that may outlive the TectonicSource that asked.
+     */
+    dwrf::IoStatus readFileRange(const std::string &name, Bytes offset,
+                                 Bytes len, dwrf::Buffer &out) const;
+
+    /** Run a hedge primary on the (lazily created) hedge pool. */
+    void submitHedge(std::function<void()> task) const;
+
+    /** Try one replica IO under io_mutex_; breaker-aware. */
+    bool tryReplicaIo(NodeId replica, Bytes bytes, double now) const;
+
     void placeBlocks(FileState &file);
 
     StorageOptions options_;
@@ -244,6 +326,17 @@ class TectonicCluster
     mutable std::unique_ptr<StorageNode> cache_node_;
     mutable uint32_t next_replica_ = 0;
     mutable Metrics metrics_; ///< fault-path counters (thread-safe)
+
+    // Tail tolerance. Breakers are guarded by io_mutex_ (accessed
+    // only inside routeBlockRead/tryReplicaIo and accessors);
+    // read_latency_ is internally mutex-guarded.
+    mutable std::vector<CircuitBreaker> breakers_;
+    mutable PercentileSampler read_latency_;
+    mutable std::mutex hedge_mutex_; ///< guards hedge_ and pool init
+    HedgeOptions hedge_;
+    // Declared last: destroyed first, joining in-flight hedge
+    // primaries while the rest of the cluster is still alive.
+    mutable std::unique_ptr<ThreadPool> hedge_pool_;
 };
 
 } // namespace dsi::storage

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the overload-protection primitives: Deadline budget
+ * propagation, decorrelated-jitter Backoff, and the per-endpoint
+ * CircuitBreaker state machine (driven by a fake clock).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/backoff.h"
+#include "common/circuit_breaker.h"
+#include "common/deadline.h"
+
+namespace dsi {
+namespace {
+
+TEST(DeadlineTest, UnboundedNeverExpires)
+{
+    Deadline d = Deadline::unbounded();
+    EXPECT_FALSE(d.bounded());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remainingSeconds(), 3600.0);
+}
+
+TEST(DeadlineTest, ZeroBudgetIsImmediatelyExpired)
+{
+    Deadline d = Deadline::after(0.0);
+    EXPECT_TRUE(d.bounded());
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.remainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, FutureBudgetCountsDown)
+{
+    Deadline d = Deadline::after(10.0);
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remainingSeconds(), 9.0);
+    EXPECT_LE(d.remainingSeconds(), 10.0);
+}
+
+TEST(DeadlineTest, MinPicksEarlierBudget)
+{
+    Deadline near = Deadline::after(0.001);
+    Deadline far = Deadline::after(100.0);
+    Deadline unbounded = Deadline::unbounded();
+    EXPECT_LT(near.min(far).remainingSeconds(), 1.0);
+    EXPECT_LT(far.min(near).remainingSeconds(), 1.0);
+    // Intersecting with "no budget" keeps the real budget.
+    EXPECT_TRUE(unbounded.min(far).bounded());
+    EXPECT_TRUE(far.min(unbounded).bounded());
+    EXPECT_FALSE(unbounded.min(unbounded).bounded());
+}
+
+TEST(DeadlineTest, WaitReturnsFalseOnExpiry)
+{
+    std::mutex m;
+    std::condition_variable cv;
+    std::unique_lock lock(m);
+    // Nobody ever signals: the wait must give up at the deadline.
+    bool ok = Deadline::after(0.005).wait(cv, lock,
+                                          [] { return false; });
+    EXPECT_FALSE(ok);
+    // A predicate that is already true succeeds even when expired.
+    EXPECT_TRUE(
+        Deadline::after(0.0).wait(cv, lock, [] { return true; }));
+}
+
+TEST(BackoffTest, DelaysStayWithinJitterEnvelope)
+{
+    BackoffOptions opts;
+    opts.base_us = 100;
+    opts.cap_us = 1000;
+    Backoff backoff(opts, 42);
+    uint64_t prev = opts.base_us;
+    for (int i = 0; i < 64; ++i) {
+        uint64_t d = backoff.nextDelayUs();
+        EXPECT_GE(d, opts.base_us);
+        EXPECT_LE(d, opts.cap_us);
+        // Decorrelated jitter: each draw is bounded by the previous
+        // delay times the growth factor (and the cap).
+        uint64_t hi = std::max<uint64_t>(
+            opts.base_us + 1,
+            std::min<uint64_t>(
+                opts.cap_us, static_cast<uint64_t>(
+                                 static_cast<double>(prev) *
+                                 opts.multiplier)));
+        EXPECT_LE(d, hi);
+        prev = d;
+    }
+}
+
+TEST(BackoffTest, SameSeedSameSequence)
+{
+    Backoff a({}, 7), b({}, 7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.nextDelayUs(), b.nextDelayUs());
+}
+
+TEST(BackoffTest, ResetRestartsTheLadder)
+{
+    BackoffOptions opts;
+    opts.base_us = 100;
+    opts.cap_us = 100'000;
+    Backoff a(opts, 9), b(opts, 9);
+    for (int i = 0; i < 8; ++i)
+        a.nextDelayUs();
+    a.reset();
+    // After reset the sequence continues from base again, so the next
+    // draw is bounded the same way a fresh first draw is.
+    uint64_t next = a.nextDelayUs();
+    EXPECT_LE(next, static_cast<uint64_t>(opts.base_us *
+                                          opts.multiplier));
+}
+
+TEST(BackoffTest, SleepRefusesExpiredDeadline)
+{
+    Backoff backoff;
+    EXPECT_FALSE(backoff.sleep(Deadline::after(0.0)));
+    EXPECT_TRUE(backoff.sleep(Deadline::after(10.0)));
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures)
+{
+    CircuitBreaker breaker(CircuitBreakerOptions{
+        .failure_threshold = 3, .open_seconds = 1.0});
+    double now = 100.0;
+    EXPECT_TRUE(breaker.allowRequest(now));
+    breaker.recordFailure(now);
+    breaker.recordFailure(now);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+    breaker.recordFailure(now);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+    EXPECT_FALSE(breaker.allowRequest(now + 0.5));
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureRun)
+{
+    CircuitBreaker breaker(CircuitBreakerOptions{
+        .failure_threshold = 3, .open_seconds = 1.0});
+    double now = 0.0;
+    breaker.recordFailure(now);
+    breaker.recordFailure(now);
+    breaker.recordSuccess();
+    EXPECT_EQ(breaker.consecutiveFailures(), 0u);
+    breaker.recordFailure(now);
+    breaker.recordFailure(now);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOneProbe)
+{
+    CircuitBreaker breaker(CircuitBreakerOptions{
+        .failure_threshold = 1, .open_seconds = 1.0});
+    breaker.recordFailure(10.0);
+    ASSERT_EQ(breaker.state(), CircuitBreaker::State::Open);
+    // Cooldown not elapsed: still ejected.
+    EXPECT_FALSE(breaker.allowRequest(10.9));
+    // Cooldown elapsed: exactly one probe goes through.
+    EXPECT_TRUE(breaker.allowRequest(11.1));
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
+    EXPECT_FALSE(breaker.allowRequest(11.1));
+}
+
+TEST(CircuitBreakerTest, ProbeOutcomeClosesOrReopens)
+{
+    CircuitBreaker breaker(CircuitBreakerOptions{
+        .failure_threshold = 1, .open_seconds = 1.0});
+    breaker.recordFailure(0.0);
+    ASSERT_TRUE(breaker.allowRequest(1.5)); // probe
+    breaker.recordFailure(1.5);             // probe failed
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+    // Cooldown restarted at the failed probe, not the original open.
+    EXPECT_FALSE(breaker.allowRequest(2.0));
+    ASSERT_TRUE(breaker.allowRequest(2.6)); // next probe
+    breaker.recordSuccess();                // probe served
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+    EXPECT_TRUE(breaker.allowRequest(2.7));
+}
+
+TEST(CircuitBreakerTest, ZeroThresholdDisablesBreaker)
+{
+    CircuitBreaker breaker(CircuitBreakerOptions{
+        .failure_threshold = 0, .open_seconds = 1.0});
+    for (int i = 0; i < 100; ++i)
+        breaker.recordFailure(0.0);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+    EXPECT_TRUE(breaker.allowRequest(0.0));
+}
+
+} // namespace
+} // namespace dsi

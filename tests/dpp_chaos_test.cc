@@ -12,10 +12,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/fault.h"
+#include "common/rng.h"
 #include "dpp/session.h"
 #include "test_fixtures.h"
 
@@ -269,6 +273,87 @@ TEST_F(ChaosTest, CombinedChaosParallelPipelineExactlyOnce)
     EXPECT_EQ(result.splits_failed, 0u);
     log.expectExactlyOnce(kTotalRows);
     EXPECT_EQ(result.rows_delivered, kTotalRows);
+}
+
+/**
+ * Property tests for the DeliveryLedger itself: the exactly-once
+ * invariant must hold for *any* delivery schedule a chaotic session
+ * could produce — replays, reorders, interleaved epochs of different
+ * splits — not just the schedules the end-to-end scenarios happen to
+ * generate.
+ */
+
+/** Batch keys for `splits` splits of `batches` batches each. */
+std::vector<std::pair<uint64_t, RowId>>
+ledgerKeys(uint64_t splits, uint64_t batches)
+{
+    std::vector<std::pair<uint64_t, RowId>> keys;
+    for (uint64_t s = 0; s < splits; ++s) {
+        for (uint64_t b = 0; b < batches; ++b)
+            keys.emplace_back(s, static_cast<RowId>(b * 256));
+    }
+    return keys;
+}
+
+TEST(DeliveryLedgerFuzz, RandomReplaysAndReordersClaimExactlyOnce)
+{
+    // 20 rounds of: every key delivered 1..4 times (replayed split
+    // attempts), the whole schedule shuffled (arbitrary interleaving
+    // of splits and attempt epochs). The ledger must admit each key
+    // exactly once and count every extra copy as a duplicate.
+    for (uint64_t round = 0; round < 20; ++round) {
+        Rng rng(0xF00DULL + round);
+        auto keys = ledgerKeys(40, 16);
+        std::vector<std::pair<uint64_t, RowId>> schedule;
+        for (const auto &k : keys) {
+            uint64_t copies = 1 + rng.nextUint(4);
+            for (uint64_t c = 0; c < copies; ++c)
+                schedule.push_back(k);
+        }
+        for (size_t i = schedule.size(); i > 1; --i)
+            std::swap(schedule[i - 1], schedule[rng.nextUint(i)]);
+
+        DeliveryLedger ledger;
+        std::map<std::pair<uint64_t, RowId>, uint64_t> admitted;
+        for (const auto &k : schedule) {
+            if (ledger.claim(k.first, k.second))
+                ++admitted[k];
+        }
+        ASSERT_EQ(admitted.size(), keys.size());
+        for (const auto &[key, n] : admitted)
+            ASSERT_EQ(n, 1u);
+        EXPECT_EQ(ledger.delivered(), keys.size());
+        EXPECT_EQ(ledger.duplicates(),
+                  schedule.size() - keys.size());
+    }
+}
+
+TEST(DeliveryLedgerFuzz, ConcurrentClaimsAdmitEachKeyOnce)
+{
+    // Eight "clients" race full replays of the same key set (each in
+    // its own shuffle order): across all threads every key must be
+    // claimed exactly once.
+    auto keys = ledgerKeys(32, 8);
+    DeliveryLedger ledger;
+    std::atomic<uint64_t> admitted{0};
+    std::vector<std::thread> clients;
+    for (uint64_t t = 0; t < 8; ++t) {
+        clients.emplace_back([&, t] {
+            Rng rng(0xC1AE77ULL * (t + 1));
+            auto order = keys;
+            for (size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.nextUint(i)]);
+            for (const auto &k : order) {
+                if (ledger.claim(k.first, k.second))
+                    admitted.fetch_add(1);
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    EXPECT_EQ(admitted.load(), keys.size());
+    EXPECT_EQ(ledger.delivered(), keys.size());
+    EXPECT_EQ(ledger.duplicates(), keys.size() * 7);
 }
 
 } // namespace
