@@ -1,0 +1,68 @@
+#include "metrics_export.h"
+
+#include <cstdio>
+
+namespace dsi {
+
+namespace {
+
+void
+appendSample(std::string &out, const char *family,
+             const std::string &name, double value)
+{
+    out += family;
+    out += "{name=\"";
+    // Registry names are dotted identifiers; quotes/backslashes never
+    // appear, but escape defensively to keep the format valid.
+    for (char c : name) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    out += "\"} ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+    out += "\n";
+}
+
+} // namespace
+
+std::string
+MetricsExporter::prometheusText(const Metrics &metrics)
+{
+    // Copy first: counters()/gauges() references are unsynchronized,
+    // and the copy constructor snapshots under the source's lock.
+    Metrics snap(metrics);
+    std::string out;
+    out += "# HELP dsi_counter Monotonic counters from the dsi "
+           "Metrics registry.\n";
+    out += "# TYPE dsi_counter counter\n";
+    for (const auto &[name, value] : snap.counters())
+        appendSample(out, "dsi_counter", name, value);
+    out += "# HELP dsi_gauge Set-valued gauges from the dsi Metrics "
+           "registry.\n";
+    out += "# TYPE dsi_gauge gauge\n";
+    for (const auto &[name, value] : snap.gauges())
+        appendSample(out, "dsi_gauge", name, value);
+    return out;
+}
+
+std::vector<std::string>
+MetricsExporter::namesInDump(const std::string &dump)
+{
+    std::vector<std::string> names;
+    size_t pos = 0;
+    const std::string marker = "{name=\"";
+    while ((pos = dump.find(marker, pos)) != std::string::npos) {
+        pos += marker.size();
+        size_t end = dump.find('"', pos);
+        if (end == std::string::npos)
+            break;
+        names.push_back(dump.substr(pos, end - pos));
+        pos = end;
+    }
+    return names;
+}
+
+} // namespace dsi

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Prometheus-exposition-format text dump of a Metrics registry.
+ *
+ * The registry's dotted names ("worker.tensors") are not legal
+ * Prometheus metric names, so the dump uses two metric families —
+ * dsi_counter and dsi_gauge — and carries the original registry name
+ * verbatim in a `name` label:
+ *
+ *     # TYPE dsi_counter counter
+ *     dsi_counter{name="worker.tensors"} 4096
+ *     # TYPE dsi_gauge gauge
+ *     dsi_gauge{name="master.splits_pending"} 3
+ *
+ * Keeping the original spelling in the label lets tests diff the dump
+ * mechanically against the catalog in docs/METRICS.md.
+ */
+
+#ifndef DSI_COMMON_METRICS_EXPORT_H
+#define DSI_COMMON_METRICS_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace dsi {
+
+class MetricsExporter
+{
+  public:
+    /** Render `metrics` in Prometheus exposition format. */
+    static std::string prometheusText(const Metrics &metrics);
+
+    /**
+     * The registry names present in a prometheusText() dump (the
+     * `name` label values), in dump order. Used by the doc-drift
+     * test to cross-check docs/METRICS.md.
+     */
+    static std::vector<std::string>
+    namesInDump(const std::string &dump);
+};
+
+} // namespace dsi
+
+#endif // DSI_COMMON_METRICS_EXPORT_H

@@ -1,0 +1,369 @@
+#include "trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+namespace dsi::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+/** Small per-thread ordinal for event attribution / export lanes. */
+uint32_t
+threadOrdinal()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t tid = next.fetch_add(1);
+    return tid;
+}
+
+thread_local SpanId t_current_parent = kNoSpan;
+
+} // namespace
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+envEnabled()
+{
+    const char *v = std::getenv("DSI_TRACE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+TraceLog &
+TraceLog::instance()
+{
+    // Leaked on purpose: emitters on detached/pool threads may hit
+    // the log during static destruction; a never-destroyed instance
+    // makes that safe (same idiom as FaultInjector).
+    static TraceLog *log = new TraceLog();
+    return *log;
+}
+
+void
+TraceLog::enable()
+{
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceLog::disable()
+{
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool
+TraceLog::enabled() const
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+TraceLog::clear()
+{
+    std::scoped_lock lock(registry_mutex_);
+    // Bumping the generation orphans every thread's cached shard;
+    // threads re-register on their next emission. Events an emitter
+    // writes into an orphaned shard mid-clear are dropped with it.
+    ++generation_;
+    shards_.clear();
+    next_span_.store(1, std::memory_order_relaxed);
+}
+
+TraceLog::Shard *
+TraceLog::shard()
+{
+    struct Cache
+    {
+        std::shared_ptr<Shard> shard;
+        uint64_t generation = 0;
+    };
+    thread_local Cache cache;
+    {
+        std::scoped_lock lock(registry_mutex_);
+        if (cache.shard && cache.generation == generation_)
+            return cache.shard.get();
+        cache.shard = std::make_shared<Shard>();
+        cache.generation = generation_;
+        shards_.push_back(cache.shard);
+    }
+    return cache.shard.get();
+}
+
+void
+TraceLog::append(TraceEvent ev)
+{
+    Shard *s = shard();
+    std::scoped_lock lock(s->mutex);
+    s->events.push_back(ev);
+}
+
+SpanId
+TraceLog::nextSpanId()
+{
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent>
+TraceLog::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    std::vector<std::shared_ptr<Shard>> shards;
+    {
+        std::scoped_lock lock(registry_mutex_);
+        shards = shards_;
+    }
+    for (const auto &s : shards) {
+        std::scoped_lock lock(s->mutex);
+        out.insert(out.end(), s->events.begin(), s->events.end());
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.ts != b.ts)
+                             return a.ts < b.ts;
+                         return a.id < b.id;
+                     });
+    return out;
+}
+
+size_t
+TraceLog::eventCount() const
+{
+    size_t n = 0;
+    std::vector<std::shared_ptr<Shard>> shards;
+    {
+        std::scoped_lock lock(registry_mutex_);
+        shards = shards_;
+    }
+    for (const auto &s : shards) {
+        std::scoped_lock lock(s->mutex);
+        n += s->events.size();
+    }
+    return n;
+}
+
+SpanId
+emitBegin(const char *name, SpanId parent, uint64_t a0, uint64_t a1)
+{
+    TraceLog &log = TraceLog::instance();
+    TraceEvent ev;
+    ev.type = TraceEvent::Type::Begin;
+    ev.id = log.nextSpanId();
+    ev.parent = parent;
+    ev.name = name;
+    ev.ts = nowSeconds();
+    ev.a0 = a0;
+    ev.a1 = a1;
+    ev.tid = threadOrdinal();
+    log.append(ev);
+    return ev.id;
+}
+
+void
+emitEnd(SpanId id, const char *name)
+{
+    TraceLog &log = TraceLog::instance();
+    TraceEvent ev;
+    ev.type = TraceEvent::Type::End;
+    ev.id = id;
+    ev.name = name;
+    ev.ts = nowSeconds();
+    ev.tid = threadOrdinal();
+    log.append(ev);
+}
+
+void
+emitComplete(const char *name, SpanId parent, double begin_ts,
+             double end_ts, uint64_t a0, uint64_t a1)
+{
+    TraceLog &log = TraceLog::instance();
+    TraceEvent ev;
+    ev.type = TraceEvent::Type::Complete;
+    ev.id = log.nextSpanId();
+    ev.parent = parent;
+    ev.name = name;
+    ev.ts = begin_ts;
+    ev.end_ts = end_ts;
+    ev.a0 = a0;
+    ev.a1 = a1;
+    ev.tid = threadOrdinal();
+    log.append(ev);
+}
+
+void
+emitInstant(const char *name, SpanId parent, uint64_t a0, uint64_t a1)
+{
+    TraceLog &log = TraceLog::instance();
+    TraceEvent ev;
+    ev.type = TraceEvent::Type::Instant;
+    ev.parent = parent;
+    ev.name = name;
+    ev.ts = nowSeconds();
+    ev.a0 = a0;
+    ev.a1 = a1;
+    ev.tid = threadOrdinal();
+    log.append(ev);
+}
+
+SpanId
+currentParent()
+{
+    return t_current_parent;
+}
+
+ScopedParent::ScopedParent(SpanId parent) : prev_(t_current_parent)
+{
+    t_current_parent = parent;
+}
+
+ScopedParent::~ScopedParent()
+{
+    t_current_parent = prev_;
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-viewer export.
+
+namespace {
+
+void
+appendEscaped(std::string &out, const char *s)
+{
+    for (; *s; ++s) {
+        if (*s == '"' || *s == '\\')
+            out.push_back('\\');
+        out.push_back(*s);
+    }
+}
+
+void
+appendEventJson(std::string &out, const char *ph, const TraceEvent &ev,
+                double t0, bool async, double dur_us = -1.0)
+{
+    char buf[160];
+    out += "{\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf), "%u", ev.tid);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f",
+                  (ev.ts - t0) * 1e6);
+    out += buf;
+    if (dur_us >= 0.0) {
+        std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", dur_us);
+        out += buf;
+    }
+    out += ",\"name\":\"";
+    appendEscaped(out, ev.name);
+    out += "\"";
+    if (async) {
+        // Async ("b"/"e") pairs are matched by category + id.
+        std::snprintf(buf, sizeof(buf),
+                      ",\"cat\":\"dsi\",\"id\":%llu",
+                      static_cast<unsigned long long>(ev.id));
+        out += buf;
+    }
+    if (ph[0] == 'i')
+        out += ",\"s\":\"t\"";
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"args\":{\"span\":%llu,\"parent\":%llu,\"a0\":%llu,"
+        "\"a1\":%llu}}",
+        static_cast<unsigned long long>(ev.id),
+        static_cast<unsigned long long>(ev.parent),
+        static_cast<unsigned long long>(ev.a0),
+        static_cast<unsigned long long>(ev.a1));
+    out += buf;
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events)
+{
+    double t0 = events.empty() ? 0.0 : events.front().ts;
+
+    // Pair up Begin/End so same-thread spans can use "B"/"E" (which
+    // trace-viewer nests per thread) and cross-thread spans fall back
+    // to async "b"/"e" pairs. Unclosed spans are dropped — a partial
+    // "B" would corrupt the per-thread nesting stack.
+    std::unordered_map<SpanId, const TraceEvent *> begins, ends;
+    for (const auto &ev : events) {
+        if (ev.type == TraceEvent::Type::Begin)
+            begins.emplace(ev.id, &ev);
+        else if (ev.type == TraceEvent::Type::End)
+            ends.emplace(ev.id, &ev);
+    }
+
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    auto emit = [&](const char *ph, const TraceEvent &ev, bool async,
+                    double dur_us = -1.0) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        appendEventJson(out, ph, ev, t0, async, dur_us);
+    };
+    for (const auto &ev : events) {
+        switch (ev.type) {
+        case TraceEvent::Type::Begin: {
+            auto e = ends.find(ev.id);
+            if (e == ends.end())
+                break; // unclosed: dropped
+            bool same_thread = e->second->tid == ev.tid;
+            emit(same_thread ? "B" : "b", ev, !same_thread);
+            break;
+        }
+        case TraceEvent::Type::End: {
+            auto b = begins.find(ev.id);
+            if (b == begins.end())
+                break;
+            bool same_thread = b->second->tid == ev.tid;
+            // Name/args live on the Begin record; copy them so the
+            // "E" carries a matching name.
+            TraceEvent end_ev = ev;
+            end_ev.name = b->second->name;
+            emit(same_thread ? "E" : "e", end_ev, !same_thread);
+            break;
+        }
+        case TraceEvent::Type::Complete:
+            emit("X", ev, false, (ev.end_ts - ev.ts) * 1e6);
+            break;
+        case TraceEvent::Type::Instant:
+            emit("i", ev, false);
+            break;
+        }
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<TraceEvent> &events)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::string json = chromeTraceJson(events);
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    bool ok = written == json.size() && std::fclose(f) == 0;
+    if (!ok && written != json.size())
+        std::fclose(f);
+    return ok;
+}
+
+} // namespace dsi::trace

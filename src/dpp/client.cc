@@ -45,6 +45,10 @@ Client::next()
 {
     if (connections_.empty())
         return std::nullopt;
+    // The delivery span's parent (the batch's transform span) is only
+    // known once a batch is claimed, so it is emitted one-shot at the
+    // end — the timer also covers the polling sweep that found it.
+    trace::Timer timer;
     size_t tries = 0;
     while (tries < connections_.size()) {
         Worker *w = connections_[cursor_];
@@ -61,6 +65,9 @@ Client::next()
             // worker — the pop made progress, so reset the cursor
             // sweep.
             metrics_.inc("client.duplicates_suppressed");
+            trace::instant(trace::events::kDuplicateSuppressed,
+                           tensor->trace, tensor->split_id,
+                           tensor->first_row);
             tries = 0;
             continue;
         }
@@ -68,6 +75,8 @@ Client::next()
         metrics_.inc("client.tensors");
         metrics_.inc("client.bytes",
                      static_cast<double>(tensor->bytes));
+        timer.complete(trace::spans::kClientDeliver, tensor->trace,
+                       tensor->split_id, tensor->first_row);
         return tensor;
     }
     metrics_.inc("client.empty_polls");

@@ -136,6 +136,8 @@ Master::acquireSplit(WorkerId worker, const WorkerLoad &load)
         // work: its old splits are already requeued, so feeding it
         // would double-process rows. Starve it instead.
         metrics_.inc("master.stale_requests");
+        trace::instant(trace::events::kRejected, trace::kNoSpan,
+                       worker);
         grant.status = GrantStatus::Rejected;
         return grant;
     }
@@ -158,6 +160,8 @@ Master::acquireSplit(WorkerId worker, const WorkerLoad &load)
     }
     if (shed) {
         metrics_.inc("master.splits_shed");
+        trace::instant(trace::events::kOverloaded, trace::kNoSpan,
+                       worker);
         grant.status = GrantStatus::Overloaded;
         return grant;
     }
@@ -172,7 +176,27 @@ Master::acquireSplit(WorkerId worker, const WorkerLoad &load)
     metrics_.inc("master.splits_assigned");
     grant.status = GrantStatus::Granted;
     grant.split = splits_[split_id];
+    if (trace::on()) {
+        // Lineage root: everything that happens to this split —
+        // extraction, storage reads, transformation, delivery —
+        // parents on this span, which stays open until the split
+        // reaches a terminal state at this Master.
+        grant.trace = trace::beginSpan(trace::spans::kMasterGrant,
+                                       trace::kNoSpan, split_id,
+                                       worker);
+        grant_spans_[split_id] = grant.trace;
+    }
     return grant;
+}
+
+void
+Master::endGrantSpanLocked(uint64_t split_id)
+{
+    auto it = grant_spans_.find(split_id);
+    if (it == grant_spans_.end())
+        return;
+    trace::endSpan(it->second, trace::spans::kMasterGrant);
+    grant_spans_.erase(it);
 }
 
 void
@@ -187,6 +211,7 @@ Master::releaseSplit(WorkerId worker, uint64_t split_id)
     }
     inflight_.erase(it);
     deadline_at_.erase(split_id);
+    endGrantSpanLocked(split_id);
     // No attempt penalty: the data is fine, the worker's timing
     // (or drain) is not.
     pending_.push_front(split_id);
@@ -215,6 +240,14 @@ Master::expireDeadlines()
         inflight_.erase(holder);
         ++expired;
         metrics_.inc("master.deadline_expired");
+        {
+            auto gs = grant_spans_.find(split_id);
+            trace::instant(trace::events::kDeadlineExpired,
+                           gs == grant_spans_.end() ? trace::kNoSpan
+                                                    : gs->second,
+                           split_id);
+        }
+        endGrantSpanLocked(split_id);
         uint32_t failures = ++attempts_[split_id];
         if (failures >= max_split_attempts_) {
             failed_.insert(split_id);
@@ -252,6 +285,7 @@ Master::completeSplit(WorkerId worker, uint64_t split_id)
     }
     inflight_.erase(it);
     deadline_at_.erase(split_id);
+    endGrantSpanLocked(split_id);
     completed_.insert(split_id);
     metrics_.inc("master.splits_completed");
 }
@@ -268,6 +302,7 @@ Master::failSplit(WorkerId worker, uint64_t split_id)
     }
     inflight_.erase(it);
     deadline_at_.erase(split_id);
+    endGrantSpanLocked(split_id);
     uint32_t failures = ++attempts_[split_id];
     if (failures >= max_split_attempts_) {
         failed_.insert(split_id);
@@ -297,6 +332,7 @@ Master::failWorkerLocked(WorkerId worker)
         if (it->second == worker) {
             pending_.push_front(it->first);
             deadline_at_.erase(it->first);
+            endGrantSpanLocked(it->first);
             metrics_.inc("master.splits_requeued");
             it = inflight_.erase(it);
         } else {
@@ -446,6 +482,9 @@ Master::restore(const MasterCheckpoint &checkpoint)
     attempts_.clear();
     inflight_.clear();
     deadline_at_.clear();
+    for (const auto &[split_id, span] : grant_spans_)
+        trace::endSpan(span, trace::spans::kMasterGrant);
+    grant_spans_.clear();
     pending_.clear();
     for (uint64_t i = 0; i < splits_.size(); ++i) {
         if (!completed_.count(i))

@@ -30,6 +30,7 @@
 
 #include "common/deadline.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "dpp/spec.h"
 #include "warehouse/table.h"
 
@@ -88,6 +89,14 @@ struct SplitGrant
     GrantStatus status = GrantStatus::NoWork;
     std::optional<Split> split;
     Deadline deadline; ///< unbounded when deadlines are disabled
+
+    /**
+     * Root span of the split's lineage (master.grant), opened when
+     * the split is Granted and closed when it reaches a terminal
+     * state at the Master. Everything the worker does with the split
+     * parents on this id. kNoSpan when tracing is off.
+     */
+    trace::SpanId trace = trace::kNoSpan;
 };
 
 /**
@@ -256,6 +265,8 @@ class Master
     void enumerateSplits(const warehouse::Warehouse &warehouse);
     void failWorkerLocked(WorkerId worker);
     void touchLocked(WorkerId worker);
+    /** Close the split's master.grant span, if one is open. */
+    void endGrantSpanLocked(uint64_t split_id);
 
     mutable std::mutex mutex_; ///< guards split-distribution state
     SessionSpec spec_;
@@ -266,6 +277,7 @@ class Master
     std::set<uint64_t> failed_;                 ///< attempts exhausted
     std::map<uint64_t, uint32_t> attempts_;     ///< split -> failures
     std::map<uint64_t, double> deadline_at_;    ///< split -> clock_()
+    std::map<uint64_t, trace::SpanId> grant_spans_; ///< open grants
     AdmissionOptions admission_;
     uint32_t max_split_attempts_ = 3;
     WorkerId next_worker_ = 0;

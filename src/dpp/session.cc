@@ -213,11 +213,36 @@ InProcessSession::drainClients(SessionResult &result, TensorSink &sink)
 SessionResult
 InProcessSession::run(TensorSink sink, uint64_t fail_after_splits)
 {
-    if (options_.worker.num_extract_threads > 0 ||
-        options_.worker.num_transform_threads > 0) {
-        return runParallel(std::move(sink), fail_after_splits);
+    bool tracing = options_.trace.enabled || trace::envEnabled();
+    if (tracing) {
+        // The log is process-wide; clearing at run start scopes this
+        // run's snapshot to its own events (and drops any buffered
+        // stragglers from a previous session's pool threads).
+        trace::TraceLog::instance().clear();
+        trace::TraceLog::instance().enable();
     }
-    return runSynchronous(std::move(sink), fail_after_splits);
+    SessionResult result =
+        (options_.worker.num_extract_threads > 0 ||
+         options_.worker.num_transform_threads > 0)
+            ? runParallel(std::move(sink), fail_after_splits)
+            : runSynchronous(std::move(sink), fail_after_splits);
+    if (tracing) {
+        trace::TraceLog::instance().disable();
+        trace_events_ = trace::TraceLog::instance().snapshot();
+    }
+    return result;
+}
+
+Metrics
+InProcessSession::collectMetrics() const
+{
+    Metrics merged;
+    merged.merge(master_->metrics());
+    for (const auto &w : workers_)
+        merged.merge(w->metrics());
+    for (const auto &c : clients_)
+        merged.merge(c->metrics());
+    return merged;
 }
 
 SessionResult

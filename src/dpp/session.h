@@ -54,6 +54,15 @@ struct AutoScaleOptions
     double interval_s = 0.02;
 };
 
+/**
+ * Session tracing knobs. Tracing also turns on when the DSI_TRACE
+ * environment variable is set (any value but "0").
+ */
+struct TraceOptions
+{
+    bool enabled = false;
+};
+
 /** Session-level configuration. */
 struct SessionOptions
 {
@@ -61,6 +70,9 @@ struct SessionOptions
     uint32_t clients = 1;
     WorkerOptions worker;
     ClientOptions client;
+
+    /** Pipeline-wide span tracing for this run (off by default). */
+    TraceOptions trace;
 
     /**
      * Heartbeat lease timeout (seconds). > 0 enables automatic
@@ -149,6 +161,23 @@ class InProcessSession
         return scaling_log_;
     }
 
+    /**
+     * The trace collected by the last run() (empty unless tracing was
+     * enabled via SessionOptions::trace or DSI_TRACE). Feed it to
+     * trace::TraceQuery for assertions or trace::writeChromeTrace for
+     * a trace-viewer file.
+     */
+    const std::vector<trace::TraceEvent> &traceEvents() const
+    {
+        return trace_events_;
+    }
+
+    /**
+     * Merged metrics registry across the Master and the current
+     * worker and client pools — the bag MetricsExporter renders.
+     */
+    Metrics collectMetrics() const;
+
     /** Current worker-pool size (drained victims already retired). */
     size_t workerCount() const { return workers_.size(); }
 
@@ -187,6 +216,7 @@ class InProcessSession
     DeliveryLedger ledger_; ///< session-wide exactly-once dedup
     uint64_t failures_ = 0;
     bool running_parallel_ = false;
+    std::vector<trace::TraceEvent> trace_events_; ///< last run's trace
 
     // Live auto-scaling state.
     std::unique_ptr<AutoScaler> scaler_;

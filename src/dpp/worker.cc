@@ -190,9 +190,15 @@ Worker::transformStripe(dwrf::RowBatch &stripe, uint64_t split_id,
                         uint64_t epoch, RowId first_row,
                         transforms::CompiledGraph &graph,
                         transforms::TransformStats &stats,
-                        Metrics &metrics, bool blocking)
+                        Metrics &metrics, bool blocking,
+                        trace::SpanId grant_span)
 {
     const SessionSpec &spec = master_.spec();
+    // One transform span covers the whole stripe; buffer waits inside
+    // it get their own Complete spans so stall attribution can credit
+    // them to the delivery stage instead of transform compute.
+    trace::Span span(trace::spans::kTransformStripe, grant_span,
+                     split_id, first_row);
     // Transform + partial load, one mini-batch at a time (transforms
     // are localized to each mini-batch).
     for (uint32_t start = 0; start < stripe.rows;
@@ -209,6 +215,7 @@ Worker::transformStripe(dwrf::RowBatch &stripe, uint64_t split_id,
         tensor.split_id = split_id;
         tensor.first_row = first_row + start;
         tensor.epoch = epoch;
+        tensor.trace = span.id();
         metrics.inc("worker.tensor_bytes",
                     static_cast<double>(tensor.bytes));
         metrics.inc("worker.tensors");
@@ -217,12 +224,15 @@ Worker::transformStripe(dwrf::RowBatch &stripe, uint64_t split_id,
         // observe a delivery the tracker has not heard of.
         noteTensorEnqueued(split_id, epoch);
         if (blocking) {
+            trace::Timer wait;
             if (!pushTensorBlocking(std::move(tensor))) {
                 // Stopped/crashed while waiting for buffer space; the
                 // tensor never entered the buffer.
                 noteTensorUnqueued(split_id, epoch);
                 return false;
             }
+            wait.complete(trace::spans::kBufferWait, span.id(),
+                          split_id);
         } else {
             enqueueTensor(std::move(tensor));
         }
@@ -262,6 +272,9 @@ Worker::extractLoop()
         dwrf::ReadOptions read = spec.read;
         read.projection = spec.projection;
         read.verify_checksums = options_.verify_checksums;
+        // The open reads (file tail + footer) happen outside any
+        // stripe span; parent them on the grant so they keep lineage.
+        trace::ScopedParent open_ambient(grant.trace);
         dwrf::FileReader reader(*source, read);
         if (!reader.valid()) {
             dsi_warn("worker %u: unreadable file '%s'", id_,
@@ -294,8 +307,17 @@ Worker::extractLoop()
             }
             uint32_t stripe_index = split.first_stripe + s;
             dwrf::ReadStatus status = dwrf::ReadStatus::Ok;
-            auto rows =
-                extractStripe(reader, stripe_index, local, &status);
+            std::optional<dwrf::RowBatch> rows;
+            {
+                // The extract span closes before any terminal Master
+                // call or queue push, keeping per-thread span nesting
+                // strictly LIFO (the Chrome exporter relies on it).
+                trace::Span espan(trace::spans::kExtractStripe,
+                                  grant.trace, split.id, stripe_index);
+                trace::ScopedParent ambient(espan.id());
+                rows = extractStripe(reader, stripe_index, local,
+                                     &status);
+            }
             if (!rows) {
                 if (status == dwrf::ReadStatus::DeadlineExpired) {
                     local.inc("worker.deadline_expired");
@@ -310,9 +332,11 @@ Worker::extractLoop()
             work.first_row =
                 reader.footer().stripes[stripe_index].first_row;
             work.epoch = epoch;
+            work.trace = grant.trace;
             work.rows = std::move(*rows);
             // Backpressure observes the split budget: a stalled
             // transform stage must not pin an expired split forever.
+            trace::Timer wait;
             if (!stripe_queue_->push(std::move(work),
                                      grant.deadline)) {
                 if (stripe_queue_->closed()) {
@@ -323,6 +347,8 @@ Worker::extractLoop()
                 }
                 break;
             }
+            wait.complete(trace::spans::kQueuePushWait, grant.trace,
+                          split.id, stripe_index);
         }
         mergeReadStats(reader.stats());
         metrics_.merge(local);
@@ -359,7 +385,7 @@ Worker::transformLoop()
         bool whole = transformStripe(work->rows, work->split_id,
                                      work->epoch, work->first_row,
                                      graph, stats, local,
-                                     /*blocking=*/true);
+                                     /*blocking=*/true, work->trace);
         if (whole)
             noteStripeTransformed(work->split_id, work->epoch);
         if (stop_requested_ || crashed_)
@@ -417,6 +443,7 @@ Worker::pump()
             return false;
         }
         current_deadline_ = grant.deadline;
+        current_trace_ = grant.trace;
         if (!openSplit(*grant.split))
             return true; // split abandoned; try another next pump
     }
@@ -448,6 +475,8 @@ Worker::openSplit(const Split &split)
     dwrf::ReadOptions read = master_.spec().read;
     read.projection = master_.spec().projection;
     read.verify_checksums = options_.verify_checksums;
+    // Parent the open reads (file tail + footer) on the grant span.
+    trace::ScopedParent open_ambient(current_trace_);
     reader_ = std::make_unique<dwrf::FileReader>(*source_, read);
     if (!reader_->valid()) {
         dsi_warn("worker %u: unreadable file '%s'", id_,
@@ -466,8 +495,14 @@ Worker::processNextStripe()
 {
     uint32_t stripe_index = current_->first_stripe + next_stripe_;
     dwrf::ReadStatus status = dwrf::ReadStatus::Ok;
-    auto stripe =
-        extractStripe(*reader_, stripe_index, metrics_, &status);
+    std::optional<dwrf::RowBatch> stripe;
+    {
+        trace::Span espan(trace::spans::kExtractStripe,
+                          current_trace_, current_->id, stripe_index);
+        trace::ScopedParent ambient(espan.id());
+        stripe =
+            extractStripe(*reader_, stripe_index, metrics_, &status);
+    }
     if (!stripe) {
         if (status == dwrf::ReadStatus::DeadlineExpired) {
             metrics_.inc("worker.deadline_expired");
@@ -481,7 +516,7 @@ Worker::processNextStripe()
     ++next_stripe_;
     if (transformStripe(*stripe, current_->id, current_epoch_,
                         first_row, *graph_, transform_stats_, metrics_,
-                        /*blocking=*/false)) {
+                        /*blocking=*/false, current_trace_)) {
         noteStripeTransformed(current_->id, current_epoch_);
     }
     return true;
@@ -788,6 +823,8 @@ Worker::crash()
     if (stripe_queue_)
         stripe_queue_->close();
     metrics_.inc("worker.crashes");
+    trace::instant(trace::events::kFaultWorkerCrash, trace::kNoSpan,
+                   id_);
     dsi_warn("worker %u: injected crash", id_);
 }
 

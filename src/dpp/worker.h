@@ -49,6 +49,7 @@
 #include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "dpp/autoscaler.h"
 #include "dpp/master.h"
 #include "dpp/spec.h"
@@ -71,6 +72,13 @@ struct TensorBatch
 
     /** Worker-local split attempt number (internal bookkeeping). */
     uint64_t epoch = 0;
+
+    /**
+     * Lineage: the transform-stripe span this batch was sliced in
+     * (itself a child of the split's master.grant span). The client's
+     * delivery span parents on it. kNoSpan when tracing is off.
+     */
+    trace::SpanId trace = trace::kNoSpan;
 };
 
 /** Worker tuning knobs. */
@@ -214,6 +222,7 @@ class Worker
         uint64_t split_id = 0;
         RowId first_row = 0;
         uint64_t epoch = 0;
+        trace::SpanId trace = trace::kNoSpan; ///< grant span
     };
 
     /**
@@ -281,7 +290,8 @@ class Worker
                          uint64_t epoch, RowId first_row,
                          transforms::CompiledGraph &graph,
                          transforms::TransformStats &stats,
-                         Metrics &metrics, bool blocking);
+                         Metrics &metrics, bool blocking,
+                         trace::SpanId grant_span = trace::kNoSpan);
 
     bool bufferFullLocked() const;
     /** Blocking append honoring the caps; false if stopped. */
@@ -321,6 +331,7 @@ class Worker
     // Synchronous-mode in-progress split (stripe-granular pipelining).
     std::optional<Split> current_;
     Deadline current_deadline_; ///< budget of the held grant
+    trace::SpanId current_trace_ = trace::kNoSpan; ///< held grant span
     uint64_t current_epoch_ = 0;
     uint32_t next_stripe_ = 0;
     std::unique_ptr<dwrf::RandomAccessSource> source_;

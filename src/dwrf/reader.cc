@@ -118,6 +118,16 @@ FileReader::fetchStream(const StripeInfo &stripe, size_t stream_idx,
 ReadStatus
 FileReader::readStripe(size_t stripe_index, RowBatch &out)
 {
+    trace::Span span(trace::spans::kReaderStripe,
+                     trace_parent_ != trace::kNoSpan
+                         ? trace_parent_
+                         : trace::currentParent(),
+                     stripe_index);
+    // Storage reads issued below (RandomAccessSource::readChecked)
+    // pick up this span through the ambient parent — readChecked's
+    // virtual signature cannot carry a trace context.
+    trace::ScopedParent ambient(span.id());
+
     if (deadline_.expired()) {
         ++stats_.deadline_expired;
         return ReadStatus::DeadlineExpired;
@@ -130,6 +140,8 @@ FileReader::readStripe(size_t stripe_index, RowBatch &out)
     for (uint32_t retry = 0; retry < options_.max_stripe_retries;
          ++retry) {
         ++stats_.stripe_retries;
+        trace::instant(trace::events::kReaderRetry, span.id(),
+                       stripe_index, retry + 1);
         if (options_.retry_backoff_us > 0 &&
             !backoff_.sleep(deadline_)) {
             ++stats_.deadline_expired;

@@ -18,6 +18,7 @@
 
 #include "common/backoff.h"
 #include "common/deadline.h"
+#include "common/trace.h"
 #include "dwrf/cipher.h"
 #include "dwrf/format.h"
 #include "dwrf/row.h"
@@ -152,6 +153,16 @@ class FileReader
      */
     void setDeadline(Deadline deadline) { deadline_ = deadline; }
 
+    /**
+     * Parent span for this reader's stripe-read spans (the worker's
+     * extract-stripe span). Defaults to the ambient
+     * trace::currentParent() at each readStripe call.
+     */
+    void setTraceContext(trace::SpanId parent)
+    {
+        trace_parent_ = parent;
+    }
+
     /** Legacy fail-stop wrapper: asserts the checked read succeeded. */
     RowBatch readStripe(size_t stripe_index);
 
@@ -185,6 +196,7 @@ class FileReader
     ReadStats stats_;
     Deadline deadline_; ///< budget for reads; default unbounded
     Backoff backoff_;   ///< jittered retry delays
+    trace::SpanId trace_parent_ = trace::kNoSpan;
 };
 
 } // namespace dsi::dwrf

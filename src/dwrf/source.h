@@ -11,6 +11,7 @@
 #define DSI_DWRF_SOURCE_H
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/fault.h"
@@ -27,23 +28,47 @@ struct IoRecord
     Bytes length;
 };
 
-/** Accumulates the IOs issued against a source. */
+/**
+ * Accumulates the IOs issued against a source. Sources are shared by
+ * concurrent extract threads (and the hedge pool), so every method is
+ * mutex-guarded; record() is a push_back under an uncontended lock,
+ * negligible next to the IO it annotates.
+ */
 class IoTrace
 {
   public:
+    IoTrace() = default;
+
     void record(Bytes offset, Bytes length)
     {
+        std::scoped_lock lock(mutex_);
         records_.push_back({offset, length});
         total_bytes_ += length;
     }
 
-    const std::vector<IoRecord> &records() const { return records_; }
-    uint64_t count() const { return records_.size(); }
-    Bytes totalBytes() const { return total_bytes_; }
+    /** Snapshot of the recorded IOs. */
+    std::vector<IoRecord> records() const
+    {
+        std::scoped_lock lock(mutex_);
+        return records_;
+    }
+
+    uint64_t count() const
+    {
+        std::scoped_lock lock(mutex_);
+        return records_.size();
+    }
+
+    Bytes totalBytes() const
+    {
+        std::scoped_lock lock(mutex_);
+        return total_bytes_;
+    }
 
     /** Size distribution over all recorded IOs. */
     PercentileSampler sizeDistribution() const
     {
+        std::scoped_lock lock(mutex_);
         PercentileSampler p;
         p.reserve(records_.size());
         for (const auto &r : records_)
@@ -53,11 +78,13 @@ class IoTrace
 
     void clear()
     {
+        std::scoped_lock lock(mutex_);
         records_.clear();
         total_bytes_ = 0;
     }
 
   private:
+    mutable std::mutex mutex_;
     std::vector<IoRecord> records_;
     Bytes total_bytes_ = 0;
 };

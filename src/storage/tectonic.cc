@@ -6,6 +6,7 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace dsi::storage {
 
@@ -303,6 +304,8 @@ TectonicCluster::routeBlockRead(const std::string &name,
         CircuitBreaker::State before = breakers_[replica].state();
         if (!breakers_[replica].allowRequest(now)) {
             metrics_.inc("tectonic.breaker_skips");
+            trace::instant(trace::events::kBreakerSkip,
+                           trace::currentParent(), replica);
             skipped.push_back(replica);
             continue;
         }
@@ -330,6 +333,8 @@ TectonicCluster::tryReplicaIo(NodeId replica, Bytes bytes,
     CircuitBreaker &breaker = breakers_[replica];
     if (faultPoint(faults::kTectonicReplicaError)) {
         metrics_.inc("tectonic.replica_read_errors");
+        trace::instant(trace::events::kReplicaError,
+                       trace::currentParent(), replica);
         CircuitBreaker::State before = breaker.state();
         breaker.recordFailure(now);
         if (breaker.state() == CircuitBreaker::State::Open &&
@@ -375,6 +380,11 @@ TectonicSource::readChecked(Bytes offset, Bytes len,
     // Trace exactly once per logical read, on the caller thread — a
     // hedge backup is a tail-tolerance retry, not a second logical IO.
     trace_.record(offset, len);
+    // The parent (the reader's stripe span) arrives through the
+    // ambient context: this virtual signature cannot carry one.
+    trace::Span span(trace::spans::kStorageRead,
+                     trace::currentParent(), offset, len);
+    trace::ScopedParent ambient(span.id());
     bool hedged;
     {
         std::scoped_lock lock(cluster_.hedge_mutex_);
@@ -400,9 +410,14 @@ TectonicSource::readHedged(Bytes offset, Bytes len,
     auto state = std::make_shared<HedgeState>();
     // The primary runs on the hedge pool and may outlive this source
     // (a laggard stuck in an injected delay), so it captures the
-    // cluster and file name by value — never `this`.
+    // cluster and file name by value — never `this`. The caller's
+    // storage.read span is re-established as the ambient parent on
+    // the pool thread so fault/breaker instants keep their lineage.
+    trace::SpanId read_span = trace::currentParent();
     cluster_.submitHedge(
-        [state, cluster = &cluster_, name = name_, offset, len] {
+        [state, cluster = &cluster_, name = name_, offset, len,
+         read_span] {
+            trace::ScopedParent ambient(read_span);
             dwrf::Buffer buf;
             dwrf::IoStatus status =
                 cluster->readFileRange(name, offset, len, buf);
@@ -430,6 +445,8 @@ TectonicSource::readHedged(Bytes offset, Bytes len,
     // The primary is a laggard (or already failed): issue the backup
     // inline. First success wins.
     cluster_.metrics_.inc("tectonic.hedges_issued");
+    trace::instant(trace::events::kHedgeIssued, read_span, offset,
+                   len);
     dwrf::Buffer backup;
     dwrf::IoStatus backup_status =
         cluster_.readFileRange(name_, offset, len, backup);
@@ -439,8 +456,11 @@ TectonicSource::readHedged(Bytes offset, Bytes len,
             std::scoped_lock lock(state->mutex);
             primary_won = state->primary_done;
         }
-        if (!primary_won)
+        if (!primary_won) {
             cluster_.metrics_.inc("tectonic.hedge_wins");
+            trace::instant(trace::events::kHedgeWin, read_span,
+                           offset, len);
+        }
         out = std::move(backup);
         return dwrf::IoStatus::Ok;
     }
@@ -475,6 +495,8 @@ TectonicCluster::readFileRange(const std::string &name, Bytes offset,
     if (len > 0 && faultPoint(faults::kTectonicReadCorrupt)) {
         out[out.size() / 2] ^= 0xff;
         metrics_.inc("tectonic.corrupt_reads");
+        trace::instant(trace::events::kFaultCorrupt,
+                       trace::currentParent(), offset, len);
     }
 
     // Fan the logical IO out to the blocks it touches.

@@ -16,6 +16,7 @@
 #include "common/bounded_queue.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "dwrf/source.h"
 
 namespace dsi {
 namespace {
@@ -235,6 +236,56 @@ TEST(PercentileSampler, ConcurrentReadersAndWritersAreSafe)
     for (auto &t : threads)
         t.join();
     EXPECT_EQ(sampler.count(), 1000u + kWriters * 500u);
+}
+
+TEST(IoTrace, ConcurrentRecordAndInspectIsRaceFree)
+{
+    // Regression: IoTrace is shared by concurrent extract threads and
+    // the hedge pool. Writers record() while readers take snapshots
+    // and distributions — under TSan this flags any unguarded access.
+    dwrf::IoTrace trace;
+    constexpr int kWriters = 4;
+    constexpr int kReaders = 3;
+    constexpr int kIosPerWriter = 500;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&, w] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < kIosPerWriter; ++i)
+                trace.record(static_cast<Bytes>(w) * 1_MiB +
+                                 static_cast<Bytes>(i),
+                             4096);
+        });
+    }
+    for (int r = 0; r < kReaders; ++r) {
+        threads.emplace_back([&] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < 200; ++i) {
+                uint64_t n = trace.count();
+                Bytes total = trace.totalBytes();
+                EXPECT_EQ(total, n * 4096);
+                auto snapshot = trace.records();
+                EXPECT_LE(snapshot.size(), trace.count());
+                auto dist = trace.sizeDistribution();
+                if (dist.count() > 0) {
+                    EXPECT_EQ(dist.percentile(50.0), 4096.0);
+                }
+            }
+        });
+    }
+    go = true;
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(trace.count(),
+              static_cast<uint64_t>(kWriters) * kIosPerWriter);
+    EXPECT_EQ(trace.totalBytes(),
+              static_cast<Bytes>(kWriters) * kIosPerWriter * 4096);
+    trace.clear();
+    EXPECT_EQ(trace.count(), 0u);
+    EXPECT_EQ(trace.totalBytes(), 0u);
 }
 
 } // namespace
