@@ -1,30 +1,19 @@
 /**
  * @file
- * Bench-side fixture: a small generated warehouse (mirrors the test
- * fixture so bench binaries stay independent of the test tree).
+ * Bench-side fixture: a small generated warehouse. Thin wrapper over
+ * warehouse::buildMiniCorpus (src/warehouse/corpus.h) — the same
+ * builder the test suite uses, so benchmarks and tests measure
+ * identical corpus shapes.
  */
 
 #ifndef DSI_BENCH_TEST_FIXTURES_BENCH_H
 #define DSI_BENCH_TEST_FIXTURES_BENCH_H
 
-#include <memory>
-#include <string>
-
-#include "dwrf/writer.h"
-#include "storage/tectonic.h"
-#include "warehouse/datagen.h"
-#include "warehouse/table.h"
+#include "warehouse/corpus.h"
 
 namespace dsi::benchfix {
 
-struct MiniWarehouse
-{
-    std::unique_ptr<storage::TectonicCluster> cluster;
-    std::unique_ptr<warehouse::Warehouse> warehouse;
-    warehouse::TableSchema schema;
-    std::vector<double> popularity;
-    std::string name;
-};
+using MiniWarehouse = warehouse::MiniCorpus;
 
 inline MiniWarehouse
 makeMiniWarehouse(const warehouse::SchemaParams &params,
@@ -33,41 +22,10 @@ makeMiniWarehouse(const warehouse::SchemaParams &params,
                   dwrf::WriterOptions writer_options = {},
                   storage::StorageOptions storage_options = {})
 {
-    MiniWarehouse mw;
-    mw.name = params.name;
-    mw.cluster = std::make_unique<storage::TectonicCluster>(
-        storage_options);
-    mw.warehouse =
-        std::make_unique<warehouse::Warehouse>(*mw.cluster);
-    mw.schema = warehouse::makeSchema(params);
-    mw.popularity = warehouse::featurePopularity(
-        mw.schema, params.popularity_alpha, params.seed ^ 0x9999);
-
-    auto &table = mw.warehouse->createTable(params.name, mw.schema);
-    warehouse::RowGenerator gen(mw.schema, params.seed ^ 0x1234);
-    for (uint32_t p = 0; p < partitions; ++p) {
-        warehouse::Partition partition;
-        partition.id = p;
-        uint64_t remaining = rows_per_partition;
-        uint32_t file_idx = 0;
-        while (remaining > 0) {
-            uint64_t n = remaining < rows_per_file ? remaining
-                                                   : rows_per_file;
-            dwrf::FileWriter writer(writer_options);
-            writer.appendRows(gen.batch(static_cast<uint32_t>(n)));
-            auto bytes = writer.finish();
-            std::string fname = params.name + "/p" +
-                                std::to_string(p) + "/f" +
-                                std::to_string(file_idx++) + ".dwrf";
-            partition.stored_bytes += bytes.size();
-            mw.cluster->put(fname, bytes);
-            partition.files.push_back(fname);
-            partition.rows += n;
-            remaining -= n;
-        }
-        table.addPartition(std::move(partition));
-    }
-    return mw;
+    return warehouse::buildMiniCorpus(params, partitions,
+                                      rows_per_partition,
+                                      rows_per_file, writer_options,
+                                      storage_options);
 }
 
 } // namespace dsi::benchfix

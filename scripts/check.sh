@@ -40,4 +40,16 @@ if [[ "${DSI_CHECK_TSAN:-0}" == "1" ]]; then
         -R '(common_concurrency|common_overload|common_trace|dpp_chaos|dpp_parallel|dpp_overload|dpp_trace)_test' "$@"
 fi
 
+# Bench smoke: a --quick perf_suite run plus schema validation of the
+# fresh reports and the checked-in baselines (no thresholds here; the
+# decode speedup bar is asserted by bench_schema_test).
+echo "==> bench smoke (perf_suite --quick + validate)"
+cmake --build build --target perf_suite -j "${JOBS}" >/dev/null
+bench_out="$(mktemp -d)"
+trap 'rm -rf "${bench_out}"' EXIT
+./build/bench/perf_suite --quick --out-dir "${bench_out}" >/dev/null
+./build/bench/perf_suite --validate \
+    "${bench_out}/BENCH_decode.json" "${bench_out}/BENCH_dpp.json" \
+    BENCH_decode.json BENCH_dpp.json
+
 echo "==> all passes green"

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The BENCH_*.json interchange format: a schema-versioned record of
+ * one benchmark suite run, emitted by bench/perf_suite and consumed
+ * by CI (schema smoke check), the doc-drift test, and anyone tracking
+ * the repo's perf trajectory. docs/BENCHMARKS.md documents the schema
+ * and every metric name; tests/bench_schema_test.cc enforces that the
+ * two never drift apart.
+ *
+ * Writer and validator live together so the schema has exactly one
+ * definition in code.
+ */
+
+#ifndef DSI_COMMON_BENCH_REPORT_H
+#define DSI_COMMON_BENCH_REPORT_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace dsi::bench {
+
+/** Current BENCH_*.json schema version. */
+constexpr int kBenchSchemaVersion = 1;
+
+/** One measured quantity. */
+struct BenchMetric
+{
+    std::string name; ///< dotted, e.g. "decode.rle_bulk_mbps"
+    std::string unit; ///< "MB/s", "rows/s", "us", "x", ...
+    double value = 0.0;
+};
+
+/** One suite run: provenance plus the measurements. */
+struct BenchReport
+{
+    int schema_version = kBenchSchemaVersion;
+    std::string suite;      ///< "decode" | "dpp"
+    std::string mode;       ///< "full" | "quick"
+    uint64_t seed = 0;      ///< RNG seed every corpus derives from
+    uint32_t warmup_trials = 0;
+    uint32_t measure_trials = 0;
+    std::vector<BenchMetric> metrics;
+};
+
+/** Serialize a report as pretty-printed JSON (trailing newline). */
+inline std::string
+writeBenchJson(const BenchReport &report)
+{
+    auto num = [](double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        return std::string(buf);
+    };
+    std::string out;
+    out += "{\n";
+    out += "  \"schema_version\": " +
+           std::to_string(report.schema_version) + ",\n";
+    out += "  \"suite\": \"" + report.suite + "\",\n";
+    out += "  \"mode\": \"" + report.mode + "\",\n";
+    out += "  \"seed\": " + std::to_string(report.seed) + ",\n";
+    out += "  \"warmup_trials\": " +
+           std::to_string(report.warmup_trials) + ",\n";
+    out += "  \"measure_trials\": " +
+           std::to_string(report.measure_trials) + ",\n";
+    out += "  \"metrics\": [\n";
+    for (size_t i = 0; i < report.metrics.size(); ++i) {
+        const BenchMetric &m = report.metrics[i];
+        out += "    {\"name\": \"" + m.name + "\", \"unit\": \"" +
+               m.unit + "\", \"value\": " + num(m.value) + "}";
+        out += i + 1 < report.metrics.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+/**
+ * Validate a BENCH_*.json document against the schema. False (with a
+ * one-line reason in `error`, optional) on any violation: malformed
+ * JSON, missing or mistyped field, unknown schema version, empty
+ * metrics, or a non-finite metric value.
+ */
+inline bool
+validateBenchJson(const std::string &text, std::string *error = nullptr)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    std::string parse_error;
+    auto doc = json::parse(text, &parse_error);
+    if (!doc.has_value())
+        return fail("malformed JSON: " + parse_error);
+    if (!doc->isObject())
+        return fail("top level is not an object");
+
+    const json::Value *v = doc->find("schema_version");
+    if (v == nullptr || !v->isNumber())
+        return fail("missing numeric 'schema_version'");
+    if (static_cast<int>(v->number) != kBenchSchemaVersion)
+        return fail("unknown schema_version " +
+                    std::to_string(v->number));
+
+    for (const char *key : {"suite", "mode"}) {
+        v = doc->find(key);
+        if (v == nullptr || !v->isString() || v->str.empty())
+            return fail(std::string("missing string '") + key + "'");
+    }
+    v = doc->find("mode");
+    if (v->str != "full" && v->str != "quick")
+        return fail("mode must be 'full' or 'quick', got '" + v->str +
+                    "'");
+
+    for (const char *key : {"seed", "warmup_trials", "measure_trials"}) {
+        v = doc->find(key);
+        if (v == nullptr || !v->isNumber())
+            return fail(std::string("missing numeric '") + key + "'");
+    }
+
+    v = doc->find("metrics");
+    if (v == nullptr || !v->isArray())
+        return fail("missing 'metrics' array");
+    if (v->array.empty())
+        return fail("'metrics' is empty");
+    for (size_t i = 0; i < v->array.size(); ++i) {
+        const json::Value &m = v->array[i];
+        std::string where = "metrics[" + std::to_string(i) + "]";
+        if (!m.isObject())
+            return fail(where + " is not an object");
+        const json::Value *name = m.find("name");
+        if (name == nullptr || !name->isString() || name->str.empty())
+            return fail(where + " missing string 'name'");
+        const json::Value *unit = m.find("unit");
+        if (unit == nullptr || !unit->isString() || unit->str.empty())
+            return fail(where + " missing string 'unit'");
+        const json::Value *value = m.find("value");
+        if (value == nullptr || !value->isNumber())
+            return fail(where + " missing numeric 'value'");
+        if (!std::isfinite(value->number))
+            return fail(where + " value is not finite");
+    }
+    return true;
+}
+
+/**
+ * Metric names of a valid BENCH_*.json document, in file order.
+ * Empty when the document fails validation.
+ */
+inline std::vector<std::string>
+benchMetricNames(const std::string &text)
+{
+    std::vector<std::string> names;
+    if (!validateBenchJson(text))
+        return names;
+    auto doc = json::parse(text);
+    const json::Value *metrics = doc->find("metrics");
+    for (const json::Value &m : metrics->array)
+        names.push_back(m.find("name")->str);
+    return names;
+}
+
+} // namespace dsi::bench
+
+#endif // DSI_COMMON_BENCH_REPORT_H

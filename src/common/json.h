@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Minimal JSON parser — just enough to read back and validate the
+ * machine-readable artifacts this repo emits (BENCH_*.json). Parses
+ * the full JSON grammar (objects, arrays, strings with escapes,
+ * numbers, booleans, null) into an owning tree; no streaming, no
+ * writer (emitters format their own output). Not a general-purpose
+ * library: errors return nullopt with a best-effort message instead
+ * of detailed diagnostics.
+ */
+
+#ifndef DSI_COMMON_JSON_H
+#define DSI_COMMON_JSON_H
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dsi::json {
+
+/** One parsed JSON value (a tagged tree node). */
+struct Value
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const
+    {
+        if (type != Type::Object)
+            return nullptr;
+        for (const auto &[k, v] : object) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+};
+
+namespace detail {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    std::optional<Value> run()
+    {
+        skipWs();
+        Value v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing garbage after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void fail(const std::string &msg)
+    {
+        if (error_ != nullptr && error_->empty())
+            *error_ = msg + " (at byte " + std::to_string(pos_) + ")";
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool literal(const char *word)
+    {
+        size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0) {
+            fail(std::string("expected '") + word + "'");
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    bool parseValue(Value &out)
+    {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.type = Value::Type::String;
+            return parseString(out.str);
+          case 't':
+            out.type = Value::Type::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.type = Value::Type::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.type = Value::Type::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(Value &out)
+    {
+        out.type = Value::Type::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return false;
+            }
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                fail("expected ':' after key");
+                return false;
+            }
+            ++pos_;
+            skipWs();
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= text_.size()) {
+                fail("unterminated object");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            fail("expected ',' or '}' in object");
+            return false;
+        }
+    }
+
+    bool parseArray(Value &out)
+    {
+        out.type = Value::Type::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size()) {
+                fail("unterminated array");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            fail("expected ',' or ']' in array");
+            return false;
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos_; // '"'
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+                return false;
+            }
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(e);
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                // \uXXXX: decoded only for the ASCII range (all this
+                // repo ever emits); others map to '?'.
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return false;
+                }
+                unsigned code = static_cast<unsigned>(std::strtoul(
+                    text_.substr(pos_, 4).c_str(), nullptr, 16));
+                pos_ += 4;
+                out.push_back(code < 0x80
+                                  ? static_cast<char>(code)
+                                  : '?');
+                break;
+              }
+              default:
+                fail("bad escape character");
+                return false;
+            }
+        }
+        if (pos_ >= text_.size()) {
+            fail("unterminated string");
+            return false;
+        }
+        ++pos_; // closing '"'
+        return true;
+    }
+
+    bool parseNumber(Value &out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) {
+            fail("expected a value");
+            return false;
+        }
+        char *end = nullptr;
+        std::string tok = text_.substr(start, pos_ - start);
+        out.type = Value::Type::Number;
+        out.number = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            fail("malformed number '" + tok + "'");
+            return false;
+        }
+        return true;
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/**
+ * Parse a complete JSON document. nullopt on malformed input, with a
+ * one-line reason in `error` (optional).
+ */
+inline std::optional<Value>
+parse(const std::string &text, std::string *error = nullptr)
+{
+    return detail::Parser(text, error).run();
+}
+
+} // namespace dsi::json
+
+#endif // DSI_COMMON_JSON_H

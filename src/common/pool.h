@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Thread-safe free list of reusable heap objects.
+ *
+ * The DPP worker's stripe batches are large (many columns, each a
+ * heap-backed vector); allocating them fresh per stripe made malloc a
+ * measurable slice of the extract stage. An ObjectPool recycles the
+ * objects instead: a released RowBatch keeps its columns' heap blocks,
+ * and the reader's capacity-recycling (FileReader::recycleBatch)
+ * reuses them on the next acquire. `bench/perf_suite` measures the
+ * effect (BENCH_dpp.json).
+ */
+
+#ifndef DSI_COMMON_POOL_H
+#define DSI_COMMON_POOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dsi {
+
+/**
+ * A bounded pool of default-constructed T. acquire() prefers a
+ * recycled object; release() returns one for reuse (dropped when the
+ * pool already holds `max_idle` objects, bounding retained memory).
+ * Objects are handed back *dirty* — consumers that care must reset
+ * state themselves (the DWRF reader does this as part of decoding).
+ */
+template <typename T>
+class ObjectPool
+{
+  public:
+    explicit ObjectPool(size_t max_idle = 16) : max_idle_(max_idle) {}
+
+    std::unique_ptr<T> acquire()
+    {
+        {
+            std::scoped_lock lock(mutex_);
+            if (!free_.empty()) {
+                std::unique_ptr<T> obj = std::move(free_.back());
+                free_.pop_back();
+                ++reused_;
+                return obj;
+            }
+            ++allocated_;
+        }
+        return std::make_unique<T>();
+    }
+
+    /** Return an object for reuse; null is ignored. */
+    void release(std::unique_ptr<T> obj)
+    {
+        if (!obj)
+            return;
+        std::scoped_lock lock(mutex_);
+        if (free_.size() < max_idle_)
+            free_.push_back(std::move(obj));
+    }
+
+    /** Objects ever constructed by acquire(). */
+    uint64_t allocated() const
+    {
+        std::scoped_lock lock(mutex_);
+        return allocated_;
+    }
+
+    /** Acquires served from the free list. */
+    uint64_t reused() const
+    {
+        std::scoped_lock lock(mutex_);
+        return reused_;
+    }
+
+    size_t idle() const
+    {
+        std::scoped_lock lock(mutex_);
+        return free_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<T>> free_;
+    size_t max_idle_;
+    uint64_t allocated_ = 0;
+    uint64_t reused_ = 0;
+};
+
+} // namespace dsi
+
+#endif // DSI_COMMON_POOL_H

@@ -9,7 +9,8 @@ namespace dsi::dpp {
 
 Worker::Worker(Master &master, const warehouse::Warehouse &warehouse,
                WorkerOptions options)
-    : master_(master), warehouse_(warehouse), options_(options)
+    : master_(master), warehouse_(warehouse), options_(options),
+      stripe_pool_(options.stripe_pool_max_idle)
 {
     id_ = master_.registerWorker();
     // On startup a Worker pulls the transform program from the Master
@@ -148,41 +149,40 @@ injectFeature(dwrf::RowBatch &batch, const warehouse::FeatureSpec &f,
 
 } // namespace
 
-std::optional<dwrf::RowBatch>
+bool
 Worker::extractStripe(dwrf::FileReader &reader, uint32_t stripe_index,
-                      Metrics &metrics,
+                      dwrf::RowBatch &out, Metrics &metrics,
                       dwrf::ReadStatus *status_out) const
 {
     const SessionSpec &spec = master_.spec();
-    dwrf::RowBatch stripe;
-    dwrf::ReadStatus status = reader.readStripe(stripe_index, stripe);
+    dwrf::ReadStatus status = reader.readStripe(stripe_index, out);
     if (status_out != nullptr)
         *status_out = status;
     if (status == dwrf::ReadStatus::DeadlineExpired) {
         // The read budget ran out: nothing is wrong with the data.
         // The caller releases the split so a fresh grant (elsewhere,
         // with a fresh budget) can finish it.
-        return std::nullopt;
+        return false;
     }
     if (status != dwrf::ReadStatus::Ok) {
         // Reader-level retries (replica rotation) already ran; this
         // stripe is unreadable from here. The caller abandons the
         // split so the Master can retry it elsewhere or fail it.
         metrics.inc("worker.stripe_read_failures");
-        return std::nullopt;
+        return false;
     }
-    metrics.inc("worker.rows_extracted", stripe.rows);
+    metrics.inc("worker.rows_extracted", out.rows);
 
     // --- Inject beta features (dynamic join, Section IV-C) ---
     if (!spec.injected.empty()) {
         RowId first_row =
             reader.footer().stripes[stripe_index].first_row;
         for (const auto &f : spec.injected) {
-            injectFeature(stripe, f, first_row);
+            injectFeature(out, f, first_row);
             metrics.inc("worker.features_injected");
         }
     }
-    return stripe;
+    return true;
 }
 
 bool
@@ -307,7 +307,8 @@ Worker::extractLoop()
             }
             uint32_t stripe_index = split.first_stripe + s;
             dwrf::ReadStatus status = dwrf::ReadStatus::Ok;
-            std::optional<dwrf::RowBatch> rows;
+            auto rows = stripe_pool_.acquire();
+            bool ok;
             {
                 // The extract span closes before any terminal Master
                 // call or queue push, keeping per-thread span nesting
@@ -315,10 +316,11 @@ Worker::extractLoop()
                 trace::Span espan(trace::spans::kExtractStripe,
                                   grant.trace, split.id, stripe_index);
                 trace::ScopedParent ambient(espan.id());
-                rows = extractStripe(reader, stripe_index, local,
-                                     &status);
+                ok = extractStripe(reader, stripe_index, *rows, local,
+                                   &status);
             }
-            if (!rows) {
+            if (!ok) {
+                stripe_pool_.release(std::move(rows));
                 if (status == dwrf::ReadStatus::DeadlineExpired) {
                     local.inc("worker.deadline_expired");
                     released = true;
@@ -333,7 +335,7 @@ Worker::extractLoop()
                 reader.footer().stripes[stripe_index].first_row;
             work.epoch = epoch;
             work.trace = grant.trace;
-            work.rows = std::move(*rows);
+            work.rows = std::move(rows);
             // Backpressure observes the split budget: a stalled
             // transform stage must not pin an expired split forever.
             trace::Timer wait;
@@ -382,10 +384,14 @@ Worker::transformLoop()
     while (auto work = stripe_queue_->pop()) {
         if (crashed_)
             break;
-        bool whole = transformStripe(work->rows, work->split_id,
+        bool whole = transformStripe(*work->rows, work->split_id,
                                      work->epoch, work->first_row,
                                      graph, stats, local,
                                      /*blocking=*/true, work->trace);
+        // The stripe's columns are no longer needed (mini-batches own
+        // copies); recycle the batch so the next extract reuses its
+        // heap capacity.
+        stripe_pool_.release(std::move(work->rows));
         if (whole)
             noteStripeTransformed(work->split_id, work->epoch);
         if (stop_requested_ || crashed_)
@@ -396,6 +402,7 @@ Worker::transformLoop()
         transform_stats_.merge(stats);
     }
     metrics_.merge(local);
+    publishPoolMetrics();
     // Last transformer out marks production finished: drained() can
     // only become true after every pipeline thread has quiesced.
     if (active_transformers_.fetch_sub(1) == 1) {
@@ -495,15 +502,17 @@ Worker::processNextStripe()
 {
     uint32_t stripe_index = current_->first_stripe + next_stripe_;
     dwrf::ReadStatus status = dwrf::ReadStatus::Ok;
-    std::optional<dwrf::RowBatch> stripe;
+    auto stripe = stripe_pool_.acquire();
+    bool ok;
     {
         trace::Span espan(trace::spans::kExtractStripe,
                           current_trace_, current_->id, stripe_index);
         trace::ScopedParent ambient(espan.id());
-        stripe =
-            extractStripe(*reader_, stripe_index, metrics_, &status);
+        ok = extractStripe(*reader_, stripe_index, *stripe, metrics_,
+                           &status);
     }
-    if (!stripe) {
+    if (!ok) {
+        stripe_pool_.release(std::move(stripe));
         if (status == dwrf::ReadStatus::DeadlineExpired) {
             metrics_.inc("worker.deadline_expired");
             releaseCurrentSplit();
@@ -519,6 +528,7 @@ Worker::processNextStripe()
                         /*blocking=*/false, current_trace_)) {
         noteStripeTransformed(current_->id, current_epoch_);
     }
+    stripe_pool_.release(std::move(stripe));
     return true;
 }
 
@@ -784,7 +794,17 @@ Worker::maybeCompleteSplit(uint64_t split_id)
     if (complete) {
         master_.completeSplit(id_, split_id);
         metrics_.inc("worker.splits_completed");
+        publishPoolMetrics();
     }
+}
+
+void
+Worker::publishPoolMetrics()
+{
+    metrics_.set("worker.stripe_pool_allocated",
+                 static_cast<double>(stripe_pool_.allocated()));
+    metrics_.set("worker.stripe_pool_reused",
+                 static_cast<double>(stripe_pool_.reused()));
 }
 
 void

@@ -48,6 +48,7 @@
 #include "common/bounded_queue.h"
 #include "common/deadline.h"
 #include "common/metrics.h"
+#include "common/pool.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "dpp/autoscaler.h"
@@ -112,6 +113,14 @@ struct WorkerOptions
      * queue; the second backpressure point of the pipeline.
      */
     size_t stripe_queue_capacity = 8;
+
+    /**
+     * Max idle stripe batches retained for reuse. Recycled batches
+     * keep their columns' heap capacity across stripes (the reader
+     * reuses it), cutting per-stripe allocation churn. Sized to cover
+     * the queue plus every in-flight stage by default.
+     */
+    size_t stripe_pool_max_idle = 16;
 };
 
 /** One DPP worker process. */
@@ -215,10 +224,15 @@ class Worker
     const Metrics &metrics() const { return metrics_; }
 
   private:
-    /** One decoded stripe handed from extract to transform. */
+    /**
+     * One decoded stripe handed from extract to transform. The batch
+     * is held by pointer so the queue hand-off moves one word — never
+     * the column data — and so the transform stage can recycle the
+     * batch through stripe_pool_ when it is done.
+     */
     struct ExtractedStripe
     {
-        dwrf::RowBatch rows;
+        std::unique_ptr<dwrf::RowBatch> rows;
         uint64_t split_id = 0;
         RowId first_row = 0;
         uint64_t epoch = 0;
@@ -273,14 +287,19 @@ class Worker
     void transformLoop();
 
     /**
-     * Extract+inject one stripe (both modes). nullopt when the stripe
-     * is unreadable after the reader's own retries, or when the read
-     * budget expired mid-stripe — `status` (optional) tells the
-     * caller which, so it can abandon vs. release the split.
+     * Extract+inject one stripe into `out` (both modes). False when
+     * the stripe is unreadable after the reader's own retries, or
+     * when the read budget expired mid-stripe — `status` (optional)
+     * tells the caller which, so it can abandon vs. release the
+     * split. `out` may hold a recycled batch; the reader strips and
+     * reuses its capacity.
      */
-    std::optional<dwrf::RowBatch> extractStripe(
-        dwrf::FileReader &reader, uint32_t stripe_index,
-        Metrics &metrics, dwrf::ReadStatus *status = nullptr) const;
+    bool extractStripe(dwrf::FileReader &reader, uint32_t stripe_index,
+                       dwrf::RowBatch &out, Metrics &metrics,
+                       dwrf::ReadStatus *status = nullptr) const;
+
+    /** Publish stripe-pool counters as worker gauges. */
+    void publishPoolMetrics();
 
     /**
      * Slice a stripe into mini-batch tensors via `graph`. True when
@@ -317,6 +336,7 @@ class Worker
     // Parallel pipeline state.
     std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<BoundedQueue<ExtractedStripe>> stripe_queue_;
+    ObjectPool<dwrf::RowBatch> stripe_pool_;
     std::atomic<bool> stop_requested_{false};
     std::atomic<bool> draining_{false}; ///< graceful scale-down
     std::atomic<bool> crashed_{false};

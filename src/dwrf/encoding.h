@@ -3,6 +3,20 @@
  * Primitive stream encodings for the DWRF-like columnar format:
  * varints, zigzag, run-length encoding of integers, and raw float
  * packing. These are the building blocks of feature streams.
+ *
+ * Each variable-length decoder exists in two forms:
+ *
+ *  - a **scalar reference** (`*Scalar`), the original
+ *    one-value-per-call implementation, kept as the checked oracle;
+ *  - a **bulk kernel** (the default-named entry point), which decodes
+ *    whole runs and varint blocks into pre-sized output with a single
+ *    bounds check per block instead of one per byte.
+ *
+ * The two are bit-identical by contract — accepting and rejecting
+ * exactly the same inputs and producing exactly the same values —
+ * and `tests/dwrf_encoding_test.cc` enforces it differentially on
+ * random and adversarial streams. `bench/perf_suite` measures the
+ * speedup (BENCH_decode.json).
  */
 
 #ifndef DSI_DWRF_ENCODING_H
@@ -57,9 +71,30 @@ getSignedVarint(ByteSpan in, size_t &pos, int64_t &v)
     return true;
 }
 
+/**
+ * Bulk varint decode: fill `out` with consecutive varints starting at
+ * `pos`. Returns the number of values decoded — `out.size()` on
+ * success; fewer when the stream ends or a varint is malformed
+ * (`pos` then points at the offending varint's first byte).
+ * Acceptance is identical to calling getVarint() in a loop.
+ */
+size_t getVarintBlock(ByteSpan in, size_t &pos,
+                      std::span<uint64_t> out);
+
+/** Bulk signed (zigzag) variant of getVarintBlock. */
+size_t getSignedVarintBlock(ByteSpan in, size_t &pos,
+                            std::span<int64_t> out);
+
 /** Append a float as 4 little-endian bytes. */
 void putFloat(Buffer &out, float v);
 bool getFloat(ByteSpan in, size_t &pos, float &v);
+
+/**
+ * Bulk float decode: read `out.size()` consecutive little-endian
+ * floats with one bounds check and one copy. False (and `pos`
+ * unchanged) when fewer than 4 * out.size() bytes remain.
+ */
+bool getFloatBlock(ByteSpan in, size_t &pos, std::span<float> out);
 
 /** Append a fixed-width little-endian u32 / u64. */
 void putU32(Buffer &out, uint32_t v);
@@ -75,8 +110,15 @@ bool getU64(ByteSpan in, size_t &pos, uint64_t &v);
  */
 void rleEncode(const std::vector<int64_t> &values, Buffer &out);
 
-/** Decode an RLE stream; returns false on malformed input. */
+/**
+ * Decode an RLE stream; returns false on malformed input. Bulk
+ * kernel: runs materialize via a resize + linear fill and literal
+ * groups decode through getSignedVarintBlock.
+ */
 bool rleDecode(ByteSpan in, std::vector<int64_t> &values);
+
+/** Scalar reference decoder (one value per call); same contract. */
+bool rleDecodeScalar(ByteSpan in, std::vector<int64_t> &values);
 
 /**
  * Categorical-value stream encoding with optional dictionary
@@ -87,8 +129,15 @@ bool rleDecode(ByteSpan in, std::vector<int64_t> &values);
  */
 void encodeValues(const std::vector<int64_t> &values, Buffer &out);
 
-/** Decode an encodeValues() stream; false on malformed input. */
+/**
+ * Decode an encodeValues() stream; false on malformed input. Bulk
+ * kernel: direct streams decode through getSignedVarintBlock; dict
+ * streams decode index blocks and gather through the dictionary.
+ */
 bool decodeValues(ByteSpan in, std::vector<int64_t> &values);
+
+/** Scalar reference decoder (one value per call); same contract. */
+bool decodeValuesScalar(ByteSpan in, std::vector<int64_t> &values);
 
 } // namespace dsi::dwrf
 

@@ -3,6 +3,8 @@
 #include "dwrf/checksum.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -180,7 +182,7 @@ FileReader::readStripeOnce(size_t stripe_index, RowBatch &out)
     dsi_assert(stripe_index < footer_->stripes.size(),
                "stripe %zu out of range", stripe_index);
     const StripeInfo &stripe = footer_->stripes[stripe_index];
-    out = RowBatch{};
+    recycleBatch(out);
 
     std::vector<size_t> wanted = selectStreams(stripe);
     auto plan = planStripeReads(stripe, wanted, options_.coalesce,
@@ -232,6 +234,70 @@ FileReader::openStream(const StreamInfo &info, Buffer stored,
     return ReadStatus::Ok;
 }
 
+void
+FileReader::recycleBatch(RowBatch &out)
+{
+    for (auto &c : out.dense) {
+        c.present.clear();
+        c.values.clear();
+        spare_dense_.push_back(std::move(c));
+    }
+    for (auto &c : out.sparse) {
+        c.offsets.clear();
+        c.values.clear();
+        c.scores.clear();
+        spare_sparse_.push_back(std::move(c));
+    }
+    out.dense.clear();
+    out.sparse.clear();
+    out.labels.clear();
+    out.rows = 0;
+}
+
+DenseColumn
+FileReader::takeSpareDense()
+{
+    if (spare_dense_.empty())
+        return {};
+    DenseColumn c = std::move(spare_dense_.back());
+    spare_dense_.pop_back();
+    return c;
+}
+
+SparseColumn
+FileReader::takeSpareSparse()
+{
+    if (spare_sparse_.empty())
+        return {};
+    SparseColumn c = std::move(spare_sparse_.back());
+    spare_sparse_.pop_back();
+    return c;
+}
+
+namespace {
+
+/**
+ * Count set bits among the first `rows` bits of a present bitmap
+ * (padding bits in the last byte are masked out, matching what
+ * DenseColumn::isPresent can ever observe).
+ */
+size_t
+presentCount(const std::vector<uint8_t> &present, uint32_t rows)
+{
+    size_t count = 0;
+    size_t full = rows / 8;
+    for (size_t i = 0; i < full; ++i)
+        count += static_cast<size_t>(std::popcount(present[i]));
+    if (rows % 8) {
+        uint8_t mask = static_cast<uint8_t>((1u << (rows % 8)) - 1);
+        count += static_cast<size_t>(
+            std::popcount(static_cast<uint8_t>(present[full] & mask)));
+    }
+    return count;
+}
+
+} // namespace
+
 ReadStatus
 FileReader::decodeFlattened(const StripeInfo &stripe,
                             const std::vector<size_t> &wanted,
@@ -279,10 +345,8 @@ FileReader::decodeFlattened(const StripeInfo &stripe,
                 return st;
             size_t pos = 0;
             batch.labels.resize(stripe.rows);
-            for (uint32_t r = 0; r < stripe.rows; ++r) {
-                if (!getFloat(raw, pos, batch.labels[r]))
-                    return decode_fail();
-            }
+            if (!getFloatBlock(raw, pos, batch.labels))
+                return decode_fail();
             break;
           }
           case StreamKind::DensePresent: {
@@ -322,7 +386,7 @@ FileReader::decodeFlattened(const StripeInfo &stripe,
 
     for (auto &[fid, fs] : features) {
         if (fs.present && fs.dense_values) {
-            DenseColumn col;
+            DenseColumn col = takeSpareDense();
             col.id = fid;
             Buffer present_raw;
             ReadStatus st = openStream(
@@ -342,16 +406,27 @@ FileReader::decodeFlattened(const StripeInfo &stripe,
             if (st != ReadStatus::Ok)
                 return st;
             col.values.assign(stripe.rows, 0.0f);
-            size_t pos = 0;
-            for (uint32_t r = 0; r < stripe.rows; ++r) {
-                if (col.isPresent(r)) {
-                    if (!getFloat(values_raw, pos, col.values[r]))
-                        return decode_fail();
+            // Present rows' floats are stored contiguously: one bounds
+            // check for the whole stream, then a straight copy (all
+            // rows present) or a branch-per-row scatter.
+            size_t n_present = presentCount(col.present, stripe.rows);
+            if (values_raw.size() < n_present * sizeof(float))
+                return decode_fail();
+            if (n_present == stripe.rows) {
+                std::memcpy(col.values.data(), values_raw.data(),
+                            n_present * sizeof(float));
+            } else {
+                const uint8_t *src = values_raw.data();
+                for (uint32_t r = 0; r < stripe.rows; ++r) {
+                    if (col.isPresent(r)) {
+                        std::memcpy(&col.values[r], src, sizeof(float));
+                        src += sizeof(float);
+                    }
                 }
             }
             batch.dense.push_back(std::move(col));
         } else if (fs.lengths && fs.sparse_values) {
-            SparseColumn col;
+            SparseColumn col = takeSpareSparse();
             col.id = fid;
             Buffer lengths_raw;
             ReadStatus st = openStream(
@@ -360,14 +435,15 @@ FileReader::decodeFlattened(const StripeInfo &stripe,
                 lengths_raw);
             if (st != ReadStatus::Ok)
                 return st;
-            std::vector<int64_t> lengths;
-            bool ok = rleDecode(lengths_raw, lengths);
-            if (!ok || lengths.size() != stripe.rows)
+            scratch_lengths_.clear();
+            bool ok = rleDecode(lengths_raw, scratch_lengths_);
+            if (!ok || scratch_lengths_.size() != stripe.rows)
                 return decode_fail();
             col.offsets.assign(stripe.rows + 1, 0);
             for (uint32_t r = 0; r < stripe.rows; ++r) {
                 col.offsets[r + 1] =
-                    col.offsets[r] + static_cast<uint32_t>(lengths[r]);
+                    col.offsets[r] +
+                    static_cast<uint32_t>(scratch_lengths_[r]);
             }
             Buffer values_raw;
             st = openStream(
@@ -389,10 +465,8 @@ FileReader::decodeFlattened(const StripeInfo &stripe,
                     return st;
                 col.scores.resize(col.values.size());
                 size_t pos = 0;
-                for (auto &sc : col.scores) {
-                    if (!getFloat(scores_raw, pos, sc))
-                        return decode_fail();
-                }
+                if (!getFloatBlock(scores_raw, pos, col.scores))
+                    return decode_fail();
             }
             batch.sparse.push_back(std::move(col));
         }

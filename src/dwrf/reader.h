@@ -189,6 +189,15 @@ class FileReader
                              const std::vector<Buffer> &io_data,
                              RowBatch &out);
 
+    /**
+     * Strip `out`'s previous contents into the spare-column lists,
+     * keeping their heap blocks so this stripe's decode reuses the
+     * capacity instead of reallocating every column every stripe.
+     */
+    void recycleBatch(RowBatch &out);
+    DenseColumn takeSpareDense();
+    SparseColumn takeSpareSparse();
+
     const RandomAccessSource &source_;
     ReadOptions options_;
     StreamCipher cipher_;
@@ -197,6 +206,13 @@ class FileReader
     Deadline deadline_; ///< budget for reads; default unbounded
     Backoff backoff_;   ///< jittered retry delays
     trace::SpanId trace_parent_ = trace::kNoSpan;
+
+    // Capacity recycling: cleared columns stripped from the caller's
+    // previous batch, plus a scratch vector for RLE sparse lengths.
+    // Bounded by one stripe's worth of columns.
+    std::vector<DenseColumn> spare_dense_;
+    std::vector<SparseColumn> spare_sparse_;
+    std::vector<int64_t> scratch_lengths_;
 };
 
 } // namespace dsi::dwrf

@@ -320,6 +320,7 @@ class OnehotOp : public TransformBase
         dwrf::SparseColumn out;
         out.id = spec_.output;
         out.offsets.assign(batch.rows + 1, 0);
+        out.values.reserve(batch.rows);
         uint64_t buckets = spec_.u0 > 0 ? spec_.u0 : 2;
         double width = spec_.p1 > 0 ? spec_.p1 : 1.0;
         uint64_t n = 0;
@@ -361,6 +362,10 @@ class SparseUnaryOp : public TransformBase
         dwrf::SparseColumn out;
         out.id = spec_.output;
         out.offsets.assign(batch.rows + 1, 0);
+        // Most unary list ops emit at most one value per input value.
+        out.values.reserve(in->values.size());
+        if (!in->scores.empty())
+            out.scores.reserve(in->scores.size());
         uint64_t consumed = 0;
         for (uint32_t r = 0; r < batch.rows; ++r) {
             uint32_t lo = in->offsets[r];
@@ -532,6 +537,7 @@ class SparseBinaryOp : public TransformBase
         dwrf::SparseColumn out;
         out.id = spec_.output;
         out.offsets.assign(batch.rows + 1, 0);
+        out.values.reserve(a->values.size());
         uint64_t consumed = 0;
         for (uint32_t r = 0; r < batch.rows; ++r) {
             uint32_t alo = a->offsets[r];
@@ -634,6 +640,13 @@ class SamplingOp : public TransformBase
             dwrf::SparseColumn c;
             c.id = col.id;
             c.offsets.assign(out.rows + 1, 0);
+            uint32_t kept_values = 0;
+            for (uint32_t i = 0; i < out.rows; ++i)
+                kept_values += col.offsets[keep[i] + 1] -
+                               col.offsets[keep[i]];
+            c.values.reserve(kept_values);
+            if (!col.scores.empty())
+                c.scores.reserve(kept_values);
             for (uint32_t i = 0; i < out.rows; ++i) {
                 uint32_t lo = col.offsets[keep[i]];
                 uint32_t hi = col.offsets[keep[i] + 1];

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared synthetic-corpus builder: a Tectonic cluster plus a warehouse
+ * holding one generated table, written through the real DWRF writer.
+ *
+ * Tests (tests/test_fixtures.h) and benchmarks
+ * (bench/test_fixtures_bench.h) both build their datasets through this
+ * one function, so benchmark numbers and test assertions always refer
+ * to the same corpus shapes — the fixture duplication that used to
+ * let them drift is gone.
+ */
+
+#ifndef DSI_WAREHOUSE_CORPUS_H
+#define DSI_WAREHOUSE_CORPUS_H
+
+#include <memory>
+#include <string>
+
+#include "dwrf/writer.h"
+#include "storage/tectonic.h"
+#include "warehouse/datagen.h"
+#include "warehouse/table.h"
+
+namespace dsi::warehouse {
+
+/** A Tectonic cluster + warehouse with one generated table. */
+struct MiniCorpus
+{
+    std::unique_ptr<storage::TectonicCluster> cluster;
+    std::unique_ptr<warehouse::Warehouse> warehouse;
+    warehouse::TableSchema schema;
+    std::vector<double> popularity;
+    std::string name;
+
+    warehouse::Table &table() { return *warehouse->findTable(name); }
+};
+
+/**
+ * Build a table of `partitions` x `rows_per_partition` rows split into
+ * files of `rows_per_file`, generated from `params`.
+ */
+inline MiniCorpus
+buildMiniCorpus(const warehouse::SchemaParams &params,
+                uint32_t partitions, uint64_t rows_per_partition,
+                uint64_t rows_per_file = 2048,
+                dwrf::WriterOptions writer_options = {},
+                storage::StorageOptions storage_options = {})
+{
+    MiniCorpus mc;
+    mc.name = params.name;
+    mc.cluster = std::make_unique<storage::TectonicCluster>(
+        storage_options);
+    mc.warehouse = std::make_unique<warehouse::Warehouse>(*mc.cluster);
+    mc.schema = warehouse::makeSchema(params);
+    mc.popularity = warehouse::featurePopularity(
+        mc.schema, params.popularity_alpha, params.seed ^ 0x9999);
+
+    auto &table = mc.warehouse->createTable(params.name, mc.schema);
+    warehouse::RowGenerator gen(mc.schema, params.seed ^ 0x1234);
+    for (uint32_t p = 0; p < partitions; ++p) {
+        warehouse::Partition partition;
+        partition.id = p;
+        uint64_t remaining = rows_per_partition;
+        uint32_t file_idx = 0;
+        while (remaining > 0) {
+            uint64_t n = remaining < rows_per_file ? remaining
+                                                   : rows_per_file;
+            dwrf::FileWriter writer(writer_options);
+            writer.appendRows(gen.batch(static_cast<uint32_t>(n)));
+            auto bytes = writer.finish();
+            std::string fname = params.name + "/p" +
+                                std::to_string(p) + "/f" +
+                                std::to_string(file_idx++) + ".dwrf";
+            partition.stored_bytes += bytes.size();
+            mc.cluster->put(fname, bytes);
+            partition.files.push_back(fname);
+            partition.rows += n;
+            remaining -= n;
+        }
+        table.addPartition(std::move(partition));
+    }
+    return mc;
+}
+
+} // namespace dsi::warehouse
+
+#endif // DSI_WAREHOUSE_CORPUS_H

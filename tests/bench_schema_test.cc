@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Guards the benchmark interchange format from three directions:
+ *
+ *  1. the JSON parser (src/common/json.h) handles the grammar and
+ *     rejects malformed input;
+ *  2. writeBenchJson / validateBenchJson (src/common/bench_report.h)
+ *     agree with each other, and the validator rejects every way a
+ *     document can violate the schema;
+ *  3. the checked-in BENCH_decode.json / BENCH_dpp.json artifacts are
+ *     valid, meet the decode acceptance bar, and every metric name
+ *     they carry is documented in docs/BENCHMARKS.md (the same
+ *     mechanical doc-drift check trace_export_test runs against
+ *     docs/METRICS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/bench_report.h"
+#include "common/json.h"
+
+#ifndef DSI_SOURCE_DIR
+#define DSI_SOURCE_DIR "."
+#endif
+
+namespace dsi {
+namespace {
+
+// ---------------------------------------------------------------------
+// JSON parser.
+
+TEST(Json, ParsesScalarsAndNesting)
+{
+    auto doc = json::parse(
+        R"({"a": 1.5, "b": "x", "c": [true, false, null, -2e3],)"
+        R"( "d": {"e": []}})");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_DOUBLE_EQ(doc->find("a")->number, 1.5);
+    EXPECT_EQ(doc->find("b")->str, "x");
+    const json::Value *c = doc->find("c");
+    ASSERT_TRUE(c->isArray());
+    ASSERT_EQ(c->array.size(), 4u);
+    EXPECT_TRUE(c->array[0].boolean);
+    EXPECT_DOUBLE_EQ(c->array[3].number, -2000.0);
+    EXPECT_TRUE(doc->find("d")->find("e")->isArray());
+    EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, DecodesStringEscapes)
+{
+    auto doc = json::parse(R"(["a\"b\\c\n\t", "A"])");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->array[0].str, "a\"b\\c\n\t");
+    EXPECT_EQ(doc->array[1].str, "A");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru",
+          "{\"a\":1} extra", "\"unterminated", "[1 2]", "nan"}) {
+        std::string error;
+        EXPECT_FALSE(json::parse(bad, &error).has_value()) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+// ---------------------------------------------------------------------
+// BENCH_*.json writer/validator.
+
+bench::BenchReport
+sampleReport()
+{
+    bench::BenchReport r;
+    r.suite = "decode";
+    r.mode = "full";
+    r.seed = 42;
+    r.warmup_trials = 2;
+    r.measure_trials = 5;
+    r.metrics.push_back({"decode.rle_bulk_mbps", "MB/s", 123.456});
+    r.metrics.push_back({"decode.values_zipf_bulk_speedup", "x", 1.62});
+    return r;
+}
+
+TEST(BenchReport, WriterOutputValidates)
+{
+    std::string text = bench::writeBenchJson(sampleReport());
+    std::string error;
+    EXPECT_TRUE(bench::validateBenchJson(text, &error)) << error;
+    auto names = bench::benchMetricNames(text);
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "decode.rle_bulk_mbps");
+    EXPECT_EQ(names[1], "decode.values_zipf_bulk_speedup");
+}
+
+TEST(BenchReport, ValidatorRejectsEverySchemaViolation)
+{
+    // Each mutation breaks exactly one schema rule.
+    auto mutate = [](auto fn) {
+        bench::BenchReport r = sampleReport();
+        fn(r);
+        return bench::writeBenchJson(r);
+    };
+    std::vector<std::string> bad = {
+        mutate([](auto &r) { r.schema_version = 99; }),
+        mutate([](auto &r) { r.suite = ""; }),
+        mutate([](auto &r) { r.mode = "fast"; }),
+        mutate([](auto &r) { r.metrics.clear(); }),
+        mutate([](auto &r) { r.metrics[0].name = ""; }),
+        mutate([](auto &r) { r.metrics[0].unit = ""; }),
+        "not json at all",
+        "[]", // wrong top-level type
+    };
+    for (const std::string &text : bad) {
+        std::string error;
+        EXPECT_FALSE(bench::validateBenchJson(text, &error)) << text;
+        EXPECT_FALSE(error.empty());
+    }
+    // Non-finite metric values can't come from the struct writer —
+    // inject one textually.
+    std::string inf = bench::writeBenchJson(sampleReport());
+    size_t where = inf.find("123.456");
+    ASSERT_NE(where, std::string::npos);
+    inf.replace(where, 7, "1e99999");
+    EXPECT_FALSE(bench::validateBenchJson(inf));
+    EXPECT_TRUE(bench::benchMetricNames(inf).empty());
+}
+
+// ---------------------------------------------------------------------
+// Checked-in artifacts vs docs/BENCHMARKS.md.
+
+std::string
+readRepoFile(const std::string &rel)
+{
+    std::ifstream in(std::string(DSI_SOURCE_DIR) + "/" + rel);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** All `dotted.token` names backticked in docs/BENCHMARKS.md. */
+std::set<std::string>
+documentedBenchNames()
+{
+    std::ifstream in(std::string(DSI_SOURCE_DIR) +
+                     "/docs/BENCHMARKS.md");
+    std::set<std::string> names;
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t pos = 0;
+        while ((pos = line.find('`', pos)) != std::string::npos) {
+            size_t end = line.find('`', pos + 1);
+            if (end == std::string::npos)
+                break;
+            std::string token = line.substr(pos + 1, end - pos - 1);
+            if (token.find('.') != std::string::npos &&
+                token.find(' ') == std::string::npos &&
+                token.find('(') == std::string::npos &&
+                token.find('/') == std::string::npos) {
+                names.insert(token);
+            }
+            pos = end + 1;
+        }
+    }
+    return names;
+}
+
+TEST(BenchArtifacts, CheckedInReportsValidate)
+{
+    for (const char *rel : {"BENCH_decode.json", "BENCH_dpp.json"}) {
+        std::string text = readRepoFile(rel);
+        ASSERT_FALSE(text.empty()) << rel << " missing from repo root";
+        std::string error;
+        EXPECT_TRUE(bench::validateBenchJson(text, &error))
+            << rel << ": " << error;
+    }
+    // Suite fields match the file names.
+    auto decode = json::parse(readRepoFile("BENCH_decode.json"));
+    EXPECT_EQ(decode->find("suite")->str, "decode");
+    auto dpp = json::parse(readRepoFile("BENCH_dpp.json"));
+    EXPECT_EQ(dpp->find("suite")->str, "dpp");
+}
+
+TEST(BenchArtifacts, DecodeMeetsBulkSpeedupBar)
+{
+    // The optimization contract: on the Zipfian dictionary corpus the
+    // bulk kernel must beat the scalar reference by >= 1.5x. The
+    // checked-in baseline proves it; regenerate with
+    // `bench/perf_suite --out-dir .` after kernel changes.
+    auto doc = json::parse(readRepoFile("BENCH_decode.json"));
+    ASSERT_TRUE(doc.has_value());
+    const json::Value *metrics = doc->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    double speedup = 0;
+    for (const json::Value &m : metrics->array) {
+        if (m.find("name")->str == "decode.values_zipf_bulk_speedup")
+            speedup = m.find("value")->number;
+    }
+    EXPECT_GE(speedup, 1.5);
+}
+
+TEST(BenchArtifacts, EveryMetricNameIsDocumented)
+{
+    auto documented = documentedBenchNames();
+    ASSERT_GT(documented.size(), 25u)
+        << "docs/BENCHMARKS.md parse came up nearly empty — did the "
+           "table format change?";
+    for (const char *rel : {"BENCH_decode.json", "BENCH_dpp.json"}) {
+        auto names = bench::benchMetricNames(readRepoFile(rel));
+        ASSERT_FALSE(names.empty()) << rel;
+        for (const std::string &name : names) {
+            EXPECT_TRUE(documented.count(name))
+                << "metric '" << name << "' appears in " << rel
+                << " but is not documented in docs/BENCHMARKS.md";
+        }
+    }
+}
+
+} // namespace
+} // namespace dsi

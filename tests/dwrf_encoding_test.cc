@@ -184,6 +184,305 @@ TEST(ValueEncoding, MalformedRejected)
     EXPECT_FALSE(decodeValues(trail, back));
 }
 
+// -------------------------------------------------------------------
+// Bulk/scalar differential tests: the bulk kernels (getVarintBlock,
+// getSignedVarintBlock, rleDecode, decodeValues) promise bit-identical
+// accept/reject and output to their scalar references on EVERY input,
+// including truncated, overlong, and adversarial streams. These tests
+// are the proof backing BENCH_decode.json: the speedups come from the
+// same answers computed faster.
+
+/**
+ * Reference decode: scalar getVarint in a loop, up to `max_values`.
+ * The cursor is restored to the start of a failed varint so it lands
+ * exactly where the block decoders leave `pos`.
+ */
+std::pair<std::vector<uint64_t>, size_t>
+scalarVarintRef(ByteSpan in, size_t max_values)
+{
+    std::vector<uint64_t> values;
+    size_t pos = 0;
+    while (values.size() < max_values) {
+        size_t before = pos;
+        uint64_t v;
+        if (!getVarint(in, pos, v)) {
+            pos = before;
+            break;
+        }
+        values.push_back(v);
+    }
+    return {values, pos};
+}
+
+void
+expectVarintBlockMatchesScalar(const Buffer &stream, size_t capacity)
+{
+    auto [want, want_pos] = scalarVarintRef(stream, capacity);
+    std::vector<uint64_t> got(capacity);
+    size_t pos = 0;
+    size_t n = getVarintBlock(stream, pos, got);
+    ASSERT_EQ(n, want.size());
+    EXPECT_EQ(pos, want_pos);
+    got.resize(n);
+    EXPECT_EQ(got, want);
+}
+
+TEST(BulkDifferential, VarintBlockOnRandomStreams)
+{
+    Rng rng(2024);
+    for (int iter = 0; iter < 50; ++iter) {
+        Buffer stream;
+        size_t count = rng.nextUint(200);
+        for (size_t i = 0; i < count; ++i) {
+            // Mix magnitudes so 1-byte, 2-byte, and long forms all
+            // appear and the speculative path keeps realigning.
+            int bits = static_cast<int>(rng.nextUint(64)) + 1;
+            putVarint(stream, rng.next() >> (64 - bits));
+        }
+        expectVarintBlockMatchesScalar(stream, count);
+        expectVarintBlockMatchesScalar(stream, count / 2); // short out
+        expectVarintBlockMatchesScalar(stream, count + 8); // starved
+    }
+}
+
+TEST(BulkDifferential, VarintBlockOnTruncatedStreams)
+{
+    Buffer stream;
+    for (uint64_t v : std::vector<uint64_t>{0, 127, 128, 16384,
+                                            UINT64_MAX}) {
+        putVarint(stream, v);
+    }
+    // Cut the stream at every byte boundary; block and scalar must
+    // agree on how many values survive and where the cursor stops.
+    for (size_t cut = 0; cut <= stream.size(); ++cut) {
+        Buffer prefix(stream.begin(), stream.begin() + cut);
+        expectVarintBlockMatchesScalar(prefix, 16);
+    }
+}
+
+TEST(BulkDifferential, VarintBlockOnAdversarialForms)
+{
+    // Overlong-but-terminating, unterminated, and >10-byte forms.
+    std::vector<Buffer> streams = {
+        {0x80, 0x00},                               // overlong zero
+        {0x80, 0x80, 0x00},                         // longer overlong
+        {0x80},                                     // unterminated
+        {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f},
+        Buffer(10, 0xff),                           // never terminates
+        Buffer(12, 0x80),                           // ditto, longer
+    };
+    // And the same forms embedded mid-stream after short varints.
+    for (size_t i = 0, n = streams.size(); i < n; ++i) {
+        Buffer embedded{0x05, 0x90, 0x03};
+        for (uint8_t b : streams[i])
+            embedded.push_back(b);
+        streams.push_back(embedded);
+    }
+    for (const Buffer &s : streams)
+        expectVarintBlockMatchesScalar(s, 16);
+}
+
+TEST(BulkDifferential, SignedVarintBlockMatchesScalar)
+{
+    Rng rng(77);
+    Buffer stream;
+    std::vector<int64_t> want;
+    for (int i = 0; i < 500; ++i) {
+        auto v = static_cast<int64_t>(rng.next() >>
+                                      rng.nextUint(63));
+        if (rng.nextUint(2) == 0)
+            v = -v;
+        want.push_back(v);
+        putSignedVarint(stream, v);
+    }
+    std::vector<int64_t> got(want.size());
+    size_t pos = 0;
+    ASSERT_EQ(getSignedVarintBlock(stream, pos, got), want.size());
+    EXPECT_EQ(pos, stream.size());
+    EXPECT_EQ(got, want);
+}
+
+TEST(BulkDifferential, RleMatchesScalarOnRunBoundaries)
+{
+    // Shapes straddling every kernel threshold: minimum runs (3),
+    // runs and literal groups around the 16-value inline cutoff, zero
+    // runs, arithmetic runs, and a trailing partial group.
+    std::vector<std::vector<int64_t>> shapes;
+    for (size_t run : {3u, 15u, 16u, 17u, 100u}) {
+        for (int64_t base : {0ll, 7ll, -3ll}) {
+            for (int64_t delta : {0ll, 1ll, -2ll}) {
+                std::vector<int64_t> vals;
+                int64_t v = base;
+                for (size_t k = 0; k < run; ++k) {
+                    vals.push_back(v);
+                    v += delta;
+                }
+                vals.push_back(999); // literal tail after the run
+                shapes.push_back(std::move(vals));
+            }
+        }
+    }
+    Rng rng(5150);
+    for (size_t lits : {1u, 2u, 15u, 16u, 17u, 64u}) {
+        std::vector<int64_t> vals;
+        for (size_t k = 0; k < lits; ++k)
+            vals.push_back(static_cast<int64_t>(rng.next() >> 40) -
+                           (1 << 23));
+        shapes.push_back(std::move(vals));
+    }
+    for (const auto &vals : shapes) {
+        Buffer enc;
+        rleEncode(vals, enc);
+        std::vector<int64_t> scalar, bulk;
+        ASSERT_TRUE(rleDecodeScalar(enc, scalar));
+        ASSERT_TRUE(rleDecode(enc, bulk));
+        EXPECT_EQ(scalar, vals);
+        EXPECT_EQ(bulk, vals);
+    }
+}
+
+TEST(BulkDifferential, RleMatchesScalarOnCorruptStreams)
+{
+    std::vector<int64_t> vals;
+    Rng rng(31337);
+    for (int i = 0; i < 200; ++i)
+        vals.push_back(rng.nextUint(100) < 70
+                           ? 0
+                           : static_cast<int64_t>(rng.nextUint(50)));
+    Buffer enc;
+    rleEncode(vals, enc);
+    // Truncations and single-byte mutations: both decoders must agree
+    // on accept/reject, and on the values whenever both accept.
+    for (size_t cut = 0; cut < enc.size(); cut += 3) {
+        Buffer prefix(enc.begin(), enc.begin() + cut);
+        std::vector<int64_t> scalar, bulk;
+        bool sok = rleDecodeScalar(prefix, scalar);
+        bool bok = rleDecode(prefix, bulk);
+        ASSERT_EQ(sok, bok) << "cut=" << cut;
+        if (sok) {
+            EXPECT_EQ(scalar, bulk) << "cut=" << cut;
+        }
+    }
+    for (size_t flip = 0; flip < enc.size(); flip += 2) {
+        Buffer bad = enc;
+        bad[flip] ^= 0x41;
+        std::vector<int64_t> scalar, bulk;
+        bool sok = rleDecodeScalar(bad, scalar);
+        bool bok = rleDecode(bad, bulk);
+        ASSERT_EQ(sok, bok) << "flip=" << flip;
+        if (sok) {
+            EXPECT_EQ(scalar, bulk) << "flip=" << flip;
+        }
+    }
+}
+
+void
+expectDecodeValuesAgree(const Buffer &stream)
+{
+    std::vector<int64_t> scalar, bulk;
+    bool sok = decodeValuesScalar(stream, scalar);
+    bool bok = decodeValues(stream, bulk);
+    ASSERT_EQ(sok, bok);
+    if (sok) {
+        EXPECT_EQ(scalar, bulk);
+    }
+}
+
+TEST(BulkDifferential, DecodeValuesOnDictAndDirectStreams)
+{
+    Rng rng(9090);
+    // Dict shape: heavy duplication; direct shape: unique large ids.
+    for (bool dict : {true, false}) {
+        std::vector<int64_t> vals;
+        for (int i = 0; i < 3000; ++i) {
+            vals.push_back(
+                dict ? static_cast<int64_t>(rng.nextUint(300))
+                     : static_cast<int64_t>(rng.next() >> 1));
+        }
+        Buffer enc;
+        encodeValues(vals, enc);
+        std::vector<int64_t> back;
+        ASSERT_TRUE(decodeValues(enc, back));
+        EXPECT_EQ(back, vals);
+        expectDecodeValuesAgree(enc);
+        for (size_t cut = 0; cut < enc.size(); cut += 7) {
+            Buffer prefix(enc.begin(), enc.begin() + cut);
+            expectDecodeValuesAgree(prefix);
+        }
+        for (size_t flip = 0; flip < enc.size(); flip += 5) {
+            Buffer bad = enc;
+            bad[flip] ^= 0x81;
+            expectDecodeValuesAgree(bad);
+        }
+    }
+}
+
+TEST(BulkDifferential, DecodeValuesOnOverlongIndices)
+{
+    // Hand-built dict stream using overlong index encodings the
+    // encoder never emits but the scalar decoder accepts: tag=1, n=3,
+    // d=2, dict={-1, 3}, indices {1, overlong 0, overlong 1}.
+    Buffer s{0x01, 0x03, 0x02};
+    putSignedVarint(s, -1);
+    putSignedVarint(s, 3);
+    s.push_back(0x01);             // index 1
+    for (uint8_t b : {0x80, 0x00})             // index 0, 2-byte form
+        s.push_back(b);
+    for (uint8_t b : {0x81, 0x80, 0x00})       // index 1, 3-byte form
+        s.push_back(b);
+    std::vector<int64_t> scalar, bulk;
+    ASSERT_TRUE(decodeValuesScalar(s, scalar));
+    ASSERT_TRUE(decodeValues(s, bulk));
+    EXPECT_EQ(scalar, (std::vector<int64_t>{3, -1, 3}));
+    EXPECT_EQ(bulk, scalar);
+}
+
+TEST(BulkDifferential, EncodeBulkDecodeRoundTripProperty)
+{
+    // Property: for arbitrary value distributions, encode ->
+    // bulk-decode is the identity (and the scalar decoder agrees).
+    Rng rng(60601);
+    for (int iter = 0; iter < 40; ++iter) {
+        size_t n = rng.nextUint(2000);
+        uint32_t mode = static_cast<uint32_t>(rng.nextUint(4));
+        std::vector<int64_t> vals;
+        vals.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+            switch (mode) {
+              case 0: // constant
+                vals.push_back(42);
+                break;
+              case 1: // small dup-heavy (dict)
+                vals.push_back(
+                    static_cast<int64_t>(rng.nextUint(64)));
+                break;
+              case 2: // hashed ids (dict, large values)
+                vals.push_back(static_cast<int64_t>(
+                    rng.nextUint(500) * 0x9e3779b97f4a7c15ULL >> 1));
+                break;
+              default: // unique (direct), signed
+                vals.push_back(static_cast<int64_t>(rng.next()));
+                break;
+            }
+        }
+        Buffer enc;
+        encodeValues(vals, enc);
+        std::vector<int64_t> bulk, scalar;
+        ASSERT_TRUE(decodeValues(enc, bulk));
+        ASSERT_TRUE(decodeValuesScalar(enc, scalar));
+        EXPECT_EQ(bulk, vals);
+        EXPECT_EQ(scalar, vals);
+
+        Buffer renc;
+        rleEncode(vals, renc);
+        std::vector<int64_t> rbulk, rscalar;
+        ASSERT_TRUE(rleDecode(renc, rbulk));
+        ASSERT_TRUE(rleDecodeScalar(renc, rscalar));
+        EXPECT_EQ(rbulk, vals);
+        EXPECT_EQ(rscalar, vals);
+    }
+}
+
 class CodecParamTest : public ::testing::TestWithParam<Codec>
 {
 };

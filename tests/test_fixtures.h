@@ -1,32 +1,22 @@
 /**
  * @file
  * Shared test fixtures: a small warehouse with synthetic tables.
+ *
+ * Thin wrapper over warehouse::buildMiniCorpus (src/warehouse/
+ * corpus.h) — the same builder the benchmarks use — with the storage
+ * defaults the test suite has always assumed (4 MiB blocks, 4 HDD
+ * nodes).
  */
 
 #ifndef DSI_TESTS_TEST_FIXTURES_H
 #define DSI_TESTS_TEST_FIXTURES_H
 
-#include <memory>
-#include <string>
-
-#include "dwrf/writer.h"
-#include "storage/tectonic.h"
-#include "warehouse/datagen.h"
-#include "warehouse/table.h"
+#include "warehouse/corpus.h"
 
 namespace dsi::testing {
 
 /** A Tectonic cluster + warehouse with one generated table. */
-struct MiniWarehouse
-{
-    std::unique_ptr<storage::TectonicCluster> cluster;
-    std::unique_ptr<warehouse::Warehouse> warehouse;
-    warehouse::TableSchema schema;
-    std::vector<double> popularity;
-
-    warehouse::Table &table() { return *warehouse->findTable(name); }
-    std::string name;
-};
+using MiniWarehouse = warehouse::MiniCorpus;
 
 /**
  * Build a table of `partitions` x `rows_per_partition` rows split into
@@ -38,44 +28,13 @@ makeMiniWarehouse(const warehouse::SchemaParams &params,
                   uint64_t rows_per_file = 2048,
                   dwrf::WriterOptions writer_options = {})
 {
-    MiniWarehouse mw;
-    mw.name = params.name;
     storage::StorageOptions so;
     so.block_size = 4_MiB;
     so.hdd_nodes = 4;
-    mw.cluster = std::make_unique<storage::TectonicCluster>(so);
-    mw.warehouse =
-        std::make_unique<warehouse::Warehouse>(*mw.cluster);
-    mw.schema = warehouse::makeSchema(params);
-    mw.popularity = warehouse::featurePopularity(
-        mw.schema, params.popularity_alpha, params.seed ^ 0x9999);
-
-    auto &table = mw.warehouse->createTable(params.name, mw.schema);
-    warehouse::RowGenerator gen(mw.schema, params.seed ^ 0x1234);
-    for (uint32_t p = 0; p < partitions; ++p) {
-        warehouse::Partition partition;
-        partition.id = p;
-        uint64_t remaining = rows_per_partition;
-        uint32_t file_idx = 0;
-        while (remaining > 0) {
-            uint64_t n = remaining < rows_per_file ? remaining
-                                                   : rows_per_file;
-            dwrf::FileWriter writer(writer_options);
-            writer.appendRows(
-                gen.batch(static_cast<uint32_t>(n)));
-            auto bytes = writer.finish();
-            std::string fname = params.name + "/p" +
-                                std::to_string(p) + "/f" +
-                                std::to_string(file_idx++) + ".dwrf";
-            partition.stored_bytes += bytes.size();
-            mw.cluster->put(fname, bytes);
-            partition.files.push_back(fname);
-            partition.rows += n;
-            remaining -= n;
-        }
-        table.addPartition(std::move(partition));
-    }
-    return mw;
+    return warehouse::buildMiniCorpus(params, partitions,
+                                      rows_per_partition,
+                                      rows_per_file, writer_options,
+                                      so);
 }
 
 } // namespace dsi::testing
