@@ -80,6 +80,12 @@ inline constexpr const char *kReaderStripe = "reader.read_stripe";
 inline constexpr const char *kStorageRead = "storage.read";
 /** One batch handed to a trainer by Client::next. */
 inline constexpr const char *kClientDeliver = "client.deliver";
+/** A tenant's lifetime inside a fleet scheduler: every master.grant
+ * made on the tenant's behalf parents on this span, labeling the
+ * whole lineage with the tenant (a0 = tenant id). */
+inline constexpr const char *kFleetTenant = "fleet.tenant";
+/** One tensor delivered to a tenant's ledger by the fleet drain. */
+inline constexpr const char *kFleetDeliver = "fleet.deliver";
 } // namespace spans
 
 /** Canonical instant-event names. */
@@ -109,6 +115,9 @@ inline constexpr const char *kFaultWorkerCrash = "fault.worker.crash";
 /** The client suppressed a replayed (already-delivered) batch. */
 inline constexpr const char *kDuplicateSuppressed =
     "client.duplicate_suppressed";
+/** The fleet preempted a worker's split for a higher class (a0 =
+ * victim tenant, a1 = worker). */
+inline constexpr const char *kFleetPreempt = "fleet.preempted";
 } // namespace events
 
 /** One recorded trace event. */

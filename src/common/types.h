@@ -26,6 +26,13 @@ using JobId = uint64_t;
 /** Identifier of a DPP worker within a session. */
 using WorkerId = uint32_t;
 
+/**
+ * Identifier of a tenant (one training session) within a fleet of
+ * sessions sharing a DPP worker pool. Single-session deployments use
+ * tenant 0 throughout.
+ */
+using TenantId = uint32_t;
+
 /** Identifier of a trainer node (DPP client host). */
 using ClientId = uint32_t;
 

@@ -119,13 +119,6 @@ Master::touchLocked(WorkerId worker)
         last_heartbeat_[worker] = clock_();
 }
 
-std::optional<Split>
-Master::requestSplit(WorkerId worker)
-{
-    SplitGrant grant = acquireSplit(worker, WorkerLoad{});
-    return grant.split;
-}
-
 SplitGrant
 Master::acquireSplit(WorkerId worker, const WorkerLoad &load)
 {
@@ -180,10 +173,14 @@ Master::acquireSplit(WorkerId worker, const WorkerLoad &load)
         // Lineage root: everything that happens to this split —
         // extraction, storage reads, transformation, delivery —
         // parents on this span, which stays open until the split
-        // reaches a terminal state at this Master.
+        // reaches a terminal state at this Master. The ambient parent
+        // is kNoSpan for a plain session (grants are forest roots, as
+        // before) and the tenant's fleet.tenant span under a fleet,
+        // which is how every span in a split's lineage becomes
+        // attributable to one tenant.
         grant.trace = trace::beginSpan(trace::spans::kMasterGrant,
-                                       trace::kNoSpan, split_id,
-                                       worker);
+                                       trace::currentParent(),
+                                       split_id, worker);
         grant_spans_[split_id] = grant.trace;
     }
     return grant;

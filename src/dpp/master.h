@@ -10,10 +10,15 @@
  * needed), and is itself replicable via checkpoint/restore.
  *
  * Thread safety: the split-distribution API (registerWorker,
- * requestSplit, completeSplit, failWorker, progress, checkpoint,
+ * acquireSplit, completeSplit, failWorker, progress, checkpoint,
  * restore) is mutex-guarded so many parallel Workers — and the many
  * extract threads inside each one — can call in concurrently, as the
  * RPC server of a production Master would.
+ *
+ * A Master is a single-tenant WorkSource (work_source.h): Workers
+ * wired straight to a Master see every grant tagged tenant 0. Fleet
+ * deployments put a sched::FleetScheduler in front of many Masters
+ * instead.
  */
 
 #ifndef DSI_DPP_MASTER_H
@@ -32,6 +37,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "dpp/spec.h"
+#include "dpp/work_source.h"
 #include "warehouse/table.h"
 
 namespace dsi::dpp {
@@ -63,42 +69,6 @@ struct SessionProgress
     }
 };
 
-/** Outcome of a split request under admission control. */
-enum class GrantStatus
-{
-    Granted,    ///< a split was leased to the caller
-    NoWork,     ///< pending queue empty — idle or drain
-    Overloaded, ///< request shed: back off, then ask again
-    Rejected,   ///< caller is a zombie; it must stop working
-};
-
-/**
- * Worker-side load snapshot attached to a split request, the signal
- * admission control sheds on. A production Worker piggybacks this on
- * its getWork RPC.
- */
-struct WorkerLoad
-{
-    uint64_t buffered_tensors = 0; ///< output buffer occupancy
-    bool buffer_full = false;      ///< trainers are not keeping up
-};
-
-/** A granted split plus the time budget it must complete within. */
-struct SplitGrant
-{
-    GrantStatus status = GrantStatus::NoWork;
-    std::optional<Split> split;
-    Deadline deadline; ///< unbounded when deadlines are disabled
-
-    /**
-     * Root span of the split's lineage (master.grant), opened when
-     * the split is Granted and closed when it reaches a terminal
-     * state at the Master. Everything the worker does with the split
-     * parents on this id. kNoSpan when tracing is off.
-     */
-    trace::SpanId trace = trace::kNoSpan;
-};
-
 /**
  * Overload-protection knobs. Defaults keep every behaviour off so
  * existing callers see the old unconditional-grant semantics.
@@ -123,7 +93,7 @@ struct AdmissionOptions
 };
 
 /** The DPP control-plane master for one session. */
-class Master
+class Master : public WorkSource
 {
   public:
     Master(const warehouse::Warehouse &warehouse, SessionSpec spec);
@@ -140,27 +110,25 @@ class Master
     }
 
     /** Register a Worker (returns its id). */
-    WorkerId registerWorker();
+    WorkerId registerWorker() override;
 
     /**
-     * A Worker asks for work. Returns nullopt when no pending splits
-     * remain (the Worker should idle/drain) — or when the caller is
-     * unknown or lease-expired (a zombie: its splits have already
-     * been requeued, so handing it more work would double-process).
-     * Compatibility wrapper over acquireSplit() that reports no load
-     * (so admission control never sheds it) and drops the deadline.
+     * The admission-controlled request path — the ONLY way to get a
+     * split. (The old no-load requestSplit() wrapper is gone: it
+     * reported an empty WorkerLoad, so full-buffer shedding silently
+     * never applied to its callers and overload undercounted.)
+     * Zombies are Rejected; an empty queue is NoWork; a caller over
+     * the in-flight cap or reporting a full buffer is shed with
+     * Overloaded (the split stays queued for a less-loaded worker —
+     * Section VI-C overload protection); otherwise the split is
+     * Granted with the session's per-split deadline attached.
+     *
+     * When tracing is on, the grant's lineage-root span parents on
+     * the caller's ambient trace::currentParent() — kNoSpan for a
+     * plain session, the tenant's fleet.tenant span under a fleet.
      */
-    std::optional<Split> requestSplit(WorkerId worker);
-
-    /**
-     * The admission-controlled request path. Zombies are Rejected;
-     * an empty queue is NoWork; a caller over the in-flight cap or
-     * reporting a full buffer is shed with Overloaded (the split
-     * stays queued for a less-loaded worker — Section VI-C
-     * overload protection); otherwise the split is Granted with the
-     * session's per-split deadline attached.
-     */
-    SplitGrant acquireSplit(WorkerId worker, const WorkerLoad &load);
+    SplitGrant acquireSplit(WorkerId worker,
+                            const WorkerLoad &load) override;
 
     /**
      * A Worker voluntarily returns an unfinished split (its deadline
@@ -197,6 +165,32 @@ class Master
      */
     void failSplit(WorkerId worker, uint64_t split_id);
 
+    // WorkSource overrides: a Master is a single-tenant source, so
+    // the tenant id is ignored (a fleet routes per tenant instead).
+    void completeSplit(WorkerId worker, TenantId,
+                       uint64_t split_id) override
+    {
+        completeSplit(worker, split_id);
+    }
+    void failSplit(WorkerId worker, TenantId,
+                   uint64_t split_id) override
+    {
+        failSplit(worker, split_id);
+    }
+    void releaseSplit(WorkerId worker, TenantId,
+                      uint64_t split_id) override
+    {
+        releaseSplit(worker, split_id);
+    }
+    const SessionSpec &tenantSpec(TenantId) const override
+    {
+        return spec_;
+    }
+    const dwrf::Buffer &tenantProgram(TenantId) const override
+    {
+        return transformProgram();
+    }
+
     /**
      * The health monitor declares a Worker dead: its in-flight splits
      * return to the pending queue for other Workers.
@@ -216,7 +210,7 @@ class Master
     void setClock(std::function<double()> clock);
 
     /** Liveness signal from a worker's data-plane activity. */
-    void heartbeat(WorkerId worker);
+    void heartbeat(WorkerId worker) override;
 
     /**
      * Expire leases of silent workers that hold in-flight splits,

@@ -7,23 +7,46 @@
 
 namespace dsi::dpp {
 
-Worker::Worker(Master &master, const warehouse::Warehouse &warehouse,
+Worker::Worker(WorkSource &control,
+               const warehouse::Warehouse &warehouse,
                WorkerOptions options)
-    : master_(master), warehouse_(warehouse), options_(options),
-      stripe_pool_(options.stripe_pool_max_idle)
+    : control_(control), warehouse_(warehouse), options_(options),
+      stripe_pool_(options.stripe_pool_max_idle,
+                   options.stripe_pool_retained_bytes,
+                   [](const dwrf::RowBatch &b) {
+                       return static_cast<size_t>(b.heapBytes());
+                   })
 {
-    id_ = master_.registerWorker();
-    // On startup a Worker pulls the transform program from the Master
-    // (the "serialized and compiled PyTorch module"). The deserialized
-    // program is kept so each transform thread can compile its own
-    // executable copy (compiled ops hold per-instance state, e.g. the
-    // Sampling counter, so instances are not shared across threads).
+    id_ = control_.registerWorker();
+    // The transform program (the "serialized and compiled PyTorch
+    // module") is pulled lazily per tenant on the first grant from
+    // that tenant — a fleet worker cannot know up front which
+    // sessions it will serve. See programFor().
+}
+
+const transforms::TransformGraph &
+Worker::programFor(TenantId tenant)
+{
+    {
+        std::scoped_lock lock(program_mutex_);
+        auto it = programs_.find(tenant);
+        if (it != programs_.end())
+            return it->second;
+    }
+    // Deserialize outside the lock (a compile-heavy tenant must not
+    // stall siblings already cached). Two threads racing on the same
+    // tenant both deserialize; try_emplace keeps exactly one copy.
     auto graph = transforms::TransformGraph::deserialize(
-        master_.transformProgram());
+        control_.tenantProgram(tenant));
     dsi_assert(graph.has_value(),
-               "worker %u received malformed transform program", id_);
-    program_ = std::move(*graph);
-    graph_ = std::make_unique<transforms::CompiledGraph>(program_);
+               "worker %u received malformed transform program "
+               "for tenant %u",
+               id_, tenant);
+    std::scoped_lock lock(program_mutex_);
+    auto [it, inserted] =
+        programs_.try_emplace(tenant, std::move(*graph));
+    (void)inserted;
+    return it->second;
 }
 
 Worker::~Worker()
@@ -150,11 +173,12 @@ injectFeature(dwrf::RowBatch &batch, const warehouse::FeatureSpec &f,
 } // namespace
 
 bool
-Worker::extractStripe(dwrf::FileReader &reader, uint32_t stripe_index,
-                      dwrf::RowBatch &out, Metrics &metrics,
+Worker::extractStripe(dwrf::FileReader &reader, TenantId tenant,
+                      uint32_t stripe_index, dwrf::RowBatch &out,
+                      Metrics &metrics,
                       dwrf::ReadStatus *status_out) const
 {
-    const SessionSpec &spec = master_.spec();
+    const SessionSpec &spec = control_.tenantSpec(tenant);
     dwrf::ReadStatus status = reader.readStripe(stripe_index, out);
     if (status_out != nullptr)
         *status_out = status;
@@ -186,14 +210,15 @@ Worker::extractStripe(dwrf::FileReader &reader, uint32_t stripe_index,
 }
 
 bool
-Worker::transformStripe(dwrf::RowBatch &stripe, uint64_t split_id,
-                        uint64_t epoch, RowId first_row,
+Worker::transformStripe(dwrf::RowBatch &stripe, TenantId tenant,
+                        uint64_t split_id, uint64_t epoch,
+                        RowId first_row,
                         transforms::CompiledGraph &graph,
                         transforms::TransformStats &stats,
                         Metrics &metrics, bool blocking,
                         trace::SpanId grant_span)
 {
-    const SessionSpec &spec = master_.spec();
+    const SessionSpec &spec = control_.tenantSpec(tenant);
     // One transform span covers the whole stripe; buffer waits inside
     // it get their own Complete spans so stall attribution can credit
     // them to the delivery stage instead of transform compute.
@@ -212,6 +237,7 @@ Worker::transformStripe(dwrf::RowBatch &stripe, uint64_t split_id,
         TensorBatch tensor;
         tensor.bytes = batch.payloadBytes();
         tensor.data = std::move(batch);
+        tensor.tenant = tenant;
         tensor.split_id = split_id;
         tensor.first_row = first_row + start;
         tensor.epoch = epoch;
@@ -222,13 +248,13 @@ Worker::transformStripe(dwrf::RowBatch &stripe, uint64_t split_id,
         // Count the tensor against the split *before* it becomes
         // visible in the buffer, so a concurrent pop can never
         // observe a delivery the tracker has not heard of.
-        noteTensorEnqueued(split_id, epoch);
+        noteTensorEnqueued({tenant, split_id}, epoch);
         if (blocking) {
             trace::Timer wait;
             if (!pushTensorBlocking(std::move(tensor))) {
                 // Stopped/crashed while waiting for buffer space; the
                 // tensor never entered the buffer.
-                noteTensorUnqueued(split_id, epoch);
+                noteTensorUnqueued({tenant, split_id}, epoch);
                 return false;
             }
             wait.complete(trace::spans::kBufferWait, span.id(),
@@ -246,10 +272,9 @@ Worker::transformStripe(dwrf::RowBatch &stripe, uint64_t split_id,
 void
 Worker::extractLoop()
 {
-    const SessionSpec &spec = master_.spec();
     // Shed-retry pacing: decorrelated jitter with a tight cap keeps a
-    // shed worker responsive without hammering the Master in lockstep
-    // with its sibling threads.
+    // shed worker responsive without hammering the control plane in
+    // lockstep with its sibling threads.
     Backoff shed_backoff(
         BackoffOptions{.base_us = 200, .cap_us = 2000},
         0xb0ffULL + id_);
@@ -257,17 +282,28 @@ Worker::extractLoop()
         WorkerLoad load;
         load.buffered_tensors = buffered();
         load.buffer_full = bufferFull();
-        SplitGrant grant = master_.acquireSplit(id_, load);
+        SplitGrant grant = control_.acquireSplit(id_, load);
         if (grant.status == GrantStatus::Overloaded) {
             metrics_.inc("worker.requests_shed");
+            shed_backoff.sleep(Deadline::unbounded());
+            continue;
+        }
+        if (grant.status == GrantStatus::Standby) {
+            // The source has tenants coming or splits in flight
+            // elsewhere, just nothing for us *now*. Stay alive and
+            // re-poll — this is not overload, so no shed count.
+            metrics_.inc("worker.standby_polls");
             shed_backoff.sleep(Deadline::unbounded());
             continue;
         }
         if (grant.status != GrantStatus::Granted)
             break; // NoWork (idle out) or Rejected (zombie)
         shed_backoff.reset();
+        const TenantId tenant = grant.tenant;
+        const SessionSpec &spec = control_.tenantSpec(tenant);
         const Split &split = *grant.split;
-        uint64_t epoch = beginSplit(split.id, split.stripe_count);
+        SplitKey key{tenant, split.id};
+        uint64_t epoch = beginSplit(key, split.stripe_count);
         auto source = warehouse_.cluster().open(split.file);
         dwrf::ReadOptions read = spec.read;
         read.projection = spec.projection;
@@ -279,7 +315,7 @@ Worker::extractLoop()
         if (!reader.valid()) {
             dsi_warn("worker %u: unreadable file '%s'", id_,
                      split.file.c_str());
-            abandonSplit(split.id);
+            abandonSplit(key);
             continue;
         }
         reader.setDeadline(grant.deadline);
@@ -299,7 +335,15 @@ Worker::extractLoop()
                 aborted = true;
                 break;
             }
-            master_.heartbeat(id_); // per-stripe lease renewal
+            if (handback_) {
+                // Preempted: a higher-priority tenant needs this
+                // worker's capacity. Hand the split back at the
+                // stripe boundary (requeued, no attempt penalty).
+                local.inc("worker.splits_preempted");
+                released = true;
+                break;
+            }
+            control_.heartbeat(id_); // per-stripe lease renewal
             if (grant.deadline.expired()) {
                 local.inc("worker.deadline_expired");
                 released = true;
@@ -316,8 +360,8 @@ Worker::extractLoop()
                 trace::Span espan(trace::spans::kExtractStripe,
                                   grant.trace, split.id, stripe_index);
                 trace::ScopedParent ambient(espan.id());
-                ok = extractStripe(reader, stripe_index, *rows, local,
-                                   &status);
+                ok = extractStripe(reader, tenant, stripe_index, *rows,
+                                   local, &status);
             }
             if (!ok) {
                 stripe_pool_.release(std::move(rows));
@@ -330,6 +374,7 @@ Worker::extractLoop()
                 break;
             }
             ExtractedStripe work;
+            work.tenant = tenant;
             work.split_id = split.id;
             work.first_row =
                 reader.footer().stripes[stripe_index].first_row;
@@ -357,15 +402,15 @@ Worker::extractLoop()
         if (aborted)
             break; // split stays in flight; the Master requeues it
         if (released) {
-            returnSplit(split.id);
+            returnSplit(key);
             continue;
         }
         if (abandoned) {
-            abandonSplit(split.id);
+            abandonSplit(key);
             continue;
         }
         // Extraction done; completion waits for the last delivery.
-        finishExtraction(split.id, epoch);
+        finishExtraction(key, epoch);
     }
     // Last extractor out ends the stripe stream so transformers can
     // drain and quiesce.
@@ -376,24 +421,35 @@ Worker::extractLoop()
 void
 Worker::transformLoop()
 {
-    // Per-thread compiled program and stat accumulators; totals are
-    // folded in once on exit (drain) rather than per mini-batch.
-    transforms::CompiledGraph graph(program_);
+    // Per-thread, per-tenant compiled programs and per-thread stat
+    // accumulators; totals are folded in once on exit (drain) rather
+    // than per mini-batch. Compiled ops hold per-instance state (e.g.
+    // the Sampling counter), so instances are never shared across
+    // threads — each thread compiles its own copy per tenant.
+    std::map<TenantId, std::unique_ptr<transforms::CompiledGraph>>
+        graphs;
     transforms::TransformStats stats;
     Metrics local;
     while (auto work = stripe_queue_->pop()) {
         if (crashed_)
             break;
-        bool whole = transformStripe(*work->rows, work->split_id,
-                                     work->epoch, work->first_row,
-                                     graph, stats, local,
+        auto &graph = graphs[work->tenant];
+        if (!graph) {
+            graph = std::make_unique<transforms::CompiledGraph>(
+                programFor(work->tenant));
+        }
+        bool whole = transformStripe(*work->rows, work->tenant,
+                                     work->split_id, work->epoch,
+                                     work->first_row, *graph, stats,
+                                     local,
                                      /*blocking=*/true, work->trace);
         // The stripe's columns are no longer needed (mini-batches own
         // copies); recycle the batch so the next extract reuses its
         // heap capacity.
         stripe_pool_.release(std::move(work->rows));
         if (whole)
-            noteStripeTransformed(work->split_id, work->epoch);
+            noteStripeTransformed({work->tenant, work->split_id},
+                                  work->epoch);
         if (stop_requested_ || crashed_)
             break;
     }
@@ -422,13 +478,19 @@ Worker::pump()
                id_);
     if (crashed_)
         return false;
-    master_.heartbeat(id_); // per-pump lease renewal
+    control_.heartbeat(id_); // per-pump lease renewal
     {
         std::scoped_lock lock(buffer_mutex_);
         if (no_more_work_)
             return false;
         if (bufferFullLocked())
             return true; // backpressure: trainers are behind
+    }
+    if (current_ && handback_) {
+        // Preempted mid-split: hand it back at the stripe boundary.
+        metrics_.inc("worker.splits_preempted");
+        releaseCurrentSplit();
+        return true;
     }
     if (!current_) {
         if (draining_) {
@@ -439,16 +501,22 @@ Worker::pump()
         WorkerLoad load;
         load.buffered_tensors = buffered();
         load.buffer_full = bufferFull();
-        SplitGrant grant = master_.acquireSplit(id_, load);
+        SplitGrant grant = control_.acquireSplit(id_, load);
         if (grant.status == GrantStatus::Overloaded) {
             metrics_.inc("worker.requests_shed");
             return true; // shed; ask again next pump
+        }
+        if (grant.status == GrantStatus::Standby) {
+            // Between arrivals: stay alive, ask again next pump.
+            metrics_.inc("worker.standby_polls");
+            return true;
         }
         if (grant.status != GrantStatus::Granted) {
             std::scoped_lock lock(buffer_mutex_);
             no_more_work_ = true;
             return false;
         }
+        current_tenant_ = grant.tenant;
         current_deadline_ = grant.deadline;
         current_trace_ = grant.trace;
         if (!openSplit(*grant.split))
@@ -479,8 +547,9 @@ Worker::openSplit(const Split &split)
     current_ = split;
     next_stripe_ = 0;
     source_ = warehouse_.cluster().open(split.file);
-    dwrf::ReadOptions read = master_.spec().read;
-    read.projection = master_.spec().projection;
+    const SessionSpec &spec = control_.tenantSpec(current_tenant_);
+    dwrf::ReadOptions read = spec.read;
+    read.projection = spec.projection;
     read.verify_checksums = options_.verify_checksums;
     // Parent the open reads (file tail + footer) on the grant span.
     trace::ScopedParent open_ambient(current_trace_);
@@ -488,12 +557,14 @@ Worker::openSplit(const Split &split)
     if (!reader_->valid()) {
         dsi_warn("worker %u: unreadable file '%s'", id_,
                  split.file.c_str());
-        current_epoch_ = beginSplit(split.id, split.stripe_count);
+        current_epoch_ =
+            beginSplit({current_tenant_, split.id}, split.stripe_count);
         abandonCurrentSplit();
         return false;
     }
     reader_->setDeadline(current_deadline_);
-    current_epoch_ = beginSplit(split.id, split.stripe_count);
+    current_epoch_ =
+        beginSplit({current_tenant_, split.id}, split.stripe_count);
     return true;
 }
 
@@ -508,8 +579,8 @@ Worker::processNextStripe()
         trace::Span espan(trace::spans::kExtractStripe,
                           current_trace_, current_->id, stripe_index);
         trace::ScopedParent ambient(espan.id());
-        ok = extractStripe(*reader_, stripe_index, *stripe, metrics_,
-                           &status);
+        ok = extractStripe(*reader_, current_tenant_, stripe_index,
+                           *stripe, metrics_, &status);
     }
     if (!ok) {
         stripe_pool_.release(std::move(stripe));
@@ -523,10 +594,17 @@ Worker::processNextStripe()
     }
     RowId first_row = reader_->footer().stripes[stripe_index].first_row;
     ++next_stripe_;
-    if (transformStripe(*stripe, current_->id, current_epoch_,
-                        first_row, *graph_, transform_stats_, metrics_,
+    auto &graph = sync_graphs_[current_tenant_];
+    if (!graph) {
+        graph = std::make_unique<transforms::CompiledGraph>(
+            programFor(current_tenant_));
+    }
+    if (transformStripe(*stripe, current_tenant_, current_->id,
+                        current_epoch_, first_row, *graph,
+                        transform_stats_, metrics_,
                         /*blocking=*/false, current_trace_)) {
-        noteStripeTransformed(current_->id, current_epoch_);
+        noteStripeTransformed({current_tenant_, current_->id},
+                              current_epoch_);
     }
     stripe_pool_.release(std::move(stripe));
     return true;
@@ -538,7 +616,7 @@ Worker::closeSplit()
     mergeReadStats(reader_->stats());
     // Completion is delivery-gated: the Master hears completeSplit
     // once the last buffered tensor of this split is popped.
-    finishExtraction(current_->id, current_epoch_);
+    finishExtraction({current_tenant_, current_->id}, current_epoch_);
     reader_.reset();
     source_.reset();
     current_.reset();
@@ -549,11 +627,11 @@ Worker::abandonCurrentSplit()
 {
     if (reader_)
         mergeReadStats(reader_->stats());
-    uint64_t split_id = current_->id;
+    SplitKey key{current_tenant_, current_->id};
     reader_.reset();
     source_.reset();
     current_.reset();
-    abandonSplit(split_id);
+    abandonSplit(key);
 }
 
 void
@@ -561,16 +639,18 @@ Worker::releaseCurrentSplit()
 {
     if (reader_)
         mergeReadStats(reader_->stats());
-    uint64_t split_id = current_->id;
+    SplitKey key{current_tenant_, current_->id};
     reader_.reset();
     source_.reset();
     current_.reset();
-    returnSplit(split_id);
+    returnSplit(key);
 }
 
 void
-Worker::beginDrain()
+Worker::beginDrain(bool release_held)
 {
+    if (release_held)
+        handback_ = true;
     if (!draining_.exchange(true))
         metrics_.inc("worker.drains_begun");
 }
@@ -667,7 +747,7 @@ Worker::popTensor()
     if (buffer_.empty()) {
         lock.unlock();
         // Answering an (empty) RPC is still proof of life.
-        master_.heartbeat(id_);
+        control_.heartbeat(id_);
         return std::nullopt;
     }
     TensorBatch t = std::move(buffer_.front());
@@ -676,8 +756,8 @@ Worker::popTensor()
     lock.unlock();
     space_available_.notify_one();
     metrics_.inc("worker.tensors_served");
-    master_.heartbeat(id_);
-    noteTensorDelivered(t.split_id, t.epoch);
+    control_.heartbeat(id_);
+    noteTensorDelivered({t.tenant, t.split_id}, t.epoch);
     return t;
 }
 
@@ -702,31 +782,31 @@ Worker::mergeReadStats(const dwrf::ReadStats &rs)
 // Delivery-gated split completion.
 
 uint64_t
-Worker::beginSplit(uint64_t split_id, uint32_t stripes_total)
+Worker::beginSplit(SplitKey key, uint32_t stripes_total)
 {
     std::scoped_lock lock(progress_mutex_);
     uint64_t epoch = next_epoch_++;
     SplitProgress p;
     p.stripes_total = stripes_total;
     p.epoch = epoch;
-    split_progress_[split_id] = p;
+    split_progress_[key] = p;
     return epoch;
 }
 
 void
-Worker::noteTensorEnqueued(uint64_t split_id, uint64_t epoch)
+Worker::noteTensorEnqueued(SplitKey key, uint64_t epoch)
 {
     std::scoped_lock lock(progress_mutex_);
-    auto it = split_progress_.find(split_id);
+    auto it = split_progress_.find(key);
     if (it != split_progress_.end() && it->second.epoch == epoch)
         ++it->second.tensors_buffered;
 }
 
 void
-Worker::noteTensorUnqueued(uint64_t split_id, uint64_t epoch)
+Worker::noteTensorUnqueued(SplitKey key, uint64_t epoch)
 {
     std::scoped_lock lock(progress_mutex_);
-    auto it = split_progress_.find(split_id);
+    auto it = split_progress_.find(key);
     if (it != split_progress_.end() && it->second.epoch == epoch &&
         it->second.tensors_buffered > 0) {
         --it->second.tensors_buffered;
@@ -734,11 +814,11 @@ Worker::noteTensorUnqueued(uint64_t split_id, uint64_t epoch)
 }
 
 void
-Worker::noteTensorDelivered(uint64_t split_id, uint64_t epoch)
+Worker::noteTensorDelivered(SplitKey key, uint64_t epoch)
 {
     {
         std::scoped_lock lock(progress_mutex_);
-        auto it = split_progress_.find(split_id);
+        auto it = split_progress_.find(key);
         // Epoch mismatch: a leftover tensor of an earlier, abandoned
         // attempt — it must not touch the current attempt's counts.
         if (it == split_progress_.end() || it->second.epoch != epoch)
@@ -746,42 +826,42 @@ Worker::noteTensorDelivered(uint64_t split_id, uint64_t epoch)
         if (it->second.tensors_buffered > 0)
             --it->second.tensors_buffered;
     }
-    maybeCompleteSplit(split_id);
+    maybeCompleteSplit(key);
 }
 
 void
-Worker::noteStripeTransformed(uint64_t split_id, uint64_t epoch)
+Worker::noteStripeTransformed(SplitKey key, uint64_t epoch)
 {
     {
         std::scoped_lock lock(progress_mutex_);
-        auto it = split_progress_.find(split_id);
+        auto it = split_progress_.find(key);
         if (it == split_progress_.end() || it->second.epoch != epoch)
             return;
         ++it->second.stripes_transformed;
     }
-    maybeCompleteSplit(split_id);
+    maybeCompleteSplit(key);
 }
 
 void
-Worker::finishExtraction(uint64_t split_id, uint64_t epoch)
+Worker::finishExtraction(SplitKey key, uint64_t epoch)
 {
     {
         std::scoped_lock lock(progress_mutex_);
-        auto it = split_progress_.find(split_id);
+        auto it = split_progress_.find(key);
         if (it == split_progress_.end() || it->second.epoch != epoch)
             return;
         it->second.extraction_done = true;
     }
-    maybeCompleteSplit(split_id);
+    maybeCompleteSplit(key);
 }
 
 void
-Worker::maybeCompleteSplit(uint64_t split_id)
+Worker::maybeCompleteSplit(SplitKey key)
 {
     bool complete = false;
     {
         std::scoped_lock lock(progress_mutex_);
-        auto it = split_progress_.find(split_id);
+        auto it = split_progress_.find(key);
         if (it != split_progress_.end() && it->second.extraction_done &&
             it->second.stripes_transformed ==
                 it->second.stripes_total &&
@@ -790,9 +870,10 @@ Worker::maybeCompleteSplit(uint64_t split_id)
             complete = true;
         }
     }
-    // Master call happens outside every lock (lock-order hygiene).
+    // Control-plane call happens outside every lock (lock-order
+    // hygiene: WorkSource implementations take their own mutexes).
     if (complete) {
-        master_.completeSplit(id_, split_id);
+        control_.completeSplit(id_, key.first, key.second);
         metrics_.inc("worker.splits_completed");
         publishPoolMetrics();
     }
@@ -805,31 +886,38 @@ Worker::publishPoolMetrics()
                  static_cast<double>(stripe_pool_.allocated()));
     metrics_.set("worker.stripe_pool_reused",
                  static_cast<double>(stripe_pool_.reused()));
+    metrics_.set("worker.stripe_pool_retained_bytes",
+                 static_cast<double>(stripe_pool_.retainedBytes()));
 }
 
 void
-Worker::abandonSplit(uint64_t split_id)
+Worker::abandonSplit(SplitKey key)
 {
     {
         std::scoped_lock lock(progress_mutex_);
-        split_progress_.erase(split_id);
+        split_progress_.erase(key);
     }
-    master_.failSplit(id_, split_id);
+    control_.failSplit(id_, key.first, key.second);
     metrics_.inc("worker.splits_abandoned");
+    // Pool gauges must reflect terminal states too, not just clean
+    // completions — otherwise a crashy run reports stale reuse
+    // numbers until the next report interval.
+    publishPoolMetrics();
 }
 
 void
-Worker::returnSplit(uint64_t split_id)
+Worker::returnSplit(SplitKey key)
 {
-    // Same cleanup as abandonSplit, but the Master requeues with no
-    // attempt penalty: leftover tensors of this attempt are filtered
-    // by epoch here and deduplicated by the client ledger.
+    // Same cleanup as abandonSplit, but the control plane requeues
+    // with no attempt penalty: leftover tensors of this attempt are
+    // filtered by epoch here and deduplicated by the client ledger.
     {
         std::scoped_lock lock(progress_mutex_);
-        split_progress_.erase(split_id);
+        split_progress_.erase(key);
     }
-    master_.releaseSplit(id_, split_id);
+    control_.releaseSplit(id_, key.first, key.second);
     metrics_.inc("worker.splits_released");
+    publishPoolMetrics();
 }
 
 void
@@ -843,6 +931,7 @@ Worker::crash()
     if (stripe_queue_)
         stripe_queue_->close();
     metrics_.inc("worker.crashes");
+    publishPoolMetrics();
     trace::instant(trace::events::kFaultWorkerCrash, trace::kNoSpan,
                    id_);
     dsi_warn("worker %u: injected crash", id_);

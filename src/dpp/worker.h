@@ -2,8 +2,14 @@
  * @file
  * DPP data plane: the Worker (Section III-B1).
  *
- * Stateless: a Worker only talks to the Master (to fetch splits and
- * the transform program) and to Clients (to serve tensors). Per split
+ * Stateless and *tenant-agnostic*: a Worker only talks to its
+ * WorkSource — a single session's Master, or a fleet scheduler
+ * multiplexing many sessions — to fetch splits and per-tenant
+ * transform programs, and to Clients (to serve tensors). Every grant
+ * names the tenant it belongs to; the Worker keys its split progress
+ * by (tenant, split), compiles and caches one transform graph per
+ * tenant per thread, and echoes the tenant on every lifecycle call,
+ * so one worker can interleave splits from many sessions. Per split
  * it runs the full online ETL: extract (read + decrypt + decompress +
  * decode + feature-filter the stored stripes), transform (apply the
  * compiled graph per mini-batch), and partially load (batch rows into
@@ -44,6 +50,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "common/bounded_queue.h"
 #include "common/deadline.h"
@@ -52,8 +59,8 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "dpp/autoscaler.h"
-#include "dpp/master.h"
 #include "dpp/spec.h"
+#include "dpp/work_source.h"
 #include "transforms/graph.h"
 #include "warehouse/table.h"
 
@@ -65,9 +72,11 @@ struct TensorBatch
     dwrf::RowBatch data;
     Bytes bytes = 0; ///< materialized tensor payload size
 
-    // Provenance, for exactly-once delivery: (split_id, first_row)
-    // identifies a batch across replays, because batch slicing is a
-    // deterministic function of the split's stripes and batch_size.
+    // Provenance, for exactly-once delivery: per tenant,
+    // (split_id, first_row) identifies a batch across replays,
+    // because batch slicing is a deterministic function of the
+    // split's stripes and batch_size.
+    TenantId tenant = 0;
     uint64_t split_id = 0;
     RowId first_row = 0;
 
@@ -121,13 +130,29 @@ struct WorkerOptions
      * the queue plus every in-flight stage by default.
      */
     size_t stripe_pool_max_idle = 16;
+
+    /**
+     * Cap on heap bytes the idle stripe pool may pin (0 = unbounded).
+     * Pooled batches keep the column capacity of the largest stripe
+     * they ever carried, so without a cap one huge stripe inflates
+     * the worker's footprint forever; over the cap the pool evicts
+     * idle batches oldest-first (shrink-on-release). Published as the
+     * worker.stripe_pool_retained_bytes gauge.
+     */
+    Bytes stripe_pool_retained_bytes = 256_MiB;
 };
 
 /** One DPP worker process. */
 class Worker
 {
   public:
-    Worker(Master &master, const warehouse::Warehouse &warehouse,
+    /**
+     * `control` is the control plane this worker pulls splits from: a
+     * Master (single session) or a FleetScheduler (many sessions).
+     * All tenants' data must live in `warehouse` (a fleet shares one
+     * warehouse across its sessions, as production DPP does).
+     */
+    Worker(WorkSource &control, const warehouse::Warehouse &warehouse,
            WorkerOptions options = {});
 
     /** Joins pipeline threads (equivalent to stop()). */
@@ -184,8 +209,16 @@ class Worker
      * retires the worker once drained() turns true — no split is
      * abandoned and no delivered row is lost, unlike stop(). Safe in
      * both modes; idempotent.
+     *
+     * With `release_held` (preemption): instead of finishing held
+     * splits, hand them back to the control plane at the next stripe
+     * boundary (releaseSplit — requeued with no attempt penalty).
+     * Tensors already buffered are still delivered, and the epoch /
+     * ledger machinery dedupes any overlap when another worker
+     * replays the split — so preempting a worker frees its capacity
+     * quickly without breaking exactly-once.
      */
-    void beginDrain();
+    void beginDrain(bool release_held = false);
     bool draining() const { return draining_; }
 
     /**
@@ -223,6 +256,19 @@ class Worker
     }
     const Metrics &metrics() const { return metrics_; }
 
+    // Ground-truth stripe-pool counters (tests compare these against
+    // the published worker.stripe_pool_* gauges, which must stay
+    // consistent even on crash/abandon exits).
+    uint64_t stripePoolAllocated() const
+    {
+        return stripe_pool_.allocated();
+    }
+    uint64_t stripePoolReused() const { return stripe_pool_.reused(); }
+    Bytes stripePoolRetainedBytes() const
+    {
+        return stripe_pool_.retainedBytes();
+    }
+
   private:
     /**
      * One decoded stripe handed from extract to transform. The batch
@@ -233,11 +279,15 @@ class Worker
     struct ExtractedStripe
     {
         std::unique_ptr<dwrf::RowBatch> rows;
+        TenantId tenant = 0;
         uint64_t split_id = 0;
         RowId first_row = 0;
         uint64_t epoch = 0;
         trace::SpanId trace = trace::kNoSpan; ///< grant span
     };
+
+    /** Splits are tracked per tenant: ids collide across sessions. */
+    using SplitKey = std::pair<TenantId, uint64_t>;
 
     /**
      * Per-split delivery tracking (guarded by progress_mutex_). A
@@ -257,18 +307,19 @@ class Worker
     };
 
     // Split-progress bookkeeping (both modes). None of these hold
-    // progress_mutex_ while calling into the Master or the buffer.
-    uint64_t beginSplit(uint64_t split_id, uint32_t stripes_total);
-    void noteTensorEnqueued(uint64_t split_id, uint64_t epoch);
-    void noteTensorUnqueued(uint64_t split_id, uint64_t epoch);
-    void noteTensorDelivered(uint64_t split_id, uint64_t epoch);
-    void noteStripeTransformed(uint64_t split_id, uint64_t epoch);
-    void finishExtraction(uint64_t split_id, uint64_t epoch);
-    void maybeCompleteSplit(uint64_t split_id);
+    // progress_mutex_ while calling into the control plane or the
+    // buffer.
+    uint64_t beginSplit(SplitKey key, uint32_t stripes_total);
+    void noteTensorEnqueued(SplitKey key, uint64_t epoch);
+    void noteTensorUnqueued(SplitKey key, uint64_t epoch);
+    void noteTensorDelivered(SplitKey key, uint64_t epoch);
+    void noteStripeTransformed(SplitKey key, uint64_t epoch);
+    void finishExtraction(SplitKey key, uint64_t epoch);
+    void maybeCompleteSplit(SplitKey key);
     /** Give up on a split (unreadable data): failSplit + cleanup. */
-    void abandonSplit(uint64_t split_id);
-    /** Hand a split back (deadline blown): releaseSplit + cleanup. */
-    void returnSplit(uint64_t split_id);
+    void abandonSplit(SplitKey key);
+    /** Hand a split back (deadline/drain): releaseSplit + cleanup. */
+    void returnSplit(SplitKey key);
 
     /** Simulate this worker process dying (worker.crash fault). */
     void crash();
@@ -287,26 +338,39 @@ class Worker
     void transformLoop();
 
     /**
-     * Extract+inject one stripe into `out` (both modes). False when
-     * the stripe is unreadable after the reader's own retries, or
-     * when the read budget expired mid-stripe — `status` (optional)
-     * tells the caller which, so it can abandon vs. release the
-     * split. `out` may hold a recycled batch; the reader strips and
-     * reuses its capacity.
+     * Extract+inject one stripe into `out` (both modes), under
+     * `tenant`'s spec. False when the stripe is unreadable after the
+     * reader's own retries, or when the read budget expired
+     * mid-stripe — `status` (optional) tells the caller which, so it
+     * can abandon vs. release the split. `out` may hold a recycled
+     * batch; the reader strips and reuses its capacity.
      */
-    bool extractStripe(dwrf::FileReader &reader, uint32_t stripe_index,
-                       dwrf::RowBatch &out, Metrics &metrics,
+    bool extractStripe(dwrf::FileReader &reader, TenantId tenant,
+                       uint32_t stripe_index, dwrf::RowBatch &out,
+                       Metrics &metrics,
                        dwrf::ReadStatus *status = nullptr) const;
 
-    /** Publish stripe-pool counters as worker gauges. */
+    /**
+     * Publish stripe-pool counters as worker gauges. Called at every
+     * split terminal state (complete, abandon, return) and at crash /
+     * pipeline exit, so the gauges never go stale on failure paths.
+     */
     void publishPoolMetrics();
 
     /**
-     * Slice a stripe into mini-batch tensors via `graph`. True when
-     * the whole stripe was enqueued (false: stopped/crashed mid-way).
+     * `tenant`'s deserialized transform program, fetched from the
+     * control plane and cached on first use (thread-safe).
      */
-    bool transformStripe(dwrf::RowBatch &stripe, uint64_t split_id,
-                         uint64_t epoch, RowId first_row,
+    const transforms::TransformGraph &programFor(TenantId tenant);
+
+    /**
+     * Slice a stripe into mini-batch tensors via `graph`, under
+     * `tenant`'s spec. True when the whole stripe was enqueued
+     * (false: stopped/crashed mid-way).
+     */
+    bool transformStripe(dwrf::RowBatch &stripe, TenantId tenant,
+                         uint64_t split_id, uint64_t epoch,
+                         RowId first_row,
                          transforms::CompiledGraph &graph,
                          transforms::TransformStats &stats,
                          Metrics &metrics, bool blocking,
@@ -319,12 +383,20 @@ class Worker
     void enqueueTensor(TensorBatch tensor);
     void mergeReadStats(const dwrf::ReadStats &rs);
 
-    Master &master_;
+    WorkSource &control_;
     const warehouse::Warehouse &warehouse_;
     WorkerOptions options_;
     WorkerId id_;
-    transforms::TransformGraph program_; ///< for per-thread compiles
-    std::unique_ptr<transforms::CompiledGraph> graph_; ///< sync mode
+
+    // Per-tenant transform programs, deserialized lazily on first
+    // grant from that tenant (a fleet worker cannot know its tenants
+    // up front). Map nodes are stable, so references returned by
+    // programFor() stay valid while threads compile private copies.
+    mutable std::mutex program_mutex_;
+    std::map<TenantId, transforms::TransformGraph> programs_;
+    /** Sync mode: one compiled graph per tenant (pump thread only). */
+    std::map<TenantId, std::unique_ptr<transforms::CompiledGraph>>
+        sync_graphs_;
 
     // Tensor buffer (the partial-load stage). Guarded by buffer_mutex_.
     mutable std::mutex buffer_mutex_;
@@ -339,17 +411,19 @@ class Worker
     ObjectPool<dwrf::RowBatch> stripe_pool_;
     std::atomic<bool> stop_requested_{false};
     std::atomic<bool> draining_{false}; ///< graceful scale-down
+    std::atomic<bool> handback_{false}; ///< preempted: release held
     std::atomic<bool> crashed_{false};
     std::atomic<uint32_t> active_extractors_{0};
     std::atomic<uint32_t> active_transformers_{0};
 
     // Delivery-tracked split progress (exactly-once completion).
     mutable std::mutex progress_mutex_;
-    std::map<uint64_t, SplitProgress> split_progress_;
+    std::map<SplitKey, SplitProgress> split_progress_;
     uint64_t next_epoch_ = 1; ///< guarded by progress_mutex_
 
     // Synchronous-mode in-progress split (stripe-granular pipelining).
     std::optional<Split> current_;
+    TenantId current_tenant_ = 0; ///< tenant of the held grant
     Deadline current_deadline_; ///< budget of the held grant
     trace::SpanId current_trace_ = trace::kNoSpan; ///< held grant span
     uint64_t current_epoch_ = 0;

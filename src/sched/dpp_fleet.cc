@@ -1,0 +1,755 @@
+#include "dpp_fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace dsi::sched {
+
+namespace {
+
+double
+steadySeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+tenantMetric(TenantId tenant, const char *field)
+{
+    return "fleet.tenant." + std::to_string(tenant) + "." + field;
+}
+
+} // namespace
+
+const char *
+jobClassName(JobClass c)
+{
+    switch (c) {
+    case JobClass::Explore:
+        return "explore";
+    case JobClass::Combo:
+        return "combo";
+    case JobClass::RC:
+        return "rc";
+    }
+    return "?";
+}
+
+FleetScheduler::FleetScheduler(const warehouse::Warehouse &warehouse,
+                               FleetOptions options)
+    : warehouse_(warehouse), options_(options),
+      parallel_(options.worker.num_extract_threads > 0 ||
+                options.worker.num_transform_threads > 0),
+      clock_(steadySeconds)
+{
+    dsi_assert(options_.initial_workers >= 1,
+               "fleet needs >= 1 worker");
+    if (options_.autoscale.enabled)
+        scaler_ =
+            std::make_unique<dpp::AutoScaler>(options_.autoscale.scaler);
+    last_eval_ = clock_();
+    for (uint32_t i = 0; i < options_.initial_workers; ++i)
+        launchWorker();
+    // The initial pool is baseline capacity, not a scaling action.
+    workers_launched_ = 0;
+}
+
+FleetScheduler::~FleetScheduler()
+{
+    for (auto &w : workers_)
+        w->stop();
+}
+
+TenantId
+FleetScheduler::addTenant(dpp::SessionSpec spec, TenantOptions opts)
+{
+    // Split enumeration can touch storage; do it outside the lock so
+    // admitting a large tenant never stalls the grant path.
+    auto master =
+        std::make_unique<dpp::Master>(warehouse_, std::move(spec));
+    master->setMaxSplitAttempts(options_.max_split_attempts);
+    master->setAdmission(options_.admission);
+
+    std::scoped_lock lock(mutex_);
+    dsi_assert(!closed_, "fleet is closed to new tenants");
+    auto st = std::make_unique<TenantState>();
+    st->id = next_tenant_++;
+    st->opts = std::move(opts);
+    st->master = std::move(master);
+    TenantId id = st->id;
+    tenants_.emplace(id, std::move(st));
+    metrics_.inc("fleet.tenants_admitted");
+    return id;
+}
+
+void
+FleetScheduler::close()
+{
+    std::scoped_lock lock(mutex_);
+    closed_ = true;
+}
+
+// ---------------------------------------------------------------------
+// WorkSource surface (called concurrently by every worker thread).
+
+WorkerId
+FleetScheduler::registerWorker()
+{
+    std::scoped_lock lock(mutex_);
+    WorkerId id = next_worker_++;
+    last_heartbeat_[id] = clock_();
+    return id;
+}
+
+void
+FleetScheduler::heartbeat(WorkerId worker)
+{
+    std::scoped_lock lock(mutex_);
+    last_heartbeat_[worker] = clock_();
+}
+
+WorkerId
+FleetScheduler::masterIdLocked(TenantState &st, WorkerId worker)
+{
+    auto it = st.master_ids.find(worker);
+    if (it != st.master_ids.end())
+        return it->second;
+    // First contact between this worker and this tenant: register it
+    // with the tenant's Master (workers meet tenants lazily — a fleet
+    // worker cannot know its tenants up front).
+    WorkerId mid = st.master->registerWorker();
+    st.master_ids.emplace(worker, mid);
+    return mid;
+}
+
+dpp::SplitGrant
+FleetScheduler::acquireSplit(WorkerId worker,
+                             const dpp::WorkerLoad &load)
+{
+    std::scoped_lock lock(mutex_);
+    double now = clock_();
+    last_heartbeat_[worker] = now; // asking for work is proof of life
+
+    struct Cand
+    {
+        TenantState *st;
+        uint64_t inflight;
+    };
+    std::vector<Cand> ready;
+    bool all_done = true;
+    for (auto &[id, st] : tenants_) {
+        auto p = st->master->progress();
+        if (!p.done())
+            all_done = false;
+        if (p.pending_splits == 0)
+            continue;
+        // Pending-but-ungranted demand starts the latency clock.
+        if (st->waiting_since < 0)
+            st->waiting_since = now;
+        if (st->opts.max_inflight > 0 &&
+            p.inflight_splits >= st->opts.max_inflight) {
+            ++st->shed;
+            metrics_.inc(tenantMetric(st->id, "shed"));
+            continue;
+        }
+        ready.push_back({st.get(), p.inflight_splits});
+    }
+    if (ready.empty()) {
+        // Standby keeps the pool alive through arrival gaps; NoWork
+        // (workers idle out) only once the fleet is closed and every
+        // tenant reached a terminal state.
+        dpp::SplitGrant g;
+        g.status = (closed_ && all_done) ? dpp::GrantStatus::NoWork
+                                         : dpp::GrantStatus::Standby;
+        return g;
+    }
+
+    auto share = [](const Cand &c) {
+        double w = c.st->opts.weight > 0 ? c.st->opts.weight : 1e-9;
+        return static_cast<double>(c.inflight) / w;
+    };
+    auto better = [&](const Cand &a, const Cand &b) {
+        double sa = share(a), sb = share(b);
+        if (sa != sb)
+            return sa < sb;
+        if (a.st->opts.job_class != b.st->opts.job_class)
+            return a.st->opts.job_class > b.st->opts.job_class;
+        return a.st->id < b.st->id;
+    };
+
+    // Pass 1: reserved quota, highest class first — an RC tenant
+    // under its reservation is served before any best-effort grant.
+    const Cand *pick = nullptr;
+    for (const auto &c : ready) {
+        if (c.st->opts.min_quota == 0 ||
+            c.inflight >= c.st->opts.min_quota)
+            continue;
+        if (!pick || c.st->opts.job_class > pick->st->opts.job_class ||
+            (c.st->opts.job_class == pick->st->opts.job_class &&
+             better(c, *pick)))
+            pick = &c;
+    }
+    // Pass 2: weighted fair share (min inflight / weight).
+    if (!pick) {
+        for (const auto &c : ready)
+            if (!pick || better(c, *pick))
+                pick = &c;
+    }
+
+    TenantState &st = *pick->st;
+    // Every master.grant made on this tenant's behalf parents on its
+    // fleet.tenant span (opened lazily on first grant), labeling the
+    // split's whole lineage with the tenant.
+    if (trace::on() && st.span == trace::kNoSpan)
+        st.span = trace::beginSpan(trace::spans::kFleetTenant,
+                                   trace::kNoSpan, st.id);
+    trace::ScopedParent tenant_parent(st.span);
+    WorkerId mid = masterIdLocked(st, worker);
+    dpp::SplitGrant g = st.master->acquireSplit(mid, load);
+    if (g.status != dpp::GrantStatus::Granted) {
+        // Overloaded (this worker is over the tenant's admission
+        // caps) passes through so the worker backs off; anything else
+        // becomes Standby — other tenants may still feed it later.
+        if (g.status != dpp::GrantStatus::Overloaded)
+            g.status = dpp::GrantStatus::Standby;
+        return g;
+    }
+    g.tenant = st.id;
+    grants_[{st.id, g.split->id}] = worker;
+    ++st.granted;
+    metrics_.inc(tenantMetric(st.id, "granted"));
+    if (st.waiting_since >= 0) {
+        st.grant_latency.add(now - st.waiting_since);
+        st.waiting_since = -1.0; // re-armed on the next ungranted poll
+    }
+    return g;
+}
+
+void
+FleetScheduler::completeSplit(WorkerId worker, TenantId tenant,
+                              uint64_t split_id)
+{
+    std::scoped_lock lock(mutex_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        return;
+    TenantState &st = *it->second;
+    st.master->completeSplit(masterIdLocked(st, worker), split_id);
+    grants_.erase({tenant, split_id});
+    // The tenant's lifetime span closes with its last split.
+    if (st.span != trace::kNoSpan && st.master->progress().done()) {
+        trace::endSpan(st.span, trace::spans::kFleetTenant);
+        st.span = trace::kNoSpan;
+    }
+}
+
+void
+FleetScheduler::failSplit(WorkerId worker, TenantId tenant,
+                          uint64_t split_id)
+{
+    std::scoped_lock lock(mutex_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        return;
+    TenantState &st = *it->second;
+    st.master->failSplit(masterIdLocked(st, worker), split_id);
+    grants_.erase({tenant, split_id});
+}
+
+void
+FleetScheduler::releaseSplit(WorkerId worker, TenantId tenant,
+                             uint64_t split_id)
+{
+    std::scoped_lock lock(mutex_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        return;
+    TenantState &st = *it->second;
+    st.master->releaseSplit(masterIdLocked(st, worker), split_id);
+    grants_.erase({tenant, split_id});
+}
+
+const dpp::SessionSpec &
+FleetScheduler::tenantSpec(TenantId tenant) const
+{
+    std::scoped_lock lock(mutex_);
+    auto it = tenants_.find(tenant);
+    dsi_assert(it != tenants_.end(), "unknown tenant %u", tenant);
+    return it->second->master->spec();
+}
+
+const dwrf::Buffer &
+FleetScheduler::tenantProgram(TenantId tenant) const
+{
+    std::scoped_lock lock(mutex_);
+    auto it = tenants_.find(tenant);
+    dsi_assert(it != tenants_.end(), "unknown tenant %u", tenant);
+    return it->second->master->transformProgram();
+}
+
+// ---------------------------------------------------------------------
+// Pool management (driver thread only).
+
+void
+FleetScheduler::launchWorker()
+{
+    // Worker construction registers with the fleet (takes the fleet
+    // lock) — never call this while holding mutex_.
+    workers_.push_back(std::make_unique<dpp::Worker>(
+        *this, warehouse_, options_.worker));
+    if (running_parallel_)
+        workers_.back()->start();
+    {
+        std::scoped_lock lock(mutex_);
+        ++workers_launched_;
+    }
+    metrics_.inc("fleet.workers_launched");
+}
+
+void
+FleetScheduler::replaceWorkerAt(size_t i)
+{
+    dsi_assert(i < workers_.size(), "no worker at index %zu", i);
+    workers_[i]->stop();
+    retired_metrics_.merge(workers_[i]->metrics());
+    {
+        std::scoped_lock lock(mutex_);
+        last_heartbeat_.erase(workers_[i]->id());
+        ++worker_failures_;
+    }
+    metrics_.inc("fleet.worker_replacements");
+    // Stateless restart: a fresh worker takes the slot (no checkpoint).
+    workers_[i] = std::make_unique<dpp::Worker>(*this, warehouse_,
+                                                options_.worker);
+    if (running_parallel_)
+        workers_[i]->start();
+}
+
+bool
+FleetScheduler::workerHoldsGrantsLocked(WorkerId worker) const
+{
+    for (const auto &[key, wid] : grants_)
+        if (wid == worker)
+            return true;
+    return false;
+}
+
+void
+FleetScheduler::failWorkerLocked(WorkerId worker)
+{
+    // Requeue everything the dead worker held, on every tenant Master
+    // it ever served (failWorker is a no-op where it held nothing).
+    for (auto &[id, st] : tenants_) {
+        auto mi = st->master_ids.find(worker);
+        if (mi != st->master_ids.end())
+            st->master->failWorker(mi->second);
+    }
+    for (auto it = grants_.begin(); it != grants_.end();)
+        it = it->second == worker ? grants_.erase(it) : std::next(it);
+    metrics_.inc("fleet.lease_expirations");
+}
+
+bool
+FleetScheduler::expireFleetLeases()
+{
+    if (options_.lease_timeout <= 0)
+        return false;
+    std::vector<size_t> dead;
+    {
+        std::scoped_lock lock(mutex_);
+        double now = clock_();
+        for (size_t i = 0; i < workers_.size(); ++i) {
+            WorkerId id = workers_[i]->id();
+            // Idle workers are never expired — nothing to recover.
+            if (!workerHoldsGrantsLocked(id))
+                continue;
+            auto hb = last_heartbeat_.find(id);
+            if (hb != last_heartbeat_.end() &&
+                now - hb->second > options_.lease_timeout)
+                dead.push_back(i);
+        }
+        for (size_t i : dead)
+            failWorkerLocked(workers_[i]->id());
+    }
+    for (size_t i : dead)
+        replaceWorkerAt(i);
+    return !dead.empty();
+}
+
+bool
+FleetScheduler::replaceCrashedWorkers()
+{
+    bool replaced = false;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        if (!workers_[i]->crashed())
+            continue;
+        {
+            std::scoped_lock lock(mutex_);
+            // A crashed worker still holding grants waits for lease
+            // expiry (its splits must requeue before it is recycled);
+            // without a lease, recycle it here.
+            if (workerHoldsGrantsLocked(workers_[i]->id())) {
+                if (options_.lease_timeout > 0)
+                    continue;
+                failWorkerLocked(workers_[i]->id());
+            }
+        }
+        replaceWorkerAt(i);
+        replaced = true;
+    }
+    return replaced;
+}
+
+bool
+FleetScheduler::retireDrainedWorkers()
+{
+    bool removed = false;
+    for (size_t i = 0; i < workers_.size();) {
+        if (workers_[i]->draining() && workers_[i]->drained() &&
+            workers_.size() > 1) {
+            retired_metrics_.merge(workers_[i]->metrics());
+            workers_[i]->stop();
+            {
+                std::scoped_lock lock(mutex_);
+                last_heartbeat_.erase(workers_[i]->id());
+                ++workers_drained_;
+            }
+            workers_.erase(workers_.begin() +
+                           static_cast<ptrdiff_t>(i));
+            removed = true;
+        } else {
+            ++i;
+        }
+    }
+    return removed;
+}
+
+bool
+FleetScheduler::maybePreempt()
+{
+    if (!options_.preemption)
+        return false;
+    size_t victim_idx = SIZE_MAX;
+    TenantId victim_tenant = 0;
+    WorkerId victim_id = 0;
+    {
+        std::scoped_lock lock(mutex_);
+        // Idle capacity present: the starved tenant's reservation will
+        // be honored by a natural grant; preempting would only thrash.
+        for (auto &w : workers_)
+            if (!w->crashed() && !w->draining() &&
+                !workerHoldsGrantsLocked(w->id()))
+                return false;
+
+        // Most important tenant starved below its reservation.
+        TenantState *starved = nullptr;
+        for (auto &[id, st] : tenants_) {
+            if (st->opts.min_quota == 0)
+                continue;
+            auto p = st->master->progress();
+            if (p.pending_splits == 0 ||
+                p.inflight_splits >= st->opts.min_quota)
+                continue;
+            if (!starved ||
+                st->opts.job_class > starved->opts.job_class)
+                starved = st.get();
+        }
+        if (!starved)
+            return false;
+
+        // Victim: a live worker holding a strictly-lower-class
+        // tenant's split; the lowest class pays first.
+        JobClass victim_class = starved->opts.job_class;
+        for (const auto &[key, wid] : grants_) {
+            const TenantState &vt = *tenants_.at(key.first);
+            if (vt.opts.job_class >= starved->opts.job_class)
+                continue;
+            if (victim_idx != SIZE_MAX &&
+                vt.opts.job_class >= victim_class)
+                continue;
+            for (size_t i = 0; i < workers_.size(); ++i) {
+                if (workers_[i]->id() != wid)
+                    continue;
+                if (!workers_[i]->draining() &&
+                    !workers_[i]->crashed()) {
+                    victim_idx = i;
+                    victim_tenant = key.first;
+                    victim_id = wid;
+                    victim_class = vt.opts.job_class;
+                }
+                break;
+            }
+        }
+        if (victim_idx == SIZE_MAX)
+            return false;
+        ++tenants_.at(victim_tenant)->preempted;
+        metrics_.inc(tenantMetric(victim_tenant, "preempted"));
+        metrics_.inc("fleet.preemptions");
+        ++preemptions_;
+    }
+    // Graceful handback: the victim releases its splits at the next
+    // stripe boundary (no attempt penalty; buffered tensors still
+    // deliver and the tenant ledger dedupes replay overlap), then
+    // retires. The replacement's first polls land on the starved
+    // tenant via the quota pass.
+    workers_[victim_idx]->beginDrain(/*release_held=*/true);
+    trace::instant(trace::events::kFleetPreempt, trace::kNoSpan,
+                   victim_tenant, victim_id);
+    launchWorker();
+    return true;
+}
+
+void
+FleetScheduler::maybeAutoscale()
+{
+    if (!scaler_)
+        return;
+    double now = clock_();
+    double dt = now - last_eval_;
+    if (dt < options_.autoscale.interval_s)
+        return;
+    last_eval_ = now;
+
+    std::vector<dpp::WorkerReport> reports;
+    double supplied = 0.0;
+    for (auto &w : workers_) {
+        supplied += w->metrics().counter("worker.tensors");
+        if (!w->draining() && !w->crashed())
+            reports.push_back(w->report());
+    }
+    uint64_t delivered;
+    {
+        std::scoped_lock lock(mutex_);
+        delivered = tensors_delivered_;
+    }
+    double demand_rate = (static_cast<double>(delivered) -
+                          static_cast<double>(last_delivered_)) /
+                         dt;
+    double supply_rate =
+        std::max(0.0, (supplied - last_supplied_) / dt);
+    last_delivered_ = delivered;
+    last_supplied_ = supplied;
+    auto decision =
+        scaler_->evaluate(reports, demand_rate, supply_rate);
+
+    if (decision.delta > 0) {
+        for (int64_t i = 0; i < decision.delta; ++i)
+            launchWorker();
+    } else if (decision.delta < 0) {
+        int64_t to_drain = -decision.delta;
+        for (auto it = workers_.rbegin();
+             it != workers_.rend() && to_drain > 0; ++it) {
+            if ((*it)->draining() || (*it)->crashed())
+                continue;
+            (*it)->beginDrain();
+            --to_drain;
+        }
+    }
+}
+
+uint64_t
+FleetScheduler::drainOnce(const TensorSink &sink)
+{
+    uint64_t delivered = 0;
+    for (auto &w : workers_) {
+        // popTensor routes completion back through the fleet (it
+        // locks mutex_ internally) — never hold the lock across it.
+        while (auto t = w->popTensor()) {
+            bool fresh;
+            {
+                std::scoped_lock lock(mutex_);
+                auto it = tenants_.find(t->tenant);
+                if (it == tenants_.end())
+                    continue;
+                TenantState &st = *it->second;
+                fresh = st.ledger.claim(t->split_id, t->first_row);
+                if (fresh) {
+                    ++st.tensors_delivered;
+                    st.rows_delivered += t->data.rows;
+                    ++tensors_delivered_;
+                    rows_delivered_ += t->data.rows;
+                }
+            }
+            if (!fresh) {
+                // Replay overlap (preemption / crash recovery): the
+                // tenant's ledger already accepted this batch.
+                trace::instant(trace::events::kDuplicateSuppressed,
+                               t->trace, t->split_id);
+                continue;
+            }
+            trace::Span span(trace::spans::kFleetDeliver, t->trace,
+                             t->tenant, t->split_id);
+            if (sink)
+                sink(t->tenant, *t);
+            ++delivered;
+        }
+    }
+    return delivered;
+}
+
+// ---------------------------------------------------------------------
+// Driving.
+
+void
+FleetScheduler::setClock(std::function<double()> clock)
+{
+    std::scoped_lock lock(mutex_);
+    clock_ = std::move(clock);
+    last_eval_ = clock_();
+    for (auto &hb : last_heartbeat_)
+        hb.second = last_eval_;
+}
+
+bool
+FleetScheduler::finished() const
+{
+    {
+        std::scoped_lock lock(mutex_);
+        if (!closed_)
+            return false;
+        for (const auto &[id, st] : tenants_)
+            if (!st->master->progress().done())
+                return false;
+    }
+    for (const auto &w : workers_)
+        if (!w->drained())
+            return false;
+    return true;
+}
+
+bool
+FleetScheduler::tick(const TensorSink &sink)
+{
+    if (!parallel_) {
+        for (auto &w : workers_)
+            w->pump();
+    }
+    expireFleetLeases();
+    replaceCrashedWorkers();
+    retireDrainedWorkers();
+    maybePreempt();
+    maybeAutoscale();
+    drainOnce(sink);
+    return !finished();
+}
+
+FleetResult
+FleetScheduler::run(TensorSink sink)
+{
+    close();
+    bool tracing = options_.trace || trace::envEnabled();
+    if (tracing) {
+        trace::TraceLog::instance().clear();
+        trace::TraceLog::instance().enable();
+    }
+    if (parallel_) {
+        running_parallel_ = true;
+        for (auto &w : workers_)
+            w->start();
+    }
+    while (!finished()) {
+        tick(sink);
+        if (parallel_)
+            std::this_thread::yield();
+    }
+    running_parallel_ = false;
+    for (auto &w : workers_)
+        w->stop();
+
+    FleetResult r;
+    {
+        std::scoped_lock lock(mutex_);
+        for (auto &[id, st] : tenants_) {
+            // Tenants that ended in failure never closed their span.
+            if (st->span != trace::kNoSpan) {
+                trace::endSpan(st->span, trace::spans::kFleetTenant);
+                st->span = trace::kNoSpan;
+            }
+            r.tenants[id] = tenantStatsLocked(*st);
+        }
+        r.tensors_delivered = tensors_delivered_;
+        r.rows_delivered = rows_delivered_;
+        r.worker_failures = worker_failures_;
+        r.workers_launched = workers_launched_;
+        r.workers_drained = workers_drained_;
+        r.preemptions = preemptions_;
+    }
+    if (tracing) {
+        trace::TraceLog::instance().disable();
+        trace_events_ = trace::TraceLog::instance().snapshot();
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Introspection.
+
+TenantStats
+FleetScheduler::tenantStatsLocked(const TenantState &st) const
+{
+    TenantStats s;
+    s.name = st.opts.name;
+    s.job_class = st.opts.job_class;
+    s.granted = st.granted;
+    s.shed = st.shed;
+    s.preempted = st.preempted;
+    s.tensors_delivered = st.tensors_delivered;
+    s.rows_delivered = st.rows_delivered;
+    s.duplicates_suppressed = st.ledger.duplicates();
+    auto p = st.master->progress();
+    s.splits_failed = p.failed_splits;
+    s.done = p.done();
+    if (st.grant_latency.count() > 0) {
+        s.grant_latency_p50 = st.grant_latency.percentile(50);
+        s.grant_latency_p99 = st.grant_latency.percentile(99);
+    }
+    return s;
+}
+
+dpp::SessionProgress
+FleetScheduler::tenantProgress(TenantId tenant) const
+{
+    std::scoped_lock lock(mutex_);
+    auto it = tenants_.find(tenant);
+    dsi_assert(it != tenants_.end(), "unknown tenant %u", tenant);
+    return it->second->master->progress();
+}
+
+TenantStats
+FleetScheduler::tenantStats(TenantId tenant) const
+{
+    std::scoped_lock lock(mutex_);
+    auto it = tenants_.find(tenant);
+    dsi_assert(it != tenants_.end(), "unknown tenant %u", tenant);
+    return tenantStatsLocked(*it->second);
+}
+
+size_t
+FleetScheduler::tenantCount() const
+{
+    std::scoped_lock lock(mutex_);
+    return tenants_.size();
+}
+
+Metrics
+FleetScheduler::collectMetrics() const
+{
+    Metrics merged;
+    merged.merge(metrics_);
+    merged.merge(retired_metrics_);
+    {
+        std::scoped_lock lock(mutex_);
+        for (const auto &[id, st] : tenants_)
+            merged.merge(st->master->metrics());
+    }
+    for (const auto &w : workers_)
+        merged.merge(w->metrics());
+    return merged;
+}
+
+} // namespace dsi::sched

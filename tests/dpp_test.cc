@@ -89,8 +89,11 @@ TEST_F(DppTest, SplitLifecycle)
 {
     Master master(*mw_.warehouse, makeSpec(mw_, {0}));
     WorkerId w = master.registerWorker();
-    auto split = master.requestSplit(w);
+    auto grant = master.acquireSplit(w, {});
+    ASSERT_EQ(grant.status, GrantStatus::Granted);
+    auto split = grant.split;
     ASSERT_TRUE(split.has_value());
+    EXPECT_EQ(grant.tenant, 0u); // a Master is single-tenant
     EXPECT_EQ(master.progress().inflight_splits, 1u);
     master.completeSplit(w, split->id);
     EXPECT_EQ(master.progress().completed_splits, 1u);
@@ -107,18 +110,36 @@ TEST_F(DppTest, FailedWorkerSplitsRequeue)
     Master master(*mw_.warehouse, makeSpec(mw_, {0}));
     WorkerId a = master.registerWorker();
     WorkerId b = master.registerWorker();
-    auto s1 = master.requestSplit(a);
+    auto s1 = master.acquireSplit(a, {}).split;
     ASSERT_TRUE(s1.has_value());
     master.failWorker(a);
     EXPECT_EQ(master.progress().inflight_splits, 0u);
     // b eventually receives the requeued split (it is at the front).
-    auto s2 = master.requestSplit(b);
+    auto s2 = master.acquireSplit(b, {}).split;
     ASSERT_TRUE(s2.has_value());
     EXPECT_EQ(s2->id, s1->id);
     // A request from a dead (zombie) worker is refused, not fatal —
     // its process may still be mid-RPC when the monitor declares it.
-    EXPECT_FALSE(master.requestSplit(a).has_value());
+    EXPECT_EQ(master.acquireSplit(a, {}).status, GrantStatus::Rejected);
     EXPECT_EQ(master.metrics().counter("master.stale_requests"), 1.0);
+}
+
+TEST_F(DppTest, FullBufferLoadShedsOnTheOnlyRequestPath)
+{
+    // Regression for the retired no-load requestSplit() wrapper: it
+    // always passed an empty WorkerLoad, so a worker reporting a full
+    // output buffer was still granted work through it and overload
+    // went uncounted. acquireSplit(worker, load) is now the only
+    // request path, and the load it carries actually sheds.
+    Master master(*mw_.warehouse, makeSpec(mw_, {0}));
+    WorkerId w = master.registerWorker();
+    WorkerLoad full;
+    full.buffer_full = true;
+    EXPECT_EQ(master.acquireSplit(w, full).status,
+              GrantStatus::Overloaded);
+    EXPECT_EQ(master.metrics().counter("master.splits_shed"), 1.0);
+    // The shed split stayed queued for a less-loaded request.
+    EXPECT_EQ(master.acquireSplit(w, {}).status, GrantStatus::Granted);
 }
 
 TEST_F(DppTest, CheckpointRestoreResumesWithoutRedoingWork)
@@ -127,10 +148,10 @@ TEST_F(DppTest, CheckpointRestoreResumesWithoutRedoingWork)
     Master master(*mw_.warehouse, spec);
     WorkerId w = master.registerWorker();
     for (int i = 0; i < 3; ++i) {
-        auto s = master.requestSplit(w);
+        auto s = master.acquireSplit(w, {}).split;
         master.completeSplit(w, s->id);
     }
-    auto in_flight = master.requestSplit(w); // left in flight
+    auto in_flight = master.acquireSplit(w, {}).split; // in flight
     ASSERT_TRUE(in_flight.has_value());
 
     auto bytes = master.checkpoint().serialize();
@@ -147,7 +168,7 @@ TEST_F(DppTest, CheckpointRestoreResumesWithoutRedoingWork)
     // Draining the replica touches each remaining split exactly once.
     WorkerId rw = replica.registerWorker();
     std::set<uint64_t> seen;
-    while (auto s = replica.requestSplit(rw)) {
+    while (auto s = replica.acquireSplit(rw, {}).split) {
         EXPECT_TRUE(seen.insert(s->id).second);
         replica.completeSplit(rw, s->id);
     }
@@ -160,7 +181,7 @@ TEST_F(DppTest, CheckpointPersistsThroughTectonic)
     auto spec = makeSpec(mw_, {0});
     Master master(*mw_.warehouse, spec);
     WorkerId w = master.registerWorker();
-    auto s = master.requestSplit(w);
+    auto s = master.acquireSplit(w, {}).split;
     master.completeSplit(w, s->id);
     master.checkpointToStorage(*mw_.cluster, "dpp/ckpt");
 
@@ -181,7 +202,7 @@ TEST_F(DppTest, MissingCheckpointFallsBackToColdStart)
     // The master is untouched and serves the full split set cold.
     EXPECT_EQ(master.progress().pending_splits, master.totalSplits());
     WorkerId w = master.registerWorker();
-    EXPECT_TRUE(master.requestSplit(w).has_value());
+    EXPECT_EQ(master.acquireSplit(w, {}).status, GrantStatus::Granted);
 }
 
 TEST_F(DppTest, TruncatedCheckpointFallsBackToColdStart)
@@ -189,7 +210,7 @@ TEST_F(DppTest, TruncatedCheckpointFallsBackToColdStart)
     auto spec = makeSpec(mw_, {0});
     Master master(*mw_.warehouse, spec);
     WorkerId w = master.registerWorker();
-    auto s = master.requestSplit(w);
+    auto s = master.acquireSplit(w, {}).split;
     master.completeSplit(w, s->id);
     master.checkpointToStorage(*mw_.cluster, "dpp/ckpt-trunc");
 
