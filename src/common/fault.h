@@ -60,6 +60,21 @@ inline constexpr const char *kSourceReadError = "source.read.error";
 /** Any RandomAccessSource: the checked read returns flipped bytes. */
 inline constexpr const char *kSourceReadCorrupt = "source.read.corrupt";
 
+/**
+ * Control plane dies between staging and publishing a checkpoint
+ * record: the record never becomes visible to recovery.
+ */
+inline constexpr const char *kCheckpointWriteCrash =
+    "checkpoint.write.crash";
+
+/** A published checkpoint record loses its tail (torn write). */
+inline constexpr const char *kCheckpointWriteTorn =
+    "checkpoint.write.torn";
+
+/** A published checkpoint record has a bit flipped mid-record. */
+inline constexpr const char *kCheckpointWriteCorrupt =
+    "checkpoint.write.corrupt";
+
 } // namespace faults
 
 /** How an armed fault point decides to fire. */

@@ -86,6 +86,12 @@ inline constexpr const char *kClientDeliver = "client.deliver";
 inline constexpr const char *kFleetTenant = "fleet.tenant";
 /** One tensor delivered to a tenant's ledger by the fleet drain. */
 inline constexpr const char *kFleetDeliver = "fleet.deliver";
+/** One durable control-plane checkpoint written to the journal
+ * (a0 = record sequence number, a1 = record bytes). */
+inline constexpr const char *kMasterCheckpoint = "master.checkpoint";
+/** Whole-Master recovery from the journal (a0 = recovered record
+ * sequence, a1 = splits requeued as pending). */
+inline constexpr const char *kMasterRecover = "master.recover";
 } // namespace spans
 
 /** Canonical instant-event names. */

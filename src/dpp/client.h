@@ -12,14 +12,12 @@
 #ifndef DSI_DPP_CLIENT_H
 #define DSI_DPP_CLIENT_H
 
-#include <mutex>
 #include <optional>
-#include <set>
-#include <utility>
 #include <vector>
 
 #include "common/deadline.h"
 #include "common/metrics.h"
+#include "dpp/ledger.h"
 #include "dpp/worker.h"
 
 namespace dsi::dpp {
@@ -29,47 +27,6 @@ struct ClientOptions
 {
     /** Maximum Worker connections per Client. */
     uint32_t max_connections = 8;
-};
-
-/**
- * Session-wide exactly-once delivery ledger. Batches are identified
- * by (split_id, first_row) — stable across replays because batch
- * slicing is deterministic. When a split is replayed after a worker
- * crash or lease expiry, the rows already delivered in the first
- * attempt claim the same keys, and whichever client pops the replay
- * suppresses them. Shared by every client of a session (a replay may
- * be routed to a different client than the original delivery).
- */
-class DeliveryLedger
-{
-  public:
-    /** True exactly once per key: the caller may deliver the batch. */
-    bool claim(uint64_t split_id, RowId first_row)
-    {
-        std::scoped_lock lock(mutex_);
-        bool fresh = delivered_.emplace(split_id, first_row).second;
-        if (!fresh)
-            ++duplicates_;
-        return fresh;
-    }
-
-    uint64_t delivered() const
-    {
-        std::scoped_lock lock(mutex_);
-        return delivered_.size();
-    }
-
-    /** Replayed batches suppressed across the whole session. */
-    uint64_t duplicates() const
-    {
-        std::scoped_lock lock(mutex_);
-        return duplicates_;
-    }
-
-  private:
-    mutable std::mutex mutex_;
-    std::set<std::pair<uint64_t, RowId>> delivered_;
-    uint64_t duplicates_ = 0;
 };
 
 /** The per-trainer tensor-fetch endpoint. */

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Session-wide exactly-once delivery ledger + its durable codec.
+ *
+ * Batches are identified by (split_id, first_row) — stable across
+ * replays because batch slicing is deterministic. When a split is
+ * replayed after a worker crash or lease expiry, the rows already
+ * delivered in the first attempt claim the same keys, and whichever
+ * client pops the replay suppresses them. Shared by every client of a
+ * session (a replay may be routed to a different client than the
+ * original delivery).
+ *
+ * The ledger is also the half of exactly-once that must survive a
+ * *control-plane* death: a restarted Master requeues every in-flight
+ * split, and only a restored ledger can tell which of the replayed
+ * batches were already handed to trainers. LedgerCheckpoint is the
+ * versioned wire format the Master's checkpoint journal embeds
+ * (checkpoint_journal.h) so a recovered session resumes its batch
+ * stream with no duplicate and no lost batch.
+ */
+
+#ifndef DSI_DPP_LEDGER_H
+#define DSI_DPP_LEDGER_H
+
+#include <mutex>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "dwrf/encoding.h"
+
+namespace dsi::dpp {
+
+/**
+ * Serializable DeliveryLedger state. Versioned like MasterCheckpoint:
+ * deserialize rejects unknown format versions and any trailing or
+ * truncated bytes instead of mis-parsing byte soup.
+ */
+struct LedgerCheckpoint
+{
+    /** Bumped when the wire format changes shape. */
+    static constexpr uint64_t kFormatVersion = 1;
+
+    std::vector<std::pair<uint64_t, RowId>> delivered;
+    uint64_t duplicates = 0;
+
+    dwrf::Buffer
+    serialize() const
+    {
+        dwrf::Buffer out;
+        dwrf::putVarint(out, kFormatVersion);
+        dwrf::putVarint(out, duplicates);
+        dwrf::putVarint(out, delivered.size());
+        for (const auto &[split, row] : delivered) {
+            dwrf::putVarint(out, split);
+            dwrf::putVarint(out, row);
+        }
+        return out;
+    }
+
+    static std::optional<LedgerCheckpoint>
+    deserialize(dwrf::ByteSpan data)
+    {
+        LedgerCheckpoint cp;
+        size_t pos = 0;
+        uint64_t version, n;
+        if (!dwrf::getVarint(data, pos, version) ||
+            version != kFormatVersion ||
+            !dwrf::getVarint(data, pos, cp.duplicates) ||
+            !dwrf::getVarint(data, pos, n) || n > data.size()) {
+            return std::nullopt;
+        }
+        cp.delivered.resize(n);
+        for (auto &[split, row] : cp.delivered) {
+            if (!dwrf::getVarint(data, pos, split) ||
+                !dwrf::getVarint(data, pos, row))
+                return std::nullopt;
+        }
+        if (pos != data.size())
+            return std::nullopt;
+        return cp;
+    }
+};
+
+/** The exactly-once delivery ledger (see file doc). */
+class DeliveryLedger
+{
+  public:
+    /** True exactly once per key: the caller may deliver the batch. */
+    bool claim(uint64_t split_id, RowId first_row)
+    {
+        std::scoped_lock lock(mutex_);
+        bool fresh = delivered_.emplace(split_id, first_row).second;
+        if (!fresh)
+            ++duplicates_;
+        return fresh;
+    }
+
+    uint64_t delivered() const
+    {
+        std::scoped_lock lock(mutex_);
+        return delivered_.size();
+    }
+
+    /** Replayed batches suppressed across the whole session. */
+    uint64_t duplicates() const
+    {
+        std::scoped_lock lock(mutex_);
+        return duplicates_;
+    }
+
+    /** Snapshot for the checkpoint journal. */
+    LedgerCheckpoint checkpoint() const
+    {
+        std::scoped_lock lock(mutex_);
+        LedgerCheckpoint cp;
+        cp.delivered.assign(delivered_.begin(), delivered_.end());
+        cp.duplicates = duplicates_;
+        return cp;
+    }
+
+    /**
+     * Replace state with a checkpoint's. Keys restored here suppress
+     * the replays a recovered Master triggers — the batches trainers
+     * received before the control plane died are never re-delivered.
+     */
+    void restore(const LedgerCheckpoint &cp)
+    {
+        std::scoped_lock lock(mutex_);
+        delivered_.clear();
+        delivered_.insert(cp.delivered.begin(), cp.delivered.end());
+        duplicates_ = cp.duplicates;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::set<std::pair<uint64_t, RowId>> delivered_;
+    uint64_t duplicates_ = 0;
+};
+
+} // namespace dsi::dpp
+
+#endif // DSI_DPP_LEDGER_H

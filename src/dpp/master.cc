@@ -23,27 +23,90 @@ dwrf::Buffer
 MasterCheckpoint::serialize() const
 {
     dwrf::Buffer out;
+    dwrf::putVarint(out, kFormatVersion);
+    dwrf::putVarint(out, epoch);
     dwrf::putVarint(out, next_split_cursor);
     dwrf::putVarint(out, completed.size());
     for (uint64_t id : completed)
         dwrf::putVarint(out, id);
+    dwrf::putVarint(out, failed.size());
+    for (uint64_t id : failed)
+        dwrf::putVarint(out, id);
+    dwrf::putVarint(out, attempts.size());
+    for (const auto &[id, count] : attempts) {
+        dwrf::putVarint(out, id);
+        dwrf::putVarint(out, count);
+    }
+    dwrf::putVarint(out, delivered_stripes.size());
+    for (const auto &[id, stripe] : delivered_stripes) {
+        dwrf::putVarint(out, id);
+        dwrf::putVarint(out, stripe);
+    }
     return out;
 }
+
+namespace {
+
+/** Read `count` varints guarded against fuzz-sized allocations. */
+bool
+getIdList(dwrf::ByteSpan data, size_t &pos,
+          std::vector<uint64_t> &out)
+{
+    uint64_t n;
+    // Every entry costs at least one byte, so a count beyond the
+    // remaining bytes is garbage — reject before resize() turns a
+    // flipped bit into a giant allocation.
+    if (!dwrf::getVarint(data, pos, n) || n > data.size() - pos)
+        return false;
+    out.resize(n);
+    for (auto &id : out) {
+        if (!dwrf::getVarint(data, pos, id))
+            return false;
+    }
+    return true;
+}
+
+bool
+getPairList(dwrf::ByteSpan data, size_t &pos,
+            std::vector<std::pair<uint64_t, uint32_t>> &out)
+{
+    uint64_t n;
+    if (!dwrf::getVarint(data, pos, n) ||
+        n > (data.size() - pos) / 2)
+        return false;
+    out.resize(n);
+    for (auto &[id, value] : out) {
+        uint64_t v;
+        if (!dwrf::getVarint(data, pos, id) ||
+            !dwrf::getVarint(data, pos, v) || v > UINT32_MAX)
+            return false;
+        value = static_cast<uint32_t>(v);
+    }
+    return true;
+}
+
+} // namespace
 
 std::optional<MasterCheckpoint>
 MasterCheckpoint::deserialize(dwrf::ByteSpan data)
 {
     MasterCheckpoint cp;
     size_t pos = 0;
-    uint64_t n;
-    if (!dwrf::getVarint(data, pos, cp.next_split_cursor) ||
-        !dwrf::getVarint(data, pos, n)) {
+    uint64_t version;
+    // An unknown version is rejected whole: guessing at a future
+    // layout risks silently resurrecting wrong state, the one thing a
+    // recovery path must never do.
+    if (!dwrf::getVarint(data, pos, version) ||
+        version != kFormatVersion ||
+        !dwrf::getVarint(data, pos, cp.epoch) ||
+        !dwrf::getVarint(data, pos, cp.next_split_cursor)) {
         return std::nullopt;
     }
-    cp.completed.resize(n);
-    for (auto &id : cp.completed) {
-        if (!dwrf::getVarint(data, pos, id))
-            return std::nullopt;
+    if (!getIdList(data, pos, cp.completed) ||
+        !getIdList(data, pos, cp.failed) ||
+        !getPairList(data, pos, cp.attempts) ||
+        !getPairList(data, pos, cp.delivered_stripes)) {
+        return std::nullopt;
     }
     if (pos != data.size())
         return std::nullopt;
@@ -169,6 +232,16 @@ Master::acquireSplit(WorkerId worker, const WorkerLoad &load)
     metrics_.inc("master.splits_assigned");
     grant.status = GrantStatus::Granted;
     grant.split = splits_[split_id];
+    // Re-grant of a partially delivered split: resume extraction past
+    // the contiguous prefix of stripes trainers already received, so
+    // a replacement worker (or a recovered control plane) re-reads
+    // only the undelivered tail.
+    auto wm = resume_watermark_.find(split_id);
+    if (wm != resume_watermark_.end() && wm->second > 0) {
+        grant.split->resume_stripe =
+            std::min(wm->second, grant.split->stripe_count);
+        metrics_.inc("master.splits_resumed");
+    }
     if (trace::on()) {
         // Lineage root: everything that happens to this split —
         // extraction, storage reads, transformation, delivery —
@@ -248,6 +321,9 @@ Master::expireDeadlines()
         uint32_t failures = ++attempts_[split_id];
         if (failures >= max_split_attempts_) {
             failed_.insert(split_id);
+            clearWatermarkLocked(split_id);
+            if (policy_.on_terminal)
+                writeCheckpointLocked();
             metrics_.inc("master.splits_failed");
             dsi_warn("split %llu blew %u deadlines; giving up",
                      static_cast<unsigned long long>(split_id),
@@ -284,7 +360,10 @@ Master::completeSplit(WorkerId worker, uint64_t split_id)
     deadline_at_.erase(split_id);
     endGrantSpanLocked(split_id);
     completed_.insert(split_id);
+    clearWatermarkLocked(split_id);
     metrics_.inc("master.splits_completed");
+    if (policy_.on_terminal)
+        writeCheckpointLocked();
 }
 
 void
@@ -303,6 +382,9 @@ Master::failSplit(WorkerId worker, uint64_t split_id)
     uint32_t failures = ++attempts_[split_id];
     if (failures >= max_split_attempts_) {
         failed_.insert(split_id);
+        clearWatermarkLocked(split_id);
+        if (policy_.on_terminal)
+            writeCheckpointLocked();
         metrics_.inc("master.splits_failed");
         dsi_warn("split %llu failed after %u attempts; giving up",
                  static_cast<unsigned long long>(split_id), failures);
@@ -413,10 +495,202 @@ MasterCheckpoint
 Master::checkpoint() const
 {
     std::scoped_lock lock(mutex_);
+    return checkpointLocked();
+}
+
+MasterCheckpoint
+Master::checkpointLocked() const
+{
     MasterCheckpoint cp;
+    cp.epoch = epoch_;
     cp.next_split_cursor = splits_.size();
     cp.completed.assign(completed_.begin(), completed_.end());
+    cp.failed.assign(failed_.begin(), failed_.end());
+    for (const auto &[id, count] : attempts_) {
+        if (count > 0)
+            cp.attempts.emplace_back(id, count);
+    }
+    for (const auto &[id, stripe] : resume_watermark_) {
+        if (stripe > 0)
+            cp.delivered_stripes.emplace_back(id, stripe);
+    }
     return cp;
+}
+
+void
+Master::enableJournal(storage::TectonicCluster &cluster,
+                      std::string base, CheckpointPolicy policy)
+{
+    std::scoped_lock lock(mutex_);
+    journal_ = std::make_unique<CheckpointJournal>(
+        cluster, std::move(base),
+        JournalOptions{policy.keep_records});
+    policy_ = policy;
+    last_checkpoint_at_ = clock_();
+    deliveries_since_checkpoint_ = 0;
+}
+
+void
+Master::setLedger(DeliveryLedger *ledger)
+{
+    std::scoped_lock lock(mutex_);
+    ledger_ = ledger;
+}
+
+uint64_t
+Master::epoch() const
+{
+    std::scoped_lock lock(mutex_);
+    return epoch_;
+}
+
+void
+Master::writeCheckpointLocked()
+{
+    if (!journal_)
+        return;
+    // Payload: [master_len][master bytes][ledger_len][ledger bytes].
+    // The ledger snapshot is taken *after* the master snapshot — a
+    // claim that races in between is recorded as delivered without
+    // its split being completed, which recovery resolves safely (the
+    // replay is suppressed; the opposite order could drop a batch).
+    dwrf::Buffer master_bytes = checkpointLocked().serialize();
+    dwrf::Buffer payload;
+    dwrf::putVarint(payload, master_bytes.size());
+    payload.insert(payload.end(), master_bytes.begin(),
+                   master_bytes.end());
+    dwrf::Buffer ledger_bytes;
+    if (ledger_)
+        ledger_bytes = ledger_->checkpoint().serialize();
+    dwrf::putVarint(payload, ledger_bytes.size());
+    payload.insert(payload.end(), ledger_bytes.begin(),
+                   ledger_bytes.end());
+
+    auto result = journal_->append(payload);
+    last_checkpoint_at_ = clock_();
+    deliveries_since_checkpoint_ = 0;
+    metrics_.inc("master.checkpoint.written");
+    metrics_.inc("master.checkpoint.bytes",
+                 static_cast<double>(result.bytes));
+    if (trace::on()) {
+        trace::SpanId span =
+            trace::beginSpan(trace::spans::kMasterCheckpoint,
+                             trace::kNoSpan, result.seq, result.bytes);
+        trace::endSpan(span, trace::spans::kMasterCheckpoint);
+    }
+}
+
+void
+Master::checkpointNow()
+{
+    std::scoped_lock lock(mutex_);
+    writeCheckpointLocked();
+}
+
+void
+Master::maybeCheckpoint()
+{
+    std::scoped_lock lock(mutex_);
+    if (!journal_ || policy_.interval_s <= 0.0)
+        return;
+    if (clock_() - last_checkpoint_at_ >= policy_.interval_s)
+        writeCheckpointLocked();
+}
+
+void
+Master::noteDelivery()
+{
+    std::scoped_lock lock(mutex_);
+    if (!journal_ || policy_.every_n_deliveries == 0)
+        return;
+    if (++deliveries_since_checkpoint_ >= policy_.every_n_deliveries)
+        writeCheckpointLocked();
+}
+
+void
+Master::noteStripeDelivered(uint64_t split_id, uint32_t stripe)
+{
+    std::scoped_lock lock(mutex_);
+    if (completed_.count(split_id) || failed_.count(split_id))
+        return; // terminal: resume tracking already cleared
+    uint32_t &watermark = resume_watermark_[split_id];
+    if (stripe < watermark)
+        return; // replayed stripe, already inside the prefix
+    // Batches of one split normally arrive in stripe order (one
+    // worker, FIFO queues), but a replay racing the original attempt
+    // can interleave; fold strays into the prefix as gaps close.
+    auto &stray = stray_stripes_[split_id];
+    stray.insert(stripe);
+    while (stray.erase(watermark))
+        ++watermark;
+}
+
+void
+Master::clearWatermarkLocked(uint64_t split_id)
+{
+    resume_watermark_.erase(split_id);
+    stray_stripes_.erase(split_id);
+}
+
+bool
+Master::recoverFromJournal()
+{
+    dsi_assert(journal_ != nullptr,
+               "recoverFromJournal needs enableJournal first");
+    JournalRecovery rec = journal_->recover();
+    if (rec.corrupt_skipped > 0)
+        metrics_.inc("master.checkpoint.corrupt_skipped",
+                     static_cast<double>(rec.corrupt_skipped));
+    if (!rec.found) {
+        dsi_warn("journal '%s' has no valid record; cold-starting",
+                 journal_->base().c_str());
+        return false;
+    }
+    // Unwrap [master_len][master][ledger_len][ledger].
+    dwrf::ByteSpan payload(rec.payload);
+    size_t pos = 0;
+    uint64_t master_len = 0;
+    if (!dwrf::getVarint(payload, pos, master_len) ||
+        master_len > payload.size() - pos) {
+        metrics_.inc("master.checkpoint_restore_failed");
+        return false;
+    }
+    dwrf::ByteSpan master_bytes = payload.subspan(pos, master_len);
+    pos += master_len;
+    uint64_t ledger_len = 0;
+    if (!dwrf::getVarint(payload, pos, ledger_len) ||
+        ledger_len != payload.size() - pos) {
+        metrics_.inc("master.checkpoint_restore_failed");
+        return false;
+    }
+    auto cp = MasterCheckpoint::deserialize(master_bytes);
+    if (!cp.has_value()) {
+        metrics_.inc("master.checkpoint_restore_failed");
+        return false;
+    }
+    std::optional<LedgerCheckpoint> lcp;
+    if (ledger_len > 0) {
+        lcp = LedgerCheckpoint::deserialize(
+            payload.subspan(pos, ledger_len));
+        if (!lcp.has_value()) {
+            metrics_.inc("master.checkpoint_restore_failed");
+            return false;
+        }
+    }
+
+    trace::SpanId span = trace::kNoSpan;
+    if (trace::on())
+        span = trace::beginSpan(trace::spans::kMasterRecover,
+                                trace::kNoSpan, rec.seq,
+                                rec.corrupt_skipped);
+    bool ok = restore(*cp);
+    if (ok && lcp.has_value() && ledger_ != nullptr)
+        ledger_->restore(*lcp);
+    if (ok)
+        metrics_.inc("master.checkpoint.restored");
+    if (trace::on())
+        trace::endSpan(span, trace::spans::kMasterRecover);
+    return ok;
 }
 
 void
@@ -464,10 +738,29 @@ Master::restore(const MasterCheckpoint &checkpoint)
     std::scoped_lock lock(mutex_);
     // Validate before mutating so a bad checkpoint leaves the session
     // in its current (still usable) state.
+    auto known = [&](uint64_t id) { return id < splits_.size(); };
     for (uint64_t id : checkpoint.completed) {
-        if (id >= splits_.size()) {
+        if (!known(id)) {
             dsi_warn("checkpoint references unknown split %llu",
                      static_cast<unsigned long long>(id));
+            metrics_.inc("master.checkpoint_restore_failed");
+            return false;
+        }
+    }
+    for (uint64_t id : checkpoint.failed) {
+        if (!known(id)) {
+            metrics_.inc("master.checkpoint_restore_failed");
+            return false;
+        }
+    }
+    for (const auto &[id, count] : checkpoint.attempts) {
+        if (!known(id) || count == 0) {
+            metrics_.inc("master.checkpoint_restore_failed");
+            return false;
+        }
+    }
+    for (const auto &[id, stripe] : checkpoint.delivered_stripes) {
+        if (!known(id) || stripe > splits_[id].stripe_count) {
             metrics_.inc("master.checkpoint_restore_failed");
             return false;
         }
@@ -475,8 +768,21 @@ Master::restore(const MasterCheckpoint &checkpoint)
     completed_.clear();
     completed_.insert(checkpoint.completed.begin(),
                       checkpoint.completed.end());
+    // Failed splits and attempt counts survive the restart: a split
+    // that burned two of its three attempts before the control plane
+    // died gets exactly one more — never a fresh budget (no attempt
+    // double-charging in either direction).
     failed_.clear();
+    failed_.insert(checkpoint.failed.begin(), checkpoint.failed.end());
     attempts_.clear();
+    attempts_.insert(checkpoint.attempts.begin(),
+                     checkpoint.attempts.end());
+    resume_watermark_.clear();
+    stray_stripes_.clear();
+    for (const auto &[id, stripe] : checkpoint.delivered_stripes) {
+        if (!completed_.count(id) && !failed_.count(id))
+            resume_watermark_[id] = stripe;
+    }
     inflight_.clear();
     deadline_at_.clear();
     for (const auto &[split_id, span] : grant_spans_)
@@ -484,9 +790,13 @@ Master::restore(const MasterCheckpoint &checkpoint)
     grant_spans_.clear();
     pending_.clear();
     for (uint64_t i = 0; i < splits_.size(); ++i) {
-        if (!completed_.count(i))
+        if (!completed_.count(i) && !failed_.count(i))
             pending_.push_back(i);
     }
+    // The restored Master is a new incarnation of the control plane;
+    // workers of the old one are zombies by construction (inflight_
+    // was cleared), and their late completions land as stale.
+    epoch_ = checkpoint.epoch + 1;
     metrics_.inc("master.restores");
     return true;
 }

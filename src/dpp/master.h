@@ -27,30 +27,115 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "dpp/checkpoint_journal.h"
+#include "dpp/ledger.h"
 #include "dpp/spec.h"
 #include "dpp/work_source.h"
 #include "warehouse/table.h"
 
 namespace dsi::dpp {
 
-/** Serializable Master state for fault tolerance / replication. */
+/**
+ * Serializable Master state for fault tolerance / replication.
+ *
+ * Versioned wire format: serialize() stamps kFormatVersion first and
+ * deserialize() rejects any other version outright (a Master from the
+ * future can read our checkpoints only by carrying the old decoder —
+ * we never guess at unknown layouts). Beyond the v1 cursor +
+ * completed set, v2 carries everything a cold replacement needs to
+ * resume *without* redoing or double-charging work: failed splits,
+ * per-split attempt counts, the delivered-stripe resume watermarks,
+ * and the control-plane incarnation epoch.
+ */
 struct MasterCheckpoint
 {
+    /** Bumped when the wire format changes shape. */
+    static constexpr uint64_t kFormatVersion = 2;
+
+    /** Incarnation of the Master that wrote this (restore bumps it). */
+    uint64_t epoch = 0;
     uint64_t next_split_cursor = 0;   ///< first unenumerated split
     std::vector<uint64_t> completed;  ///< completed split ids
+    std::vector<uint64_t> failed;     ///< attempts-exhausted split ids
+
+    /** (split id, failed attempts so far) for non-zero counts. */
+    std::vector<std::pair<uint64_t, uint32_t>> attempts;
+
+    /**
+     * (split id, contiguous delivered-stripe prefix) for unfinished
+     * splits: a re-granted split resumes extraction past stripes the
+     * trainers already received (Split::resume_stripe).
+     */
+    std::vector<std::pair<uint64_t, uint32_t>> delivered_stripes;
 
     dwrf::Buffer serialize() const;
     static std::optional<MasterCheckpoint> deserialize(
         dwrf::ByteSpan data);
+};
+
+/**
+ * When the Master writes durable checkpoints to its journal. All
+ * triggers compose; each trigger is off at its zero value.
+ */
+struct CheckpointPolicy
+{
+    /** Periodic: maybeCheckpoint() writes if this much clock passed. */
+    double interval_s = 0.0;
+
+    /**
+     * Event-driven: write whenever a split reaches a terminal state
+     * (completed, or failed for good). On by default — terminal
+     * transitions are exactly the state a replacement must not lose.
+     */
+    bool on_terminal = true;
+
+    /**
+     * Write every N delivered batches (noteDelivery). 1 makes the
+     * ledger durable per delivery — the strict exactly-once-across-
+     * crash setting; 0 disables the trigger.
+     */
+    uint64_t every_n_deliveries = 0;
+
+    /** Journal retention (CheckpointJournal keep_records). */
+    uint32_t keep_records = 4;
+};
+
+/**
+ * Durable control-plane checkpointing + crash recovery (off by
+ * default), consumed by InProcessSession and sched::FleetScheduler.
+ * With a cluster attached, each Master journals versioned checkpoints
+ * (its own state + its delivery ledger) per the policy; with
+ * `recover` set, a freshly built control plane restores Master and
+ * ledger from the newest valid journal record before any worker
+ * starts — in-flight splits of the dead incarnation requeue (resuming
+ * past delivered stripes) and already-delivered batches are
+ * suppressed.
+ */
+struct RecoveryOptions
+{
+    /** Cluster the journal lives on (null = checkpointing off). Must
+     * outlive the control plane. */
+    storage::TectonicCluster *cluster = nullptr;
+
+    /** Journal base name (records are `<base>.<seq>` files; a fleet
+     * appends a per-tenant suffix). */
+    std::string journal_base = "dpp/journal";
+
+    CheckpointPolicy policy;
+
+    /** Restore Master + ledger from the journal at construction. */
+    bool recover = false;
 };
 
 /** Progress summary exposed to the trainer master / auto-scaler. */
@@ -225,6 +310,58 @@ class Master : public WorkSource
 
     SessionProgress progress() const;
 
+    // --- durable control-plane checkpointing ---
+
+    /**
+     * Attach a write-ahead checkpoint journal at `base` on `cluster`
+     * and start writing per `policy`. The cluster must outlive the
+     * Master. Idempotent re-attachment replaces the policy; the
+     * journal resumes its sequence numbers past surviving records.
+     */
+    void enableJournal(storage::TectonicCluster &cluster,
+                       std::string base, CheckpointPolicy policy = {});
+
+    /**
+     * Attach the session's delivery ledger: its snapshot rides inside
+     * every journal record, and recoverFromJournal() restores it, so
+     * exactly-once delivery survives control-plane death. Null
+     * detaches. The ledger must outlive the Master.
+     */
+    void setLedger(DeliveryLedger *ledger);
+
+    /**
+     * Whole-Master recovery: scan the journal for the newest valid
+     * record, restore Master state (and the attached ledger) from it,
+     * and requeue previously in-flight splits without double-charging
+     * attempts. False = cold start (no valid record, or its payload
+     * did not validate) with state untouched. Emits a master.recover
+     * span; torn/corrupt records skipped by the scan are counted as
+     * master.checkpoint.corrupt_skipped.
+     */
+    bool recoverFromJournal();
+
+    /**
+     * A batch reached a trainer (called by the session / fleet drain
+     * after the ledger claim). Drives the every_n_deliveries trigger.
+     */
+    void noteDelivery();
+
+    /**
+     * All batches of relative stripe `stripe` of `split_id` reached
+     * trainers. Advances the contiguous delivered-stripe watermark
+     * that re-grants resume from (Split::resume_stripe).
+     */
+    void noteStripeDelivered(uint64_t split_id, uint32_t stripe);
+
+    /** Periodic tick: write a checkpoint if the interval elapsed. */
+    void maybeCheckpoint();
+
+    /** Force one durable checkpoint now (no-op without a journal). */
+    void checkpointNow();
+
+    /** Control-plane incarnation (0 until a restore bumps it). */
+    uint64_t epoch() const;
+
     /** Checkpoint of reader state (Section III-B1). */
     MasterCheckpoint checkpoint() const;
 
@@ -261,6 +398,11 @@ class Master : public WorkSource
     void touchLocked(WorkerId worker);
     /** Close the split's master.grant span, if one is open. */
     void endGrantSpanLocked(uint64_t split_id);
+    MasterCheckpoint checkpointLocked() const;
+    /** Append one journal record (master + ledger snapshot). */
+    void writeCheckpointLocked();
+    /** Drop resume-tracking state for a split gone terminal. */
+    void clearWatermarkLocked(uint64_t split_id);
 
     mutable std::mutex mutex_; ///< guards split-distribution state
     SessionSpec spec_;
@@ -279,6 +421,21 @@ class Master : public WorkSource
     std::map<WorkerId, double> last_heartbeat_;
     double lease_timeout_ = 0.0; ///< 0 = leases disabled
     std::function<double()> clock_;
+
+    // Durable checkpointing (all guarded by mutex_; the journal is
+    // not thread-safe and is serialized here). Lock order:
+    // mutex_ -> {ledger, Tectonic} — both are leaves.
+    std::unique_ptr<CheckpointJournal> journal_;
+    CheckpointPolicy policy_;
+    DeliveryLedger *ledger_ = nullptr;
+    uint64_t epoch_ = 0; ///< incarnation; restore sets prior + 1
+    double last_checkpoint_at_ = 0.0;
+    uint64_t deliveries_since_checkpoint_ = 0;
+    /** split -> contiguous delivered-stripe prefix (resume point). */
+    std::map<uint64_t, uint32_t> resume_watermark_;
+    /** Out-of-order stripe deliveries not yet folded into the prefix. */
+    std::map<uint64_t, std::set<uint32_t>> stray_stripes_;
+
     Metrics metrics_;
 };
 

@@ -32,6 +32,16 @@ InProcessSession::InProcessSession(const warehouse::Warehouse &warehouse,
     master_->setAdmission(options_.admission);
     if (options_.lease_timeout > 0)
         master_->setLeaseTimeout(options_.lease_timeout);
+    if (options_.recovery.cluster != nullptr) {
+        // The ledger snapshot rides in every journal record, so
+        // exactly-once delivery survives whole-control-plane death.
+        master_->setLedger(&ledger_);
+        master_->enableJournal(*options_.recovery.cluster,
+                               options_.recovery.journal_base,
+                               options_.recovery.policy);
+        if (options_.recovery.recover)
+            master_->recoverFromJournal();
+    }
     if (options_.autoscale.enabled) {
         scaler_ =
             std::make_unique<AutoScaler>(options_.autoscale.scaler);
@@ -203,6 +213,13 @@ InProcessSession::drainClients(SessionResult &result, TensorSink &sink)
             ++result.tensors_delivered;
             result.rows_delivered += tensor->data.rows;
             result.tensor_bytes += tensor->bytes;
+            // Feed the Master's resume watermark and the
+            // per-delivery checkpoint trigger. The claim is already
+            // durable in the ledger snapshot of the *next* record.
+            if (tensor->last_in_stripe)
+                master_->noteStripeDelivered(tensor->split_id,
+                                             tensor->stripe);
+            master_->noteDelivery();
             if (sink)
                 sink(c->id(), *tensor);
         }
@@ -253,6 +270,8 @@ InProcessSession::runSynchronous(TensorSink sink,
     bool failure_pending = fail_after_splits > 0;
 
     for (;;) {
+        if (halt_requested_)
+            break; // control plane died; leave the wreckage as-is
         // Data plane: every worker makes one unit of progress.
         bool any_work = false;
         for (auto &w : workers_)
@@ -307,6 +326,14 @@ InProcessSession::runParallel(TensorSink sink,
     // The calling thread plays the trainer side: drain clients until
     // every worker's pipeline has quiesced and its buffer is empty.
     for (;;) {
+        if (halt_requested_) {
+            // Control-plane death mid-run: abort the worker pipelines
+            // (their buffered tensors die with them, like a real
+            // fleet losing its processes) and bail without finishing.
+            for (auto &w : workers_)
+                w->stop();
+            break;
+        }
         if (failure_pending &&
             master_->progress().completed_splits >=
                 fail_after_splits) {
@@ -358,7 +385,7 @@ InProcessSession::foldWorkerStats(const Worker &w)
 SessionResult
 InProcessSession::finishResult(SessionResult result)
 {
-    dsi_assert(master_->progress().done(),
+    dsi_assert(halt_requested_ || master_->progress().done(),
                "session ended with incomplete splits");
     result.worker_failures = failures_;
     // Client metrics don't survive rebuildClients(); the ledger is

@@ -25,8 +25,10 @@
 #ifndef DSI_DPP_SESSION_H
 #define DSI_DPP_SESSION_H
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dpp/autoscaler.h"
@@ -91,6 +93,9 @@ struct SessionOptions
 
     /** Live auto-scaling (off by default). */
     AutoScaleOptions autoscale;
+
+    /** Durable checkpointing / crash recovery (off by default). */
+    RecoveryOptions recovery;
 };
 
 /** Aggregate outcome of a completed session. */
@@ -135,6 +140,22 @@ class InProcessSession
                      SessionSpec spec, SessionOptions options = {});
 
     Master &master() { return *master_; }
+
+    /** The session-wide exactly-once ledger (tests inspect it). */
+    DeliveryLedger &ledger() { return ledger_; }
+
+    /**
+     * Simulate whole-control-plane death: the next run() loop
+     * iteration stops pumping/draining and returns without completing
+     * the session (in-flight splits stay incomplete; buffered tensors
+     * are lost exactly as a real crash loses them). A successor
+     * session built with RecoveryOptions::recover picks the stream
+     * back up from the journal. Safe from the sink callback.
+     */
+    void requestHalt() { halt_requested_ = true; }
+
+    /** True when the last run() exited via requestHalt(). */
+    bool halted() const { return halt_requested_; }
 
     /**
      * Kill worker at pool index `i` (its pipeline threads are
@@ -216,6 +237,7 @@ class InProcessSession
     DeliveryLedger ledger_; ///< session-wide exactly-once dedup
     uint64_t failures_ = 0;
     bool running_parallel_ = false;
+    std::atomic<bool> halt_requested_{false};
     std::vector<trace::TraceEvent> trace_events_; ///< last run's trace
 
     // Live auto-scaling state.

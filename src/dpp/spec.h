@@ -57,6 +57,15 @@ struct Split
     uint32_t first_stripe = 0;  ///< stripes [first, first + count)
     uint32_t stripe_count = 0;
     uint64_t rows = 0;
+
+    /**
+     * Relative stripe to resume extraction from (0 on a fresh grant).
+     * Stamped by the Master on a re-grant when stripes
+     * [0, resume_stripe) of the split were already fully delivered to
+     * trainers in a previous attempt — the worker skips them instead
+     * of re-reading rows the ledger would only suppress again.
+     */
+    uint32_t resume_stripe = 0;
 };
 
 } // namespace dsi::dpp

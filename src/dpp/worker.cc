@@ -212,7 +212,7 @@ Worker::extractStripe(dwrf::FileReader &reader, TenantId tenant,
 bool
 Worker::transformStripe(dwrf::RowBatch &stripe, TenantId tenant,
                         uint64_t split_id, uint64_t epoch,
-                        RowId first_row,
+                        RowId first_row, uint32_t stripe_index,
                         transforms::CompiledGraph &graph,
                         transforms::TransformStats &stats,
                         Metrics &metrics, bool blocking,
@@ -240,6 +240,8 @@ Worker::transformStripe(dwrf::RowBatch &stripe, TenantId tenant,
         tensor.tenant = tenant;
         tensor.split_id = split_id;
         tensor.first_row = first_row + start;
+        tensor.stripe = stripe_index;
+        tensor.last_in_stripe = start + spec.batch_size >= stripe.rows;
         tensor.epoch = epoch;
         tensor.trace = span.id();
         metrics.inc("worker.tensor_bytes",
@@ -303,7 +305,12 @@ Worker::extractLoop()
         const SessionSpec &spec = control_.tenantSpec(tenant);
         const Split &split = *grant.split;
         SplitKey key{tenant, split.id};
-        uint64_t epoch = beginSplit(key, split.stripe_count);
+        // A resumed grant skips stripes already delivered to trainers
+        // in a previous attempt; this attempt owes only the tail.
+        if (split.resume_stripe > 0)
+            metrics_.inc("worker.splits_resumed");
+        uint64_t epoch = beginSplit(
+            key, split.stripe_count - split.resume_stripe);
         auto source = warehouse_.cluster().open(split.file);
         dwrf::ReadOptions read = spec.read;
         read.projection = spec.projection;
@@ -325,7 +332,8 @@ Worker::extractLoop()
         bool aborted = false;
         bool abandoned = false;
         bool released = false;
-        for (uint32_t s = 0; s < split.stripe_count; ++s) {
+        for (uint32_t s = split.resume_stripe; s < split.stripe_count;
+             ++s) {
             if (stop_requested_ || crashed_) {
                 aborted = true;
                 break;
@@ -378,6 +386,7 @@ Worker::extractLoop()
             work.split_id = split.id;
             work.first_row =
                 reader.footer().stripes[stripe_index].first_row;
+            work.stripe = s;
             work.epoch = epoch;
             work.trace = grant.trace;
             work.rows = std::move(rows);
@@ -440,8 +449,8 @@ Worker::transformLoop()
         }
         bool whole = transformStripe(*work->rows, work->tenant,
                                      work->split_id, work->epoch,
-                                     work->first_row, *graph, stats,
-                                     local,
+                                     work->first_row, work->stripe,
+                                     *graph, stats, local,
                                      /*blocking=*/true, work->trace);
         // The stripe's columns are no longer needed (mini-batches own
         // copies); recycle the batch so the next extract reuses its
@@ -545,7 +554,10 @@ bool
 Worker::openSplit(const Split &split)
 {
     current_ = split;
-    next_stripe_ = 0;
+    // Resumed grants re-read only the undelivered stripe tail.
+    next_stripe_ = split.resume_stripe;
+    if (split.resume_stripe > 0)
+        metrics_.inc("worker.splits_resumed");
     source_ = warehouse_.cluster().open(split.file);
     const SessionSpec &spec = control_.tenantSpec(current_tenant_);
     dwrf::ReadOptions read = spec.read;
@@ -558,19 +570,26 @@ Worker::openSplit(const Split &split)
         dsi_warn("worker %u: unreadable file '%s'", id_,
                  split.file.c_str());
         current_epoch_ =
-            beginSplit({current_tenant_, split.id}, split.stripe_count);
+            beginSplit({current_tenant_, split.id},
+                       split.stripe_count - split.resume_stripe);
         abandonCurrentSplit();
         return false;
     }
     reader_->setDeadline(current_deadline_);
     current_epoch_ =
-        beginSplit({current_tenant_, split.id}, split.stripe_count);
+        beginSplit({current_tenant_, split.id},
+                   split.stripe_count - split.resume_stripe);
     return true;
 }
 
 bool
 Worker::processNextStripe()
 {
+    // A fully-delivered resume (every stripe was already handed to
+    // trainers before the previous attempt died) has nothing left to
+    // read; pump() closes the split right after this returns.
+    if (next_stripe_ >= current_->stripe_count)
+        return true;
     uint32_t stripe_index = current_->first_stripe + next_stripe_;
     dwrf::ReadStatus status = dwrf::ReadStatus::Ok;
     auto stripe = stripe_pool_.acquire();
@@ -593,6 +612,7 @@ Worker::processNextStripe()
         return false;
     }
     RowId first_row = reader_->footer().stripes[stripe_index].first_row;
+    uint32_t relative_stripe = next_stripe_;
     ++next_stripe_;
     auto &graph = sync_graphs_[current_tenant_];
     if (!graph) {
@@ -600,8 +620,8 @@ Worker::processNextStripe()
             programFor(current_tenant_));
     }
     if (transformStripe(*stripe, current_tenant_, current_->id,
-                        current_epoch_, first_row, *graph,
-                        transform_stats_, metrics_,
+                        current_epoch_, first_row, relative_stripe,
+                        *graph, transform_stats_, metrics_,
                         /*blocking=*/false, current_trace_)) {
         noteStripeTransformed({current_tenant_, current_->id},
                               current_epoch_);

@@ -80,6 +80,18 @@ struct TensorBatch
     uint64_t split_id = 0;
     RowId first_row = 0;
 
+    /** Relative stripe (0-based within the split) this batch is from. */
+    uint32_t stripe = 0;
+
+    /**
+     * True on the final batch sliced from its stripe. Delivery of
+     * this batch means the whole stripe reached a trainer (slicing is
+     * deterministic and per-worker delivery is FIFO), which is what
+     * advances the Master's resume watermark
+     * (Master::noteStripeDelivered).
+     */
+    bool last_in_stripe = false;
+
     /** Worker-local split attempt number (internal bookkeeping). */
     uint64_t epoch = 0;
 
@@ -282,6 +294,7 @@ class Worker
         TenantId tenant = 0;
         uint64_t split_id = 0;
         RowId first_row = 0;
+        uint32_t stripe = 0; ///< relative stripe within the split
         uint64_t epoch = 0;
         trace::SpanId trace = trace::kNoSpan; ///< grant span
     };
@@ -370,7 +383,7 @@ class Worker
      */
     bool transformStripe(dwrf::RowBatch &stripe, TenantId tenant,
                          uint64_t split_id, uint64_t epoch,
-                         RowId first_row,
+                         RowId first_row, uint32_t stripe_index,
                          transforms::CompiledGraph &graph,
                          transforms::TransformStats &stats,
                          Metrics &metrics, bool blocking,

@@ -81,6 +81,20 @@ FleetScheduler::addTenant(dpp::SessionSpec spec, TenantOptions opts)
     st->id = next_tenant_++;
     st->opts = std::move(opts);
     st->master = std::move(master);
+    if (options_.recovery.cluster != nullptr) {
+        // Journal names derive from the sequentially-assigned tenant
+        // id, so a successor fleet re-admitting tenants in the same
+        // order reattaches each one to its predecessor's journal.
+        // TenantState is heap-allocated, so the ledger address the
+        // Master snapshots through stays stable across map moves.
+        st->master->setLedger(&st->ledger);
+        st->master->enableJournal(*options_.recovery.cluster,
+                                  options_.recovery.journal_base +
+                                      ".t" + std::to_string(st->id),
+                                  options_.recovery.policy);
+        if (options_.recovery.recover)
+            st->master->recoverFromJournal();
+    }
     TenantId id = st->id;
     tenants_.emplace(id, std::move(st));
     metrics_.inc("fleet.tenants_admitted");
@@ -323,7 +337,11 @@ FleetScheduler::replaceWorkerAt(size_t i)
         ++worker_failures_;
     }
     metrics_.inc("fleet.worker_replacements");
-    // Stateless restart: a fresh worker takes the slot (no checkpoint).
+    // The replacement worker is a fresh process, but the dead worker's
+    // requeued splits are not re-extracted from scratch: each tenant
+    // Master re-grants them with resume_stripe set past its
+    // delivered-stripe watermark, so the replacement reads only the
+    // undelivered tail of each split.
     workers_[i] = std::make_unique<dpp::Worker>(*this, warehouse_,
                                                 options_.worker);
     if (running_parallel_)
@@ -573,6 +591,13 @@ FleetScheduler::drainOnce(const TensorSink &sink)
                     st.rows_delivered += t->data.rows;
                     ++tensors_delivered_;
                     rows_delivered_ += t->data.rows;
+                    // Feed the tenant Master's delivered-stripe
+                    // watermark and checkpoint cadence (fleet ->
+                    // master lock order, legal under mutex_).
+                    if (t->last_in_stripe)
+                        st.master->noteStripeDelivered(t->split_id,
+                                                       t->stripe);
+                    st.master->noteDelivery();
                 }
             }
             if (!fresh) {
@@ -635,6 +660,13 @@ FleetScheduler::tick(const TensorSink &sink)
     maybePreempt();
     maybeAutoscale();
     drainOnce(sink);
+    if (options_.recovery.cluster != nullptr) {
+        // Periodic checkpoint cadence, one tenant journal at a time
+        // (no-op unless CheckpointPolicy::interval_s elapsed).
+        std::scoped_lock lock(mutex_);
+        for (auto &[id, st] : tenants_)
+            st->master->maybeCheckpoint();
+    }
     return !finished();
 }
 

@@ -38,9 +38,22 @@
  * **Fault tolerance.** The fleet runs its own heartbeat leases (every
  * acquireSplit / popTensor renews): a silent worker holding grants is
  * declared dead, failWorker() requeues its splits on every tenant
- * Master it served, and a stateless replacement joins the pool.
- * Exactly-once delivery is preserved per tenant by each tenant's
- * DeliveryLedger.
+ * Master it served, and a replacement joins the pool — the replacement
+ * is a fresh process, but the requeued splits carry each Master's
+ * delivered-stripe watermark, so it re-extracts only undelivered
+ * tails. Exactly-once delivery is preserved per tenant by each
+ * tenant's DeliveryLedger.
+ *
+ * **Whole-fleet recovery.** With FleetOptions::recovery attached,
+ * every tenant Master journals durable checkpoints (its state + its
+ * ledger) to the storage cluster at `<journal_base>.t<tenant_id>`.
+ * After control-plane death, a successor fleet built with
+ * `recovery.recover` restores each tenant as it is re-admitted:
+ * in-flight splits of the dead incarnation requeue (resuming past
+ * delivered stripes), attempts are not double-charged, and replayed
+ * batches are suppressed by the restored ledger. Tenants must be
+ * re-admitted in their original order (ids — and thus journal names —
+ * are assigned sequentially).
  *
  * **Observability.** Per-tenant counters fleet.tenant.<id>.granted /
  * .shed / .preempted; grant-latency percentiles per tenant; a
@@ -145,6 +158,13 @@ struct FleetOptions
 
     /** Pipeline-wide span tracing for run() (off by default). */
     bool trace = false;
+
+    /**
+     * Durable per-tenant checkpointing / whole-fleet crash recovery
+     * (off by default; see the file doc). Each tenant journals to
+     * `<recovery.journal_base>.t<tenant_id>` on `recovery.cluster`.
+     */
+    dpp::RecoveryOptions recovery;
 };
 
 /** One tenant's aggregate outcome / live accounting. */

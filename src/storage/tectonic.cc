@@ -152,6 +152,7 @@ TectonicCluster::liveNodes() const
 void
 TectonicCluster::create(const std::string &name)
 {
+    std::scoped_lock lock(meta_mutex_);
     auto it = files_.find(name);
     if (it != files_.end()) {
         logical_bytes_ -= it->second.data.size();
@@ -180,6 +181,9 @@ TectonicCluster::placeBlocks(FileState &file)
 void
 TectonicCluster::append(const std::string &name, dwrf::ByteSpan data)
 {
+    // meta_mutex_ also serializes placeBlocks' rng_ draws against
+    // concurrent appends (reads never touch rng_).
+    std::scoped_lock lock(meta_mutex_);
     auto it = files_.find(name);
     dsi_assert(it != files_.end(), "append to missing file '%s'",
                name.c_str());
@@ -192,12 +196,18 @@ TectonicCluster::append(const std::string &name, dwrf::ByteSpan data)
 void
 TectonicCluster::remove(const std::string &name)
 {
-    auto it = files_.find(name);
-    dsi_assert(it != files_.end(), "remove of missing file '%s'",
-               name.c_str());
-    logical_bytes_ -= it->second.data.size();
-    files_.erase(it);
-    // Evict any cached blocks of the file.
+    {
+        std::scoped_lock lock(meta_mutex_);
+        auto it = files_.find(name);
+        dsi_assert(it != files_.end(), "remove of missing file '%s'",
+                   name.c_str());
+        logical_bytes_ -= it->second.data.size();
+        files_.erase(it);
+    }
+    // Evict any cached blocks of the file. cache_index_ belongs to
+    // the read path, so this runs under io_mutex_ (taken after
+    // meta_mutex_ is released — never both at once).
+    std::scoped_lock lock(io_mutex_);
     std::string prefix = name + "#";
     for (auto c = cache_index_.begin(); c != cache_index_.end();) {
         if (c->first.compare(0, prefix.size(), prefix) == 0)
@@ -210,6 +220,7 @@ TectonicCluster::remove(const std::string &name)
 Bytes
 TectonicCluster::fileSize(const std::string &name) const
 {
+    std::scoped_lock lock(meta_mutex_);
     auto it = files_.find(name);
     dsi_assert(it != files_.end(), "missing file '%s'", name.c_str());
     return it->second.data.size();
@@ -218,6 +229,7 @@ TectonicCluster::fileSize(const std::string &name) const
 std::vector<std::string>
 TectonicCluster::listFiles() const
 {
+    std::scoped_lock lock(meta_mutex_);
     std::vector<std::string> out;
     out.reserve(files_.size());
     for (const auto &[name, _] : files_)
@@ -225,10 +237,24 @@ TectonicCluster::listFiles() const
     return out;
 }
 
+std::vector<std::string>
+TectonicCluster::listFiles(const std::string &prefix) const
+{
+    std::scoped_lock lock(meta_mutex_);
+    std::vector<std::string> out;
+    for (auto it = files_.lower_bound(prefix); it != files_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        out.push_back(it->first);
+    }
+    return out;
+}
+
 std::unique_ptr<TectonicSource>
 TectonicCluster::open(const std::string &name) const
 {
-    dsi_assert(files_.count(name), "missing file '%s'", name.c_str());
+    dsi_assert(exists(name), "missing file '%s'", name.c_str());
     return std::make_unique<TectonicSource>(*this, name);
 }
 
@@ -480,11 +506,21 @@ TectonicCluster::readFileRange(const std::string &name, Bytes offset,
     // Slow-replica fault: stalls here, then the read proceeds.
     faultPoint(faults::kTectonicReadDelay);
 
-    auto it = files_.find(name);
-    dsi_assert(it != files_.end(), "file vanished: '%s'", name.c_str());
-    const auto &file = it->second;
-    dsi_assert(offset + len <= file.data.size(),
-               "read past EOF in '%s'", name.c_str());
+    // The namespace lookup runs under meta_mutex_; the reference
+    // stays valid after release because map nodes are pointer-stable
+    // and published files are immutable (reading a file while its
+    // writer is still appending is out of contract).
+    const FileState *file_ptr;
+    {
+        std::scoped_lock lock(meta_mutex_);
+        auto it = files_.find(name);
+        dsi_assert(it != files_.end(), "file vanished: '%s'",
+                   name.c_str());
+        file_ptr = &it->second;
+        dsi_assert(offset + len <= file_ptr->data.size(),
+                   "read past EOF in '%s'", name.c_str());
+    }
+    const auto &file = *file_ptr;
 
     out.assign(file.data.begin() + static_cast<ptrdiff_t>(offset),
                file.data.begin() + static_cast<ptrdiff_t>(offset + len));

@@ -182,6 +182,7 @@ class TectonicCluster
 
     bool exists(const std::string &name) const
     {
+        std::scoped_lock lock(meta_mutex_);
         return files_.count(name) != 0;
     }
 
@@ -192,17 +193,23 @@ class TectonicCluster
     void remove(const std::string &name);
     Bytes fileSize(const std::string &name) const;
     std::vector<std::string> listFiles() const;
+    /** Files whose names start with `prefix` (journal scans). */
+    std::vector<std::string> listFiles(const std::string &prefix) const;
 
     /** Open a file for reading. */
     std::unique_ptr<TectonicSource> open(const std::string &name) const;
 
     // --- accounting ---
     /** Logical bytes stored (pre-replication). */
-    Bytes logicalBytes() const { return logical_bytes_; }
+    Bytes logicalBytes() const
+    {
+        std::scoped_lock lock(meta_mutex_);
+        return logical_bytes_;
+    }
     /** Physical bytes including replication. */
     Bytes physicalBytes() const
     {
-        return logical_bytes_ * options_.replication;
+        return logicalBytes() * options_.replication;
     }
     /** Raw capacity across all (non-cache) nodes. */
     Bytes rawCapacity() const;
@@ -285,9 +292,12 @@ class TectonicCluster
      * recoverable all-replicas-down case). Mutex-guarded: many DPP
      * extract threads read concurrently through their own
      * TectonicSources, but cache state, replica rotation, node
-     * liveness, and per-node accounting are cluster-wide. File
-     * metadata mutation (create/append/remove) is NOT synchronized
-     * against readers — ingestion and training are distinct phases.
+     * liveness, and per-node accounting are cluster-wide. The file
+     * namespace (create/append/remove/list) is guarded by meta_mutex_
+     * so control-plane checkpoint journaling can write while training
+     * reads; concurrent reads of a file *being appended to* remain
+     * undefined — no caller reads a file before its writer publishes
+     * it whole.
      */
     bool routeBlockRead(const std::string &name, const FileState &file,
                         uint64_t block_index, Bytes bytes) const;
@@ -312,6 +322,11 @@ class TectonicCluster
 
     StorageOptions options_;
     mutable std::mutex io_mutex_; ///< guards read routing/accounting
+    /** Guards the file namespace (files_ map structure) and
+     * logical_bytes_, so journal writes can interleave with reads of
+     * other files. Never held across device simulation or IO routing
+     * (lock order: meta_mutex_ before io_mutex_, when both). */
+    mutable std::mutex meta_mutex_;
     mutable Rng rng_;
     std::map<std::string, FileState> files_;
     std::vector<StorageNode> nodes_;
