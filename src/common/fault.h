@@ -51,6 +51,22 @@ inline constexpr const char *kTectonicReadCorrupt =
 inline constexpr const char *kTectonicReplicaError =
     "tectonic.replica.error";
 
+/**
+ * Bit-rot lands on one *specific* replica: the replica the router
+ * chose is marked Corrupt in the cluster's health map and stays
+ * corrupt until read-repair or the scrubber heals it — unlike
+ * tectonic.read.corrupt, which damages only the returned buffer.
+ */
+inline constexpr const char *kTectonicReplicaCorrupt =
+    "tectonic.replica.corrupt";
+
+/**
+ * The node serving the chosen replica dies *permanently*: every
+ * replica it hosted becomes Lost and must be re-replicated elsewhere
+ * (unlike failNode, which only removes the node from routing).
+ */
+inline constexpr const char *kTectonicNodeDie = "tectonic.node.die";
+
 /** A slow replica: the read stalls for `latency_seconds`. */
 inline constexpr const char *kTectonicReadDelay = "tectonic.read.delay";
 

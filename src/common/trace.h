@@ -92,6 +92,12 @@ inline constexpr const char *kMasterCheckpoint = "master.checkpoint";
 /** Whole-Master recovery from the journal (a0 = recovered record
  * sequence, a1 = splits requeued as pending). */
 inline constexpr const char *kMasterRecover = "master.recover";
+/** One anti-entropy scrub pass over every stored block replica;
+ * per-replica results land on kReplicaQuarantine child instants. */
+inline constexpr const char *kStorageScrub = "storage.scrub";
+/** One repair-queue task executed: re-replicate lost replicas and
+ * rewrite quarantined ones (a0 = block index, a1 = bytes written). */
+inline constexpr const char *kStorageRepair = "storage.repair";
 } // namespace spans
 
 /** Canonical instant-event names. */
@@ -124,6 +130,13 @@ inline constexpr const char *kDuplicateSuppressed =
 /** The fleet preempted a worker's split for a higher class (a0 =
  * victim tenant, a1 = worker). */
 inline constexpr const char *kFleetPreempt = "fleet.preempted";
+/** A corrupt replica was detected and pulled from rotation, repair
+ * enqueued (a0 = node hosting it, a1 = block index). */
+inline constexpr const char *kReplicaQuarantine =
+    "storage.replica_quarantined";
+/** A storage node died permanently; its replicas are Lost and will
+ * be re-replicated (a0 = node id). */
+inline constexpr const char *kNodeDied = "storage.node_died";
 } // namespace events
 
 /** One recorded trace event. */

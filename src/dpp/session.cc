@@ -238,11 +238,19 @@ InProcessSession::run(TensorSink sink, uint64_t fail_after_splits)
         trace::TraceLog::instance().clear();
         trace::TraceLog::instance().enable();
     }
+    // The session owns the storage healer for the duration of the
+    // run: scrub/repair proceed concurrently with training reads and
+    // the thread is joined before run() returns.
+    if (options_.self_heal.cluster)
+        options_.self_heal.cluster->startHealer(
+            options_.self_heal.heal);
     SessionResult result =
         (options_.worker.num_extract_threads > 0 ||
          options_.worker.num_transform_threads > 0)
             ? runParallel(std::move(sink), fail_after_splits)
             : runSynchronous(std::move(sink), fail_after_splits);
+    if (options_.self_heal.cluster)
+        options_.self_heal.cluster->stopHealer();
     if (tracing) {
         trace::TraceLog::instance().disable();
         trace_events_ = trace::TraceLog::instance().snapshot();
@@ -259,6 +267,8 @@ InProcessSession::collectMetrics() const
         merged.merge(w->metrics());
     for (const auto &c : clients_)
         merged.merge(c->metrics());
+    if (options_.self_heal.cluster)
+        merged.merge(options_.self_heal.cluster->metrics());
     return merged;
 }
 

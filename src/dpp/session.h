@@ -65,6 +65,24 @@ struct TraceOptions
     bool enabled = false;
 };
 
+/**
+ * Storage self-healing lifecycle. With a cluster attached, the
+ * session owns a background healer on it for the duration of run():
+ * the scrubber and repair executor work at their configured budgets
+ * while training reads proceed, and the healer is stopped (joined)
+ * before run() returns. The cluster's self-healing metrics
+ * (storage.*) are folded into collectMetrics().
+ */
+struct SelfHealOptions
+{
+    /** Cluster to heal (null = self-healing off). Must outlive the
+     * session. */
+    storage::TectonicCluster *cluster = nullptr;
+
+    /** Scrub / repair pacing for the background healer. */
+    storage::HealOptions heal;
+};
+
 /** Session-level configuration. */
 struct SessionOptions
 {
@@ -96,6 +114,9 @@ struct SessionOptions
 
     /** Durable checkpointing / crash recovery (off by default). */
     RecoveryOptions recovery;
+
+    /** Background storage scrubbing/repair (off by default). */
+    SelfHealOptions self_heal;
 };
 
 /** Aggregate outcome of a completed session. */

@@ -215,6 +215,11 @@ FileReader::openStream(const StreamInfo &info, Buffer stored,
         dsi_warn("checksum mismatch in stream at offset %llu "
                  "(corrupt replica?)",
                  static_cast<unsigned long long>(info.offset));
+        // Tell the source which bytes failed verification so a
+        // replicated backend can quarantine and read-repair the
+        // replica that served them; the retry that follows rotates
+        // to a healthy copy.
+        source_.reportCorruption(info.offset, info.length);
         return ReadStatus::ChecksumMismatch;
     }
     if (footer_->encrypted) {

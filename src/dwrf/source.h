@@ -135,6 +135,20 @@ class RandomAccessSource
         return IoStatus::Ok;
     }
 
+    /**
+     * Downstream integrity feedback: the reader verified a stream
+     * fetched from [offset, offset + len) against its footer CRC and
+     * it did not match — some replica served rotten bytes. Sources
+     * backed by replicated storage audit the replicas of the covered
+     * blocks, quarantine any corrupt copy, and enqueue read-repair;
+     * simple sources ignore it.
+     */
+    virtual void reportCorruption(Bytes offset, Bytes len) const
+    {
+        (void)offset;
+        (void)len;
+    }
+
     /** Trace of IOs issued so far. */
     virtual const IoTrace &trace() const = 0;
     virtual void clearTrace() = 0;

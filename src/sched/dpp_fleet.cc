@@ -49,6 +49,11 @@ FleetScheduler::FleetScheduler(const warehouse::Warehouse &warehouse,
 {
     dsi_assert(options_.initial_workers >= 1,
                "fleet needs >= 1 worker");
+    // The fleet is the long-lived resident service: it owns the
+    // storage healer for its whole lifetime, not per run().
+    if (options_.self_heal.cluster)
+        options_.self_heal.cluster->startHealer(
+            options_.self_heal.heal);
     if (options_.autoscale.enabled)
         scaler_ =
             std::make_unique<dpp::AutoScaler>(options_.autoscale.scaler);
@@ -63,6 +68,8 @@ FleetScheduler::~FleetScheduler()
 {
     for (auto &w : workers_)
         w->stop();
+    if (options_.self_heal.cluster)
+        options_.self_heal.cluster->stopHealer();
 }
 
 TenantId
@@ -781,6 +788,8 @@ FleetScheduler::collectMetrics() const
     }
     for (const auto &w : workers_)
         merged.merge(w->metrics());
+    if (options_.self_heal.cluster)
+        merged.merge(options_.self_heal.cluster->metrics());
     return merged;
 }
 

@@ -84,6 +84,7 @@
 #include "dpp/autoscaler.h"
 #include "dpp/client.h"
 #include "dpp/master.h"
+#include "dpp/session.h"
 #include "dpp/worker.h"
 
 namespace dsi::sched {
@@ -165,6 +166,14 @@ struct FleetOptions
      * `<recovery.journal_base>.t<tenant_id>` on `recovery.cluster`.
      */
     dpp::RecoveryOptions recovery;
+
+    /**
+     * Background storage scrubbing/repair (off by default). The fleet
+     * owns the healer for its whole lifetime: started at
+     * construction, stopped (joined) at destruction — a fleet is the
+     * long-lived resident service, unlike a session's scoped run().
+     */
+    dpp::SelfHealOptions self_heal;
 };
 
 /** One tenant's aggregate outcome / live accounting. */
