@@ -1,0 +1,359 @@
+/**
+ * @file
+ * RecD-style dedup benchmark: what the list-dictionary encoding and
+ * the batch-dedup transform pass actually buy on a Zipfian duplicated
+ * corpus (the paper's Table V observation that most feature lists are
+ * repeats of a small hot pool).
+ *
+ * Emits schema-versioned BENCH_dedup.json (src/common/bench_report.h)
+ * comparing dedup-on vs dedup-off along the three layers:
+ *
+ *  - storage: stored bytes plain vs list-dictionary DWRF, and the
+ *    savings ratio (acceptance bar: >= 1.5x, enforced by
+ *    tests/bench_schema_test.cc against the checked-in artifact);
+ *  - decode: effective MB/s reading the whole corpus back through
+ *    TectonicSource + FileReader (both sides normalized to the plain
+ *    corpus's stored bytes, so the rate is logical data served — the
+ *    dedup side decodes fewer physical bytes for the same rows);
+ *  - transform: rows/s through a compiled row-local model graph, with
+ *    and without the plan/gather/transform-once/expand batch-dedup
+ *    pass in front.
+ *
+ * Corpora derive from pinned seeds via the same
+ * warehouse::buildDupMiniCorpus the differential tests use. `--quick`
+ * shrinks corpora for CI smoke (numbers NOT comparable to full mode);
+ * `--validate FILE...` schema-checks existing documents and exits.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bench_report.h"
+#include "dpp/session.h"
+#include "transforms/dedup.h"
+#include "transforms/graph.h"
+#include "warehouse/corpus.h"
+
+using namespace dsi;
+
+namespace {
+
+/** Every corpus below derives from this seed (documented in JSON). */
+constexpr uint64_t kSeed = 91;
+
+struct SuiteConfig
+{
+    bool quick = false;
+    uint32_t warmup_trials = 2;
+    uint32_t measure_trials = 5;
+    uint32_t partitions = 2;
+    uint64_t rows_per_partition = 32768;
+    uint64_t rows_per_file = 8192;
+    uint32_t transform_batch_rows = 1024;
+    uint32_t transform_reps = 20;
+};
+
+SuiteConfig
+makeConfig(bool quick)
+{
+    SuiteConfig cfg;
+    cfg.quick = quick;
+    if (quick) {
+        cfg.warmup_trials = 1;
+        cfg.measure_trials = 2;
+        cfg.partitions = 1;
+        cfg.rows_per_partition = 4096;
+        cfg.rows_per_file = 2048;
+        cfg.transform_reps = 3;
+    }
+    return cfg;
+}
+
+double
+steadySeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Keeps results observable so timed loops are not optimized away. */
+volatile uint64_t g_sink = 0;
+
+/** Warmups, then the fastest of `measure` timed runs of `fn`. */
+double
+bestTrialSeconds(const SuiteConfig &cfg,
+                 const std::function<void()> &fn)
+{
+    for (uint32_t i = 0; i < cfg.warmup_trials; ++i)
+        fn();
+    double best = 1e300;
+    for (uint32_t i = 0; i < cfg.measure_trials; ++i) {
+        double t0 = steadySeconds();
+        fn();
+        best = std::min(best, steadySeconds() - t0);
+    }
+    return best;
+}
+
+/** The duplicated-corpus shape: long hot lists, heavy repetition. */
+warehouse::SchemaParams
+corpusParams()
+{
+    warehouse::SchemaParams p;
+    p.name = "dedupbench";
+    p.float_features = 12;
+    p.sparse_features = 10;
+    p.avg_length = 16;
+    p.coverage_u = 0.6;
+    p.seed = static_cast<uint32_t>(kSeed);
+    return p;
+}
+
+warehouse::DupParams
+corpusDup()
+{
+    warehouse::DupParams dp;
+    dp.pool_size = 384;
+    dp.alpha = 1.05;
+    dp.seed = kSeed ^ 0xD0D0;
+    return dp;
+}
+
+warehouse::MiniCorpus
+buildCorpus(const SuiteConfig &cfg, bool dedup)
+{
+    dwrf::WriterOptions wo;
+    wo.rows_per_stripe = 2048;
+    wo.dedup = dedup;
+    return warehouse::buildDupMiniCorpus(
+        corpusParams(), corpusDup(), cfg.partitions,
+        cfg.rows_per_partition, cfg.rows_per_file, wo);
+}
+
+uint64_t
+storedBytes(warehouse::MiniCorpus &mc)
+{
+    uint64_t total = 0;
+    for (const auto &p : mc.table().partitions())
+        total += p.stored_bytes;
+    return total;
+}
+
+/** Decode the whole corpus back; returns rows decoded (sanity). */
+uint64_t
+decodeCorpus(warehouse::MiniCorpus &mc)
+{
+    uint64_t rows = 0;
+    for (const auto &p : mc.table().partitions()) {
+        for (const std::string &fname : p.files) {
+            storage::TectonicSource source(*mc.cluster, fname);
+            dwrf::FileReader reader(source, dwrf::ReadOptions{});
+            dwrf::RowBatch batch;
+            for (size_t s = 0; s < reader.stripeCount(); ++s) {
+                auto status = reader.readStripe(s, batch);
+                if (status != dwrf::ReadStatus::Ok) {
+                    std::fprintf(stderr,
+                                 "dedup_bench: stripe read failed\n");
+                    std::exit(1);
+                }
+                rows += batch.rows;
+            }
+        }
+    }
+    g_sink = g_sink + rows;
+    return rows;
+}
+
+bench::BenchReport
+runDedupSuite(const SuiteConfig &cfg)
+{
+    bench::BenchReport report;
+    report.suite = "dedup";
+    report.mode = cfg.quick ? "quick" : "full";
+    report.seed = kSeed;
+    report.warmup_trials = cfg.warmup_trials;
+    report.measure_trials = cfg.measure_trials;
+
+    // --- storage: plain vs list-dictionary stored bytes ---
+    auto plain = buildCorpus(cfg, false);
+    auto dedup = buildCorpus(cfg, true);
+    double plain_bytes = static_cast<double>(storedBytes(plain));
+    double dedup_bytes = static_cast<double>(storedBytes(dedup));
+    report.metrics.push_back(
+        {"dedup.storage_bytes_plain", "bytes", plain_bytes});
+    report.metrics.push_back(
+        {"dedup.storage_bytes_dedup", "bytes", dedup_bytes});
+    report.metrics.push_back({"dedup.storage_savings_ratio", "x",
+                              plain_bytes / dedup_bytes});
+
+    // --- decode: whole-corpus read-back, normalized to logical
+    //     (plain-encoded) bytes so the rates compare like for like ---
+    {
+        double plain_s =
+            bestTrialSeconds(cfg, [&] { decodeCorpus(plain); });
+        double dedup_s =
+            bestTrialSeconds(cfg, [&] { decodeCorpus(dedup); });
+        double plain_mbps = plain_bytes / plain_s / 1e6;
+        double dedup_mbps = plain_bytes / dedup_s / 1e6;
+        report.metrics.push_back(
+            {"dedup.decode_mbps_plain", "MB/s", plain_mbps});
+        report.metrics.push_back(
+            {"dedup.decode_mbps_dedup", "MB/s", dedup_mbps});
+        report.metrics.push_back(
+            {"dedup.decode_speedup", "x", dedup_mbps / plain_mbps});
+    }
+
+    // --- transform: compiled model graph, with and without the
+    //     batch-dedup pass in front (the worker's exact sequence) ---
+    {
+        auto schema = warehouse::makeSchema(corpusParams());
+        warehouse::DupParams dp = corpusDup();
+        dp.pool_size = 64; // heavy within-batch duplication
+        warehouse::DupRowGenerator gen(schema, dp);
+        dwrf::RowBatch base =
+            dwrf::batchFromRows(gen.batch(cfg.transform_batch_rows));
+
+        std::vector<FeatureId> projection;
+        for (const auto &f : schema.features)
+            projection.push_back(f.id);
+        // Production-weight graph (Table IV: ~10 derived features,
+        // chains of 3-5 ops) — the work batch dedup runs once per
+        // unique row instead of once per row.
+        transforms::ModelGraphParams gp;
+        gp.derived_features = 16;
+        transforms::CompiledGraph graph(
+            transforms::makeModelGraph(schema, projection, gp));
+
+        double plain_s = bestTrialSeconds(cfg, [&] {
+            for (uint32_t r = 0; r < cfg.transform_reps; ++r) {
+                dwrf::RowBatch batch = base;
+                auto stats = graph.apply(batch);
+                g_sink = g_sink + stats.values_produced + batch.rows;
+            }
+        });
+        double dedup_s = bestTrialSeconds(cfg, [&] {
+            for (uint32_t r = 0; r < cfg.transform_reps; ++r) {
+                dwrf::RowBatch batch = base;
+                auto plan = transforms::planBatchDedup(batch);
+                std::vector<float> labels = std::move(batch.labels);
+                dwrf::RowBatch unique =
+                    transforms::gatherRows(batch, plan.unique_rows);
+                auto stats = graph.apply(unique);
+                batch = transforms::expandBatch(unique, plan, labels);
+                g_sink = g_sink + stats.values_produced + batch.rows;
+            }
+        });
+        double rows = static_cast<double>(base.rows) *
+                      cfg.transform_reps;
+        double plain_rps = rows / plain_s;
+        double dedup_rps = rows / dedup_s;
+        report.metrics.push_back({"dedup.transform_rows_per_sec_plain",
+                                  "rows/s", plain_rps});
+        report.metrics.push_back({"dedup.transform_rows_per_sec_dedup",
+                                  "rows/s", dedup_rps});
+        report.metrics.push_back(
+            {"dedup.transform_speedup", "x", dedup_rps / plain_rps});
+    }
+    return report;
+}
+
+// ---------------------------------------------------------------------
+// Driver (mirrors bench/perf_suite.cc).
+
+bool
+writeReport(const bench::BenchReport &report, const std::string &dir)
+{
+    std::string text = bench::writeBenchJson(report);
+    std::string error;
+    if (!bench::validateBenchJson(text, &error)) {
+        std::fprintf(stderr,
+                     "dedup_bench: emitted report fails its own "
+                     "schema: %s\n",
+                     error.c_str());
+        return false;
+    }
+    std::string path = dir + "/BENCH_" + report.suite + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "dedup_bench: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    out << text;
+    out.close();
+    std::printf("wrote %s (%zu metrics)\n", path.c_str(),
+                report.metrics.size());
+    for (const auto &m : report.metrics)
+        std::printf("  %-42s %14.2f %s\n", m.name.c_str(), m.value,
+                    m.unit.c_str());
+    return true;
+}
+
+int
+validateFiles(const std::vector<std::string> &paths)
+{
+    int rc = 0;
+    for (const std::string &path : paths) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+            rc = 1;
+            continue;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        std::string error;
+        if (bench::validateBenchJson(buf.str(), &error)) {
+            std::printf("%s: OK\n", path.c_str());
+        } else {
+            std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                         error.c_str());
+            rc = 1;
+        }
+    }
+    return rc;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--quick] [--out-dir DIR]\n"
+                 "       %s --validate FILE...\n",
+                 argv0, argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_dir = ".";
+    std::vector<std::string> validate;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out-dir" && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else if (arg == "--validate") {
+            for (++i; i < argc; ++i)
+                validate.push_back(argv[i]);
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (!validate.empty())
+        return validateFiles(validate);
+    return writeReport(runDedupSuite(makeConfig(quick)), out_dir) ? 0
+                                                                  : 1;
+}

@@ -108,20 +108,12 @@ bestTrialSeconds(const SuiteConfig &cfg,
 // ---------------------------------------------------------------------
 // Decode suite: scalar reference vs bulk kernel, MB/s per encoding.
 
-/** Zipf-ranked hashed categorical ids (the dictionary-friendly shape). */
+/** Zipf-ranked hashed categorical ids (the dictionary-friendly shape,
+ * shared with the encoding tests and dedup bench). */
 std::vector<int64_t>
 zipfIds(size_t n, uint64_t seed)
 {
-    Rng rng(seed);
-    ZipfSampler zipf(4000, 1.2);
-    std::vector<int64_t> values;
-    values.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-        uint64_t rank = zipf.sample(rng);
-        values.push_back(
-            static_cast<int64_t>(rank * 0x9e3779b97f4a7c15ULL >> 1));
-    }
-    return values;
+    return warehouse::zipfSkewedIds(n, seed);
 }
 
 /** Sparse-length-like stream: mostly zeros, occasional short lists. */

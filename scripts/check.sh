@@ -37,19 +37,22 @@ run_pass build-asan address "$@"
 # Optional pass 3: TSan over the threaded suites.
 if [[ "${DSI_CHECK_TSAN:-0}" == "1" ]]; then
     run_pass build-tsan thread \
-        -R '(common_concurrency|common_overload|common_trace|dpp_chaos|dpp_parallel|dpp_overload|dpp_trace|dpp_recovery|sched_fleet|storage_heal)_test' "$@"
+        -R '(common_concurrency|common_overload|common_trace|dpp_chaos|dpp_parallel|dpp_overload|dpp_trace|dpp_recovery|sched_fleet|storage_heal|dedup_differential)_test' "$@"
 fi
 
-# Bench smoke: a --quick perf_suite run plus schema validation of the
-# fresh reports and the checked-in baselines (no thresholds here; the
-# decode speedup bar is asserted by bench_schema_test).
-echo "==> bench smoke (perf_suite --quick + validate)"
-cmake --build build --target perf_suite -j "${JOBS}" >/dev/null
+# Bench smoke: --quick perf_suite and dedup_bench runs plus schema
+# validation of the fresh reports and the checked-in baselines (no
+# thresholds here; the decode speedup and dedup storage-savings bars
+# are asserted by bench_schema_test).
+echo "==> bench smoke (perf_suite + dedup_bench --quick + validate)"
+cmake --build build --target perf_suite --target dedup_bench -j "${JOBS}" >/dev/null
 bench_out="$(mktemp -d)"
 trap 'rm -rf "${bench_out}"' EXIT
 ./build/bench/perf_suite --quick --out-dir "${bench_out}" >/dev/null
+./build/bench/dedup_bench --quick --out-dir "${bench_out}" >/dev/null
 ./build/bench/perf_suite --validate \
     "${bench_out}/BENCH_decode.json" "${bench_out}/BENCH_dpp.json" \
-    BENCH_decode.json BENCH_dpp.json
+    "${bench_out}/BENCH_dedup.json" \
+    BENCH_decode.json BENCH_dpp.json BENCH_dedup.json
 
 echo "==> all passes green"

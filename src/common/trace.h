@@ -74,6 +74,10 @@ inline constexpr const char *kTransformStripe =
     "worker.transform_stripe";
 /** Backpressure wait appending a tensor to the output buffer. */
 inline constexpr const char *kBufferWait = "worker.buffer_wait";
+/** One mini-batch run through the RecD batch-dedup pass: plan +
+ * gather + transform-once-per-unique-row + inverse-index expand
+ * (a0 = split id, a1 = rows in the batch). */
+inline constexpr const char *kWorkerDedup = "worker.dedup";
 /** One checked stripe read inside the DWRF reader (incl. retries). */
 inline constexpr const char *kReaderStripe = "reader.read_stripe";
 /** One logical read against a RandomAccessSource / Tectonic file. */

@@ -377,18 +377,7 @@ InProcessSession::runParallel(TensorSink sink,
 void
 InProcessSession::foldWorkerStats(const Worker &w)
 {
-    const auto &rs = w.readStats();
-    retired_read_stats_.bytes_read += rs.bytes_read;
-    retired_read_stats_.bytes_needed += rs.bytes_needed;
-    retired_read_stats_.bytes_decompressed += rs.bytes_decompressed;
-    retired_read_stats_.bytes_decrypted += rs.bytes_decrypted;
-    retired_read_stats_.ios += rs.ios;
-    retired_read_stats_.streams_decoded += rs.streams_decoded;
-    retired_read_stats_.checksum_mismatches += rs.checksum_mismatches;
-    retired_read_stats_.io_errors += rs.io_errors;
-    retired_read_stats_.decode_errors += rs.decode_errors;
-    retired_read_stats_.stripe_retries += rs.stripe_retries;
-    retired_read_stats_.deadline_expired += rs.deadline_expired;
+    retired_read_stats_.merge(w.readStats());
     retired_transform_stats_.merge(w.transformStats());
 }
 

@@ -4,6 +4,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "dwrf/reader.h"
+#include "transforms/dedup.h"
 
 namespace dsi::dpp {
 
@@ -224,6 +225,11 @@ Worker::transformStripe(dwrf::RowBatch &stripe, TenantId tenant,
     // them to the delivery stage instead of transform compute.
     trace::Span span(trace::spans::kTransformStripe, grant_span,
                      split_id, first_row);
+    // Batch dedup is gated on the graph being row-local (every Table
+    // XI op except Sampling): only then is transform-once-per-unique-
+    // row byte-identical to transforming the full batch.
+    const bool dedup_row_local =
+        options_.dedup_enabled && transforms::rowLocal(graph);
     // Transform + partial load, one mini-batch at a time (transforms
     // are localized to each mini-batch).
     for (uint32_t start = 0; start < stripe.rows;
@@ -232,7 +238,35 @@ Worker::transformStripe(dwrf::RowBatch &stripe, TenantId tenant,
             return false;
         dwrf::RowBatch batch =
             dwrf::sliceBatch(stripe, start, spec.batch_size);
-        stats.merge(graph.apply(batch));
+        if (options_.dedup_enabled && !dedup_row_local)
+            metrics.inc("worker.dedup_bypassed_batches");
+        if (dedup_row_local) {
+            trace::Span dspan(trace::spans::kWorkerDedup, span.id(),
+                              split_id, batch.rows);
+            transforms::BatchDedupPlan plan =
+                transforms::planBatchDedup(batch);
+            metrics.inc("worker.dedup_rows_in",
+                        static_cast<double>(batch.rows));
+            metrics.inc(
+                "worker.dedup_rows_unique",
+                static_cast<double>(plan.unique_rows.size()));
+            if (plan.collapsed()) {
+                metrics.inc("worker.dedup_batches_collapsed");
+                // Transform the unique rows only; expansion restores
+                // every duplicate row with its own label.
+                std::vector<float> labels = std::move(batch.labels);
+                dwrf::RowBatch unique =
+                    transforms::gatherRows(batch, plan.unique_rows);
+                stats.merge(graph.apply(unique));
+                batch = labels.empty()
+                    ? transforms::gatherRows(unique, plan.inverse)
+                    : transforms::expandBatch(unique, plan, labels);
+            } else {
+                stats.merge(graph.apply(batch));
+            }
+        } else {
+            stats.merge(graph.apply(batch));
+        }
 
         TensorBatch tensor;
         tensor.bytes = batch.payloadBytes();
@@ -785,17 +819,19 @@ void
 Worker::mergeReadStats(const dwrf::ReadStats &rs)
 {
     std::scoped_lock lock(stats_mutex_);
-    read_stats_.bytes_read += rs.bytes_read;
-    read_stats_.bytes_needed += rs.bytes_needed;
-    read_stats_.bytes_decompressed += rs.bytes_decompressed;
-    read_stats_.bytes_decrypted += rs.bytes_decrypted;
-    read_stats_.ios += rs.ios;
-    read_stats_.streams_decoded += rs.streams_decoded;
-    read_stats_.checksum_mismatches += rs.checksum_mismatches;
-    read_stats_.io_errors += rs.io_errors;
-    read_stats_.decode_errors += rs.decode_errors;
-    read_stats_.stripe_retries += rs.stripe_retries;
-    read_stats_.deadline_expired += rs.deadline_expired;
+    read_stats_.merge(rs);
+    if (rs.dict_streams != 0) {
+        metrics_.inc("dwrf.dict_streams",
+                     static_cast<double>(rs.dict_streams));
+    }
+    if (rs.dict_list_refs != 0) {
+        metrics_.inc("dwrf.dict_list_refs",
+                     static_cast<double>(rs.dict_list_refs));
+    }
+    if (rs.dict_lists_inline != 0) {
+        metrics_.inc("dwrf.dict_lists_inline",
+                     static_cast<double>(rs.dict_lists_inline));
+    }
 }
 
 // ---------------------------------------------------------------------

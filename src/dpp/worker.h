@@ -152,6 +152,18 @@ struct WorkerOptions
      * worker.stripe_pool_retained_bytes gauge.
      */
     Bytes stripe_pool_retained_bytes = 256_MiB;
+
+    /**
+     * RecD-style batch dedup: before transforming each mini-batch,
+     * collapse rows with identical feature payloads (labels excluded)
+     * to their unique representatives, run the transform graph once
+     * per unique row, and expand back via the inverse index with the
+     * original labels restored. Byte-identical output (the dedup
+     * differential test proves it), applied only when every op in the
+     * tenant's graph is row-local — graphs containing Sampling are
+     * bypassed and counted in worker.dedup_bypassed_batches.
+     */
+    bool dedup_enabled = false;
 };
 
 /** One DPP worker process. */

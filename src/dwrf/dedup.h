@@ -1,0 +1,175 @@
+/**
+ * @file
+ * RecD-style list-dictionary encoding for sparse feature columns.
+ *
+ * Recommendation training data is dominated by *repeated feature
+ * lists* (Table V; RecD): the same (values, scores) list recurs across
+ * rows, both within a stripe and across stripes of one file. This
+ * codec exploits that at the storage layer:
+ *
+ *  - a **shared dictionary** per (file, feature) holds each distinct
+ *    list exactly once, written as one SharedListDict stream at the
+ *    end of the file and indexed from the footer;
+ *  - each stripe's column becomes a SparseListDict stream of per-row
+ *    *codes*: code k+1 references shared-dictionary entry k, code 0
+ *    means "the next inline list" (lists that arrived after the
+ *    dictionary hit its caps are stored inline, per occurrence).
+ *
+ * Decoding reuses the PR 6 bulk kernels: codes decode through
+ * getVarintBlock, dictionary hits materialize via index gather
+ * (memcpy of the entry's span) instead of re-decoding bytes, and the
+ * inline residue decodes through the ordinary rle/value codecs.
+ *
+ * Wire grammar (raw stream bytes, before compression/encryption):
+ *
+ *   SparseListDict (per stripe, per feature):
+ *     varint n_rows
+ *     u8     scored (0/1)
+ *     varint n_inline
+ *     varint len; len bytes   rleEncode(inline lengths)
+ *     varint len; len bytes   encodeValues(concat inline values)
+ *    [varint len; len bytes   float block of inline scores]  if scored
+ *     n_rows varints          codes (0 = next inline, k+1 = entry k)
+ *
+ *   SharedListDict (per file, per feature):
+ *     varint n_entries
+ *     u8     scored (0/1)
+ *     varint len; len bytes   rleEncode(entry lengths)
+ *     varint len; len bytes   encodeValues(concat entry values)
+ *    [varint len; len bytes   float block of entry scores]    if scored
+ *
+ * Both decoders are strict: truncated input, counts that disagree,
+ * out-of-range codes, and trailing bytes all reject (the reader maps
+ * rejection to DecodeError; corrupt stored bytes are caught earlier
+ * by the stream CRC and fed back through reportCorruption).
+ */
+
+#ifndef DSI_DWRF_DEDUP_H
+#define DSI_DWRF_DEDUP_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "dwrf/encoding.h"
+#include "dwrf/row.h"
+
+namespace dsi::dwrf {
+
+/** Caps on one feature's shared dictionary. */
+struct ListDictLimits
+{
+    /** Max distinct lists interned per (file, feature). */
+    uint32_t max_entries = 65536;
+
+    /**
+     * Max payload bytes (values + scores) the dictionary may hold.
+     * Over either cap, new lists fall back to inline encoding.
+     */
+    Bytes max_payload_bytes = 8_MiB;
+};
+
+/**
+ * Write-side accumulator of one feature's shared dictionary. Interning
+ * is exact: entries are matched by content (hash bucket + full
+ * compare), never by hash alone, so a collision can not alias two
+ * different lists.
+ */
+class ListDictBuilder
+{
+  public:
+    explicit ListDictBuilder(ListDictLimits limits = {})
+        : limits_(limits)
+    {
+    }
+
+    /**
+     * Find-or-insert the list (values, scores) of a column whose
+     * scoredness is `scored`. Returns the entry id, or nullopt when
+     * the dictionary is full or the column's scoredness disagrees
+     * with the dictionary's (the caller then encodes the list
+     * inline). The first intern pins the dictionary's scoredness.
+     */
+    std::optional<uint32_t> intern(std::span<const int64_t> values,
+                                   std::span<const float> scores,
+                                   bool scored);
+
+    size_t size() const { return offsets_.size() - 1; }
+    bool scored() const { return scored_; }
+    Bytes payloadBytes() const { return payload_bytes_; }
+
+    /** Encode as a SharedListDict stream. Valid when size() > 0. */
+    Buffer encode() const;
+
+  private:
+    bool entryEquals(uint32_t id, std::span<const int64_t> values,
+                     std::span<const float> scores) const;
+
+    ListDictLimits limits_;
+    bool scored_ = false;
+    bool scored_set_ = false;
+    Bytes payload_bytes_ = 0;
+    // Entries flattened CSR-style; hash buckets map to entry ids.
+    std::vector<uint32_t> offsets_{0};
+    std::vector<int64_t> values_;
+    std::vector<float> scores_;
+    std::unordered_multimap<uint64_t, uint32_t> buckets_;
+};
+
+/** Encode accounting of one stripe column (for dwrf.dict_* metrics). */
+struct ListDictColumnEncode
+{
+    Buffer stream;              ///< SparseListDict raw bytes
+    uint64_t dict_refs = 0;     ///< rows resolved through the dict
+    uint64_t inline_lists = 0;  ///< rows written inline (dict full)
+};
+
+/**
+ * Encode one stripe's sparse column against (and extending) the
+ * feature's shared dictionary.
+ */
+ListDictColumnEncode encodeListDictColumn(const SparseColumn &col,
+                                          uint32_t rows,
+                                          ListDictBuilder &dict);
+
+/** A decoded shared dictionary, ready for index gather. */
+struct DecodedListDict
+{
+    bool scored = false;
+    std::vector<uint32_t> offsets; ///< size == entries + 1
+    std::vector<int64_t> values;
+    std::vector<float> scores;     ///< empty unless scored
+
+    size_t size() const
+    {
+        return offsets.empty() ? 0 : offsets.size() - 1;
+    }
+};
+
+/** Decode a SharedListDict stream; false on malformed input. */
+bool decodeSharedListDict(ByteSpan in, DecodedListDict &out);
+
+/** Decode accounting of one stripe column. */
+struct ListDictDecodeStats
+{
+    uint64_t dict_refs = 0;
+    uint64_t inline_lists = 0;
+};
+
+/**
+ * Decode a SparseListDict stream of `rows` rows into `col` (offsets,
+ * values, scores — id untouched), gathering referenced lists from
+ * `dict` (nullptr allowed when the stream holds no references). False
+ * on malformed input, out-of-range codes, or a missing/mismatched
+ * dictionary.
+ */
+bool decodeListDictColumn(ByteSpan in, uint32_t rows,
+                          const DecodedListDict *dict,
+                          SparseColumn &col,
+                          ListDictDecodeStats *stats = nullptr);
+
+} // namespace dsi::dwrf
+
+#endif // DSI_DWRF_DEDUP_H

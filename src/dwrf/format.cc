@@ -2,6 +2,39 @@
 
 namespace dsi::dwrf {
 
+namespace {
+
+void
+putStreamInfo(Buffer &out, const StreamInfo &s)
+{
+    putVarint(out, s.feature);
+    out.push_back(static_cast<uint8_t>(s.kind));
+    putVarint(out, s.offset);
+    putVarint(out, s.length);
+    putVarint(out, s.raw_length);
+    putU32(out, s.checksum);
+    putVarint(out, s.value_count);
+}
+
+bool
+getStreamInfo(ByteSpan data, size_t &pos, StreamInfo &s)
+{
+    uint64_t feat;
+    if (!getVarint(data, pos, feat))
+        return false;
+    s.feature = static_cast<FeatureId>(feat);
+    if (pos >= data.size())
+        return false;
+    s.kind = static_cast<StreamKind>(data[pos++]);
+    return getVarint(data, pos, s.offset) &&
+           getVarint(data, pos, s.length) &&
+           getVarint(data, pos, s.raw_length) &&
+           getU32(data, pos, s.checksum) &&
+           getVarint(data, pos, s.value_count);
+}
+
+} // namespace
+
 Buffer
 FileFooter::serialize() const
 {
@@ -17,16 +50,12 @@ FileFooter::serialize() const
         putVarint(out, stripe.offset);
         putVarint(out, stripe.length);
         putVarint(out, stripe.streams.size());
-        for (const auto &s : stripe.streams) {
-            putVarint(out, s.feature);
-            out.push_back(static_cast<uint8_t>(s.kind));
-            putVarint(out, s.offset);
-            putVarint(out, s.length);
-            putVarint(out, s.raw_length);
-            putU32(out, s.checksum);
-            putVarint(out, s.value_count);
-        }
+        for (const auto &s : stripe.streams)
+            putStreamInfo(out, s);
     }
+    putVarint(out, shared_dicts.size());
+    for (const auto &s : shared_dicts)
+        putStreamInfo(out, s);
     return out;
 }
 
@@ -58,21 +87,16 @@ FileFooter::deserialize(ByteSpan data)
         stripe.rows = static_cast<uint32_t>(rows);
         stripe.streams.resize(nstreams);
         for (auto &s : stripe.streams) {
-            uint64_t feat;
-            if (!getVarint(data, pos, feat))
+            if (!getStreamInfo(data, pos, s))
                 return std::nullopt;
-            s.feature = static_cast<FeatureId>(feat);
-            if (pos >= data.size())
-                return std::nullopt;
-            s.kind = static_cast<StreamKind>(data[pos++]);
-            if (!getVarint(data, pos, s.offset) ||
-                !getVarint(data, pos, s.length) ||
-                !getVarint(data, pos, s.raw_length) ||
-                !getU32(data, pos, s.checksum) ||
-                !getVarint(data, pos, s.value_count)) {
-                return std::nullopt;
-            }
         }
+    }
+    if (!getVarint(data, pos, v))
+        return std::nullopt;
+    f.shared_dicts.resize(v);
+    for (auto &s : f.shared_dicts) {
+        if (!getStreamInfo(data, pos, s))
+            return std::nullopt;
     }
     if (pos != data.size())
         return std::nullopt;

@@ -38,6 +38,21 @@ enum class StreamKind : uint8_t
     SparseValues = 4,  ///< concatenated categorical ids (varint)
     SparseScores = 5,  ///< concatenated float scores
     MapBlob = 6,       ///< legacy row-wise map column blob
+
+    /**
+     * Dedup-encoded sparse column: per-row codes referencing the
+     * feature's shared list dictionary, plus inline residue (see
+     * dwrf/dedup.h). Replaces the SparseLengths/SparseValues/
+     * SparseScores triple when the writer's dedup knob is on.
+     */
+    SparseListDict = 7,
+
+    /**
+     * One feature's shared list dictionary: every distinct list of
+     * the file stored once. Lives outside the stripes (written after
+     * the last stripe) and is indexed by FileFooter::shared_dicts.
+     */
+    SharedListDict = 8,
 };
 
 /** Sentinel feature id for non-feature streams (labels, map blobs). */
@@ -73,6 +88,22 @@ struct FileFooter
     bool encrypted = false;
     bool flattened = true;
     std::vector<StripeInfo> stripes;
+
+    /**
+     * Shared list dictionaries (kind == SharedListDict, one per
+     * dedup-encoded feature), cross-stripe file-level streams. Empty
+     * unless the file was written with dedup enabled.
+     */
+    std::vector<StreamInfo> shared_dicts;
+
+    /** Dictionary stream of `feature`, or nullptr. */
+    const StreamInfo *sharedDictFor(FeatureId feature) const
+    {
+        for (const auto &s : shared_dicts)
+            if (s.feature == feature)
+                return &s;
+        return nullptr;
+    }
 
     /** Serialize to bytes (appended at end of file before the tail). */
     Buffer serialize() const;

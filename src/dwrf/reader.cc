@@ -207,6 +207,44 @@ FileReader::readStripeOnce(size_t stripe_index, RowBatch &out)
 }
 
 ReadStatus
+FileReader::loadSharedDict(FeatureId feature,
+                           const DecodedListDict *&out)
+{
+    out = nullptr;
+    auto cached = dict_cache_.find(feature);
+    if (cached != dict_cache_.end()) {
+        out = &cached->second;
+        return ReadStatus::Ok;
+    }
+    const StreamInfo *info = footer_->sharedDictFor(feature);
+    if (info == nullptr)
+        return ReadStatus::Ok; // all-inline column; no dict stream
+
+    Buffer stored;
+    if (source_.readChecked(info->offset, info->length, stored) !=
+        IoStatus::Ok) {
+        ++stats_.io_errors;
+        return ReadStatus::IoError;
+    }
+    stats_.bytes_read += info->length;
+    stats_.bytes_needed += info->length;
+    ++stats_.ios;
+
+    Buffer raw;
+    ReadStatus st = openStream(*info, std::move(stored), raw);
+    if (st != ReadStatus::Ok)
+        return st;
+    DecodedListDict dict;
+    if (!decodeSharedListDict(raw, dict)) {
+        ++stats_.decode_errors;
+        return ReadStatus::DecodeError;
+    }
+    ++stats_.dict_streams;
+    out = &dict_cache_.emplace(feature, std::move(dict)).first->second;
+    return ReadStatus::Ok;
+}
+
+ReadStatus
 FileReader::openStream(const StreamInfo &info, Buffer stored,
                        Buffer &out)
 {
@@ -327,8 +365,9 @@ FileReader::decodeFlattened(const StripeInfo &stripe,
         const StreamInfo *lengths = nullptr;
         const StreamInfo *sparse_values = nullptr;
         const StreamInfo *scores = nullptr;
+        const StreamInfo *list_dict = nullptr;
         size_t present_idx = 0, dense_idx = 0, lengths_idx = 0,
-               values_idx = 0, scores_idx = 0;
+               values_idx = 0, scores_idx = 0, list_dict_idx = 0;
     };
     std::vector<std::pair<FeatureId, FeatureStreams>> features;
     auto feature_slot = [&](FeatureId id) -> FeatureStreams & {
@@ -384,6 +423,16 @@ FileReader::decodeFlattened(const StripeInfo &stripe,
             fs.scores_idx = idx;
             break;
           }
+          case StreamKind::SparseListDict: {
+            auto &fs = feature_slot(s.feature);
+            fs.list_dict = &s;
+            fs.list_dict_idx = idx;
+            break;
+          }
+          case StreamKind::SharedListDict:
+            // File-level dictionary streams are indexed from the
+            // footer, never from a stripe.
+            return decode_fail();
           case StreamKind::MapBlob:
             dsi_panic("map blob stream in a flattened file");
         }
@@ -430,6 +479,31 @@ FileReader::decodeFlattened(const StripeInfo &stripe,
                 }
             }
             batch.dense.push_back(std::move(col));
+        } else if (fs.list_dict) {
+            // Dedup-encoded column: per-row codes gather shared-dict
+            // entries; the inline residue decodes via the ordinary
+            // rle/value codecs (dwrf/dedup.h).
+            const DecodedListDict *dict = nullptr;
+            ReadStatus st = loadSharedDict(fid, dict);
+            if (st != ReadStatus::Ok)
+                return st;
+            SparseColumn col = takeSpareSparse();
+            col.id = fid;
+            Buffer raw;
+            st = openStream(
+                *fs.list_dict,
+                fetchStream(stripe, fs.list_dict_idx, plan, io_data),
+                raw);
+            if (st != ReadStatus::Ok)
+                return st;
+            ListDictDecodeStats ds;
+            if (!decodeListDictColumn(raw, stripe.rows, dict, col,
+                                      &ds)) {
+                return decode_fail();
+            }
+            stats_.dict_list_refs += ds.dict_refs;
+            stats_.dict_lists_inline += ds.inline_lists;
+            batch.sparse.push_back(std::move(col));
         } else if (fs.lengths && fs.sparse_values) {
             SparseColumn col = takeSpareSparse();
             col.id = fid;

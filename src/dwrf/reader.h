@@ -16,10 +16,13 @@
 #include <optional>
 #include <vector>
 
+#include <map>
+
 #include "common/backoff.h"
 #include "common/deadline.h"
 #include "common/trace.h"
 #include "dwrf/cipher.h"
+#include "dwrf/dedup.h"
 #include "dwrf/format.h"
 #include "dwrf/row.h"
 #include "dwrf/source.h"
@@ -92,10 +95,34 @@ struct ReadStats
     uint64_t stripe_retries = 0;      ///< re-read attempts issued
     uint64_t deadline_expired = 0;    ///< reads abandoned on budget
 
+    // Dedup (list-dictionary) accounting.
+    uint64_t dict_streams = 0;      ///< shared dicts fetched + decoded
+    uint64_t dict_list_refs = 0;    ///< row lists gathered from a dict
+    uint64_t dict_lists_inline = 0; ///< row lists decoded inline
+
     Bytes overRead() const
     {
         return bytes_read > bytes_needed ? bytes_read - bytes_needed
                                          : 0;
+    }
+
+    /** Fold another reader's totals into this one (every field). */
+    void merge(const ReadStats &o)
+    {
+        bytes_read += o.bytes_read;
+        bytes_needed += o.bytes_needed;
+        bytes_decompressed += o.bytes_decompressed;
+        bytes_decrypted += o.bytes_decrypted;
+        ios += o.ios;
+        streams_decoded += o.streams_decoded;
+        checksum_mismatches += o.checksum_mismatches;
+        io_errors += o.io_errors;
+        decode_errors += o.decode_errors;
+        stripe_retries += o.stripe_retries;
+        deadline_expired += o.deadline_expired;
+        dict_streams += o.dict_streams;
+        dict_list_refs += o.dict_list_refs;
+        dict_lists_inline += o.dict_lists_inline;
     }
 };
 
@@ -172,6 +199,16 @@ class FileReader
   private:
     ReadStatus readStripeOnce(size_t stripe_index, RowBatch &out);
     std::vector<size_t> selectStreams(const StripeInfo &stripe) const;
+    /**
+     * Fetch + decode `feature`'s shared list dictionary (cached after
+     * the first use, so cross-stripe references cost one IO per
+     * file). `out` is nullptr when the file has none for the feature.
+     * Failures are not cached: the stripe-level retry re-fetches,
+     * rotating replicas, which is how a corrupt dictionary replica
+     * heals (openStream's CRC check reports it via reportCorruption).
+     */
+    ReadStatus loadSharedDict(FeatureId feature,
+                              const DecodedListDict *&out);
     Buffer fetchStream(const StripeInfo &stripe, size_t stream_idx,
                        const std::vector<PlannedIo> &plan,
                        const std::vector<Buffer> &io_data) const;
@@ -213,6 +250,9 @@ class FileReader
     std::vector<DenseColumn> spare_dense_;
     std::vector<SparseColumn> spare_sparse_;
     std::vector<int64_t> scratch_lengths_;
+
+    /** Decoded shared dictionaries, cached per feature for the file. */
+    std::map<FeatureId, DecodedListDict> dict_cache_;
 };
 
 } // namespace dsi::dwrf

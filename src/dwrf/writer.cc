@@ -36,9 +36,9 @@ FileWriter::appendRows(const std::vector<Row> &rows)
 }
 
 void
-FileWriter::writeStream(StripeInfo &stripe, FeatureId feature,
-                        StreamKind kind, const Buffer &raw,
-                        uint64_t value_count)
+FileWriter::writeStreamTo(std::vector<StreamInfo> &sink,
+                          FeatureId feature, StreamKind kind,
+                          const Buffer &raw, uint64_t value_count)
 {
     Buffer stored;
     compress(options_.codec, raw, stored);
@@ -47,8 +47,16 @@ FileWriter::writeStream(StripeInfo &stripe, FeatureId feature,
         cipher_.apply(offset, stored);
     uint32_t checksum = crc32(stored);
     file_.insert(file_.end(), stored.begin(), stored.end());
-    stripe.streams.push_back({feature, kind, offset, stored.size(),
-                              raw.size(), checksum, value_count});
+    sink.push_back({feature, kind, offset, stored.size(), raw.size(),
+                    checksum, value_count});
+}
+
+void
+FileWriter::writeStream(StripeInfo &stripe, FeatureId feature,
+                        StreamKind kind, const Buffer &raw,
+                        uint64_t value_count)
+{
+    writeStreamTo(stripe.streams, feature, kind, raw, value_count);
 }
 
 std::vector<size_t>
@@ -144,9 +152,26 @@ FileWriter::flushStripe()
                         values_raw, present_count);
         }
 
-        // Sparse feature streams in placement order.
+        // Sparse feature streams in placement order. With dedup on,
+        // the lengths/values/scores triple collapses into a single
+        // reference-code stream against the feature's shared
+        // dictionary (dwrf/dedup.h).
         for (size_t idx : placementOrder(batch, /*dense=*/false)) {
             const auto &col = batch.sparse[idx];
+            if (options_.dedup) {
+                auto [it, inserted] = dicts_.try_emplace(
+                    col.id, options_.dedup_limits);
+                (void)inserted;
+                ListDictColumnEncode enc = encodeListDictColumn(
+                    col, batch.rows, it->second);
+                writeStream(stripe, col.id,
+                            StreamKind::SparseListDict, enc.stream,
+                            batch.rows);
+                ++dedup_stats_.dedup_columns;
+                dedup_stats_.lists_referenced += enc.dict_refs;
+                dedup_stats_.lists_inline += enc.inline_lists;
+                continue;
+            }
             std::vector<int64_t> lengths(batch.rows);
             for (uint32_t r = 0; r < batch.rows; ++r)
                 lengths[r] = col.length(r);
@@ -183,6 +208,19 @@ FileWriter::finish()
     flushStripe();
     finished_ = true;
     footer_.total_rows = rows_flushed_;
+
+    // Shared list dictionaries live after the last stripe, before the
+    // footer that indexes them.
+    for (const auto &[feature, dict] : dicts_) {
+        if (dict.size() == 0)
+            continue;
+        writeStreamTo(footer_.shared_dicts, feature,
+                      StreamKind::SharedListDict, dict.encode(),
+                      dict.size());
+        dedup_stats_.dict_entries += dict.size();
+        dedup_stats_.dict_stream_bytes +=
+            footer_.shared_dicts.back().length;
+    }
 
     Buffer footer_bytes = footer_.serialize();
     file_.insert(file_.end(), footer_bytes.begin(), footer_bytes.end());

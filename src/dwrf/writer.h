@@ -15,9 +15,11 @@
 #ifndef DSI_DWRF_WRITER_H
 #define DSI_DWRF_WRITER_H
 
+#include <map>
 #include <vector>
 
 #include "dwrf/cipher.h"
+#include "dwrf/dedup.h"
 #include "dwrf/format.h"
 #include "dwrf/row.h"
 
@@ -38,6 +40,27 @@ struct WriterOptions
      * unlisted features. Empty = feature-id order.
      */
     std::vector<FeatureId> popularity_order;
+
+    /**
+     * RecD-style dedup encoding of sparse columns (flattened mode
+     * only): each distinct feature list is stored once in a per-file
+     * shared dictionary and stripes store per-row reference codes.
+     * Lossless — readers reconstruct byte-identical batches.
+     */
+    bool dedup = false;
+
+    /** Per-feature shared-dictionary caps (dedup mode). */
+    ListDictLimits dedup_limits;
+};
+
+/** Write-side dedup accounting (for benches and dwrf.dict_* metrics). */
+struct DedupWriteStats
+{
+    uint64_t dedup_columns = 0;    ///< stripe columns dedup-encoded
+    uint64_t dict_entries = 0;     ///< entries across all shared dicts
+    uint64_t lists_referenced = 0; ///< rows resolved via a dict code
+    uint64_t lists_inline = 0;     ///< rows written inline (dict full)
+    Bytes dict_stream_bytes = 0;   ///< stored bytes of dict streams
 };
 
 /** Writes one DWRF file into an in-memory buffer. */
@@ -67,8 +90,14 @@ class FileWriter
         return rows_flushed_ + pending_.size();
     }
 
+    /** Dedup accounting (complete after finish()). */
+    const DedupWriteStats &dedupStats() const { return dedup_stats_; }
+
   private:
     void flushStripe();
+    void writeStreamTo(std::vector<StreamInfo> &sink,
+                       FeatureId feature, StreamKind kind,
+                       const Buffer &raw, uint64_t value_count);
     void writeStream(StripeInfo &stripe, FeatureId feature,
                      StreamKind kind, const Buffer &raw,
                      uint64_t value_count);
@@ -82,6 +111,10 @@ class FileWriter
     std::vector<Row> pending_;
     uint64_t rows_flushed_ = 0;
     bool finished_ = false;
+
+    /** Per-feature shared dictionaries accumulated across stripes. */
+    std::map<FeatureId, ListDictBuilder> dicts_;
+    DedupWriteStats dedup_stats_;
 };
 
 } // namespace dsi::dwrf

@@ -1,0 +1,233 @@
+#include "dedup.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace dsi::transforms {
+
+bool
+rowLocal(OpKind kind)
+{
+    return kind != OpKind::Sampling;
+}
+
+bool
+rowLocal(const TransformGraph &graph)
+{
+    for (const auto &spec : graph.specs()) {
+        if (!rowLocal(spec.kind))
+            return false;
+    }
+    return true;
+}
+
+bool
+rowLocal(const CompiledGraph &graph)
+{
+    for (size_t i = 0; i < graph.size(); ++i) {
+        if (!rowLocal(graph.op(i).kind()))
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** FNV-1a accumulator over raw bytes. */
+struct RowHasher
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+
+    void mix(const void *data, size_t len)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ULL;
+        }
+    }
+    void mixU64(uint64_t v) { mix(&v, sizeof(v)); }
+};
+
+uint64_t
+hashRow(const dwrf::RowBatch &batch, uint32_t r)
+{
+    RowHasher hasher;
+    for (const auto &c : batch.dense) {
+        bool present = c.isPresent(r);
+        hasher.mixU64(present ? 1 : 0);
+        if (present)
+            hasher.mix(&c.values[r], sizeof(float));
+    }
+    for (const auto &c : batch.sparse) {
+        uint32_t begin = c.offsets[r], end = c.offsets[r + 1];
+        hasher.mixU64(end - begin);
+        hasher.mix(c.values.data() + begin,
+                   (end - begin) * sizeof(int64_t));
+        if (!c.scores.empty()) {
+            hasher.mix(c.scores.data() + begin,
+                       (end - begin) * sizeof(float));
+        }
+    }
+    return hasher.h;
+}
+
+/** Exact feature-content equality of two rows (labels excluded). */
+bool
+rowsEqual(const dwrf::RowBatch &batch, uint32_t a, uint32_t b)
+{
+    for (const auto &c : batch.dense) {
+        if (c.isPresent(a) != c.isPresent(b))
+            return false;
+        // Compare value bits, not floats: NaN payloads and -0.0f must
+        // round-trip through dedup unchanged.
+        if (c.isPresent(a) &&
+            std::memcmp(&c.values[a], &c.values[b], sizeof(float)) !=
+                0) {
+            return false;
+        }
+    }
+    for (const auto &c : batch.sparse) {
+        uint32_t abegin = c.offsets[a], alen = c.offsets[a + 1] - abegin;
+        uint32_t bbegin = c.offsets[b], blen = c.offsets[b + 1] - bbegin;
+        if (alen != blen)
+            return false;
+        if (alen != 0 &&
+            std::memcmp(c.values.data() + abegin,
+                        c.values.data() + bbegin,
+                        alen * sizeof(int64_t)) != 0) {
+            return false;
+        }
+        if (!c.scores.empty() && alen != 0 &&
+            std::memcmp(c.scores.data() + abegin,
+                        c.scores.data() + bbegin,
+                        alen * sizeof(float)) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+BatchDedupPlan
+planBatchDedup(const dwrf::RowBatch &batch)
+{
+    BatchDedupPlan plan;
+    plan.inverse.resize(batch.rows);
+    plan.unique_rows.reserve(batch.rows);
+
+    // hash -> slots in unique_rows with that hash (exact compare
+    // resolves collisions).
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    buckets.reserve(batch.rows);
+    for (uint32_t r = 0; r < batch.rows; ++r) {
+        uint64_t h = hashRow(batch, r);
+        auto &slots = buckets[h];
+        uint32_t found = UINT32_MAX;
+        for (uint32_t slot : slots) {
+            if (rowsEqual(batch, plan.unique_rows[slot], r)) {
+                found = slot;
+                break;
+            }
+        }
+        if (found == UINT32_MAX) {
+            found = static_cast<uint32_t>(plan.unique_rows.size());
+            plan.unique_rows.push_back(r);
+            slots.push_back(found);
+        }
+        plan.inverse[r] = found;
+    }
+    return plan;
+}
+
+namespace {
+
+/** Gather `rows` of `src` into a fresh batch (shared by both paths). */
+dwrf::RowBatch
+gatherImpl(const dwrf::RowBatch &src,
+           const std::vector<uint32_t> &rows,
+           const std::vector<float> *labels_override)
+{
+    dwrf::RowBatch out;
+    out.rows = static_cast<uint32_t>(rows.size());
+
+    if (labels_override != nullptr) {
+        out.labels = *labels_override;
+    } else if (!src.labels.empty()) {
+        out.labels.reserve(rows.size());
+        for (uint32_t r : rows)
+            out.labels.push_back(src.labels[r]);
+    }
+
+    out.dense.reserve(src.dense.size());
+    for (const auto &c : src.dense) {
+        dwrf::DenseColumn col;
+        col.id = c.id;
+        col.present.assign((out.rows + 7) / 8, 0);
+        col.values.assign(out.rows, 0.0f);
+        for (uint32_t i = 0; i < out.rows; ++i) {
+            uint32_t r = rows[i];
+            if (c.isPresent(r)) {
+                col.setPresent(i);
+                col.values[i] = c.values[r];
+            }
+        }
+        out.dense.push_back(std::move(col));
+    }
+
+    out.sparse.reserve(src.sparse.size());
+    for (const auto &c : src.sparse) {
+        dwrf::SparseColumn col;
+        col.id = c.id;
+        col.offsets.assign(out.rows + 1, 0);
+        uint32_t total = 0;
+        for (uint32_t i = 0; i < out.rows; ++i) {
+            total += c.length(rows[i]);
+            col.offsets[i + 1] = total;
+        }
+        col.values.resize(total);
+        bool scored = !c.scores.empty();
+        if (scored)
+            col.scores.resize(total);
+        for (uint32_t i = 0; i < out.rows; ++i) {
+            uint32_t begin = c.offsets[rows[i]];
+            uint32_t len = col.offsets[i + 1] - col.offsets[i];
+            if (len == 0)
+                continue;
+            std::memcpy(col.values.data() + col.offsets[i],
+                        c.values.data() + begin,
+                        len * sizeof(int64_t));
+            if (scored) {
+                std::memcpy(col.scores.data() + col.offsets[i],
+                            c.scores.data() + begin,
+                            len * sizeof(float));
+            }
+        }
+        out.sparse.push_back(std::move(col));
+    }
+    return out;
+}
+
+} // namespace
+
+dwrf::RowBatch
+gatherRows(const dwrf::RowBatch &batch,
+           const std::vector<uint32_t> &rows)
+{
+    return gatherImpl(batch, rows, nullptr);
+}
+
+dwrf::RowBatch
+expandBatch(const dwrf::RowBatch &unique, const BatchDedupPlan &plan,
+            const std::vector<float> &labels)
+{
+    dsi_assert(labels.size() == plan.inverse.size(),
+               "label count %zu != batch rows %zu", labels.size(),
+               plan.inverse.size());
+    return gatherImpl(unique, plan.inverse, &labels);
+}
+
+} // namespace dsi::transforms

@@ -36,15 +36,19 @@ struct MiniCorpus
 };
 
 /**
- * Build a table of `partitions` x `rows_per_partition` rows split into
- * files of `rows_per_file`, generated from `params`.
+ * Set up the cluster/warehouse/schema shell of a corpus and write
+ * `partitions` x `rows_per_partition` rows drawn from `gen` (any type
+ * with `batch(uint32_t) -> std::vector<dwrf::Row>`) through the real
+ * DWRF writer. Shared by the plain and duplicated corpus builders so
+ * the two differ only in their row source.
  */
+template <typename RowGen>
 inline MiniCorpus
-buildMiniCorpus(const warehouse::SchemaParams &params,
+buildCorpusFrom(const warehouse::SchemaParams &params, RowGen make_gen,
                 uint32_t partitions, uint64_t rows_per_partition,
-                uint64_t rows_per_file = 2048,
-                dwrf::WriterOptions writer_options = {},
-                storage::StorageOptions storage_options = {})
+                uint64_t rows_per_file,
+                dwrf::WriterOptions writer_options,
+                storage::StorageOptions storage_options)
 {
     MiniCorpus mc;
     mc.name = params.name;
@@ -56,7 +60,7 @@ buildMiniCorpus(const warehouse::SchemaParams &params,
         mc.schema, params.popularity_alpha, params.seed ^ 0x9999);
 
     auto &table = mc.warehouse->createTable(params.name, mc.schema);
-    warehouse::RowGenerator gen(mc.schema, params.seed ^ 0x1234);
+    auto gen = make_gen(mc.schema);
     for (uint32_t p = 0; p < partitions; ++p) {
         warehouse::Partition partition;
         partition.id = p;
@@ -80,6 +84,50 @@ buildMiniCorpus(const warehouse::SchemaParams &params,
         table.addPartition(std::move(partition));
     }
     return mc;
+}
+
+/**
+ * Build a table of `partitions` x `rows_per_partition` rows split into
+ * files of `rows_per_file`, generated from `params`.
+ */
+inline MiniCorpus
+buildMiniCorpus(const warehouse::SchemaParams &params,
+                uint32_t partitions, uint64_t rows_per_partition,
+                uint64_t rows_per_file = 2048,
+                dwrf::WriterOptions writer_options = {},
+                storage::StorageOptions storage_options = {})
+{
+    return buildCorpusFrom(
+        params,
+        [&](const warehouse::TableSchema &schema) {
+            return warehouse::RowGenerator(schema,
+                                           params.seed ^ 0x1234);
+        },
+        partitions, rows_per_partition, rows_per_file, writer_options,
+        storage_options);
+}
+
+/**
+ * Like buildMiniCorpus, but rows come from DupRowGenerator: a pool of
+ * `dup.pool_size` distinct feature payloads re-sampled Zipf(`alpha`)
+ * with fresh labels — the duplicated corpus shape every dedup test
+ * and benchmark shares.
+ */
+inline MiniCorpus
+buildDupMiniCorpus(const warehouse::SchemaParams &params,
+                   const warehouse::DupParams &dup, uint32_t partitions,
+                   uint64_t rows_per_partition,
+                   uint64_t rows_per_file = 2048,
+                   dwrf::WriterOptions writer_options = {},
+                   storage::StorageOptions storage_options = {})
+{
+    return buildCorpusFrom(
+        params,
+        [&](const warehouse::TableSchema &schema) {
+            return warehouse::DupRowGenerator(schema, dup);
+        },
+        partitions, rows_per_partition, rows_per_file, writer_options,
+        storage_options);
 }
 
 } // namespace dsi::warehouse

@@ -161,6 +161,35 @@ RowGenerator::batch(uint32_t n)
     return rows;
 }
 
+DupRowGenerator::DupRowGenerator(const TableSchema &schema,
+                                 DupParams params)
+    : sampler_(std::max<uint32_t>(1, params.pool_size), params.alpha),
+      rng_(params.seed)
+{
+    RowGenerator gen(schema, params.seed ^ 0xD00DULL);
+    pool_ = gen.batch(std::max<uint32_t>(1, params.pool_size));
+}
+
+dwrf::Row
+DupRowGenerator::next()
+{
+    // Copy a pooled payload; only the label is per-draw, so repeated
+    // draws of one pool slot are byte-identical in feature content.
+    dwrf::Row row = pool_[sampler_.sample(rng_)];
+    row.label = rng_.nextBool(0.03) ? 1.0f : 0.0f;
+    return row;
+}
+
+std::vector<dwrf::Row>
+DupRowGenerator::batch(uint32_t n)
+{
+    std::vector<dwrf::Row> rows;
+    rows.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        rows.push_back(next());
+    return rows;
+}
+
 std::vector<FeatureId>
 chooseProjection(const TableSchema &schema,
                  const std::vector<double> &pop, uint32_t dense_used,

@@ -72,6 +72,75 @@ class RowGenerator
 };
 
 /**
+ * Parameters of a duplicated (RecD-shaped) corpus: how many distinct
+ * sample payloads exist and how skewed their reuse is.
+ */
+struct DupParams
+{
+    /** Distinct feature payloads in the pool. */
+    uint32_t pool_size = 512;
+
+    /** Zipf skew of payload reuse (Table V duplication profile). */
+    double alpha = 1.1;
+
+    uint64_t seed = 11;
+};
+
+/**
+ * Generates rows with *duplicated feature payloads*: a fixed pool of
+ * pool_size distinct rows (drawn once from RowGenerator) is re-sampled
+ * Zipfian-skewed, and every draw gets a fresh label. This is the shape
+ * RecD exploits — repeated samples whose features are byte-identical
+ * but whose labels differ — so it drives both the DWRF list
+ * dictionaries (lists repeat across rows) and the worker's batch
+ * dedup (whole rows repeat within a batch). Deterministic under seed.
+ */
+class DupRowGenerator
+{
+  public:
+    DupRowGenerator(const TableSchema &schema, DupParams params);
+
+    /** Next row: a Zipf-sampled pool payload with a fresh label. */
+    dwrf::Row next();
+
+    std::vector<dwrf::Row> batch(uint32_t n);
+
+    uint32_t poolSize() const
+    {
+        return static_cast<uint32_t>(pool_.size());
+    }
+
+  private:
+    std::vector<dwrf::Row> pool_;
+    ZipfSampler sampler_;
+    Rng rng_;
+};
+
+/**
+ * Zipf-ranked hashed categorical ids — the dictionary-friendly value
+ * shape shared by encoding tests and the perf/dedup benchmarks (one
+ * definition so their corpora cannot drift apart). Ranks are spread
+ * over the id space by a Fibonacci-hash multiply, so values are
+ * 8-byte magnitudes with a hot head, exactly like production hashed
+ * categorical features.
+ */
+inline std::vector<int64_t>
+zipfSkewedIds(size_t n, uint64_t seed, uint64_t distinct = 4000,
+              double alpha = 1.2)
+{
+    Rng rng(seed);
+    ZipfSampler zipf(distinct, alpha);
+    std::vector<int64_t> values;
+    values.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t rank = zipf.sample(rng);
+        values.push_back(
+            static_cast<int64_t>(rank * 0x9e3779b97f4a7c15ULL >> 1));
+    }
+    return values;
+}
+
+/**
  * Choose a feature projection of `dense_used` dense and `sparse_used`
  * sparse features, sampling without replacement proportionally to
  * popularity. Models how ML engineers favor strong-signal features.

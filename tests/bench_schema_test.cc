@@ -7,11 +7,11 @@
  *  2. writeBenchJson / validateBenchJson (src/common/bench_report.h)
  *     agree with each other, and the validator rejects every way a
  *     document can violate the schema;
- *  3. the checked-in BENCH_decode.json / BENCH_dpp.json artifacts are
- *     valid, meet the decode acceptance bar, and every metric name
- *     they carry is documented in docs/BENCHMARKS.md (the same
- *     mechanical doc-drift check trace_export_test runs against
- *     docs/METRICS.md).
+ *  3. the checked-in BENCH_decode.json / BENCH_dpp.json /
+ *     BENCH_dedup.json artifacts are valid, meet the decode and dedup
+ *     acceptance bars, and every metric name they carry is documented
+ *     in docs/BENCHMARKS.md (the same mechanical doc-drift check
+ *     trace_export_test runs against docs/METRICS.md).
  */
 
 #include <gtest/gtest.h>
@@ -173,7 +173,8 @@ documentedBenchNames()
 
 TEST(BenchArtifacts, CheckedInReportsValidate)
 {
-    for (const char *rel : {"BENCH_decode.json", "BENCH_dpp.json"}) {
+    for (const char *rel : {"BENCH_decode.json", "BENCH_dpp.json",
+                            "BENCH_dedup.json"}) {
         std::string text = readRepoFile(rel);
         ASSERT_FALSE(text.empty()) << rel << " missing from repo root";
         std::string error;
@@ -185,6 +186,8 @@ TEST(BenchArtifacts, CheckedInReportsValidate)
     EXPECT_EQ(decode->find("suite")->str, "decode");
     auto dpp = json::parse(readRepoFile("BENCH_dpp.json"));
     EXPECT_EQ(dpp->find("suite")->str, "dpp");
+    auto dedup = json::parse(readRepoFile("BENCH_dedup.json"));
+    EXPECT_EQ(dedup->find("suite")->str, "dedup");
 }
 
 TEST(BenchArtifacts, DecodeMeetsBulkSpeedupBar)
@@ -205,13 +208,32 @@ TEST(BenchArtifacts, DecodeMeetsBulkSpeedupBar)
     EXPECT_GE(speedup, 1.5);
 }
 
+TEST(BenchArtifacts, DedupMeetsStorageSavingsBar)
+{
+    // The dedup contract: list-dictionary DWRF must store the Zipfian
+    // duplicated corpus at >= 1.5x savings over plain encoding. The
+    // checked-in baseline proves it; regenerate with
+    // `bench/dedup_bench --out-dir .` after codec changes.
+    auto doc = json::parse(readRepoFile("BENCH_dedup.json"));
+    ASSERT_TRUE(doc.has_value());
+    const json::Value *metrics = doc->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    double ratio = 0;
+    for (const json::Value &m : metrics->array) {
+        if (m.find("name")->str == "dedup.storage_savings_ratio")
+            ratio = m.find("value")->number;
+    }
+    EXPECT_GE(ratio, 1.5);
+}
+
 TEST(BenchArtifacts, EveryMetricNameIsDocumented)
 {
     auto documented = documentedBenchNames();
     ASSERT_GT(documented.size(), 25u)
         << "docs/BENCHMARKS.md parse came up nearly empty — did the "
            "table format change?";
-    for (const char *rel : {"BENCH_decode.json", "BENCH_dpp.json"}) {
+    for (const char *rel : {"BENCH_decode.json", "BENCH_dpp.json",
+                            "BENCH_dedup.json"}) {
         auto names = bench::benchMetricNames(readRepoFile(rel));
         ASSERT_FALSE(names.empty()) << rel;
         for (const std::string &name : names) {

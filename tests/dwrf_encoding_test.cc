@@ -10,6 +10,7 @@
 #include "dwrf/cipher.h"
 #include "dwrf/compress.h"
 #include "dwrf/encoding.h"
+#include "warehouse/datagen.h"
 
 namespace dsi::dwrf {
 namespace {
@@ -120,14 +121,8 @@ TEST(ValueEncoding, SkewedValuesUseDictionaryAndShrink)
 {
     // Hashed categorical ids (8-byte magnitudes) drawn from a hot
     // Zipf set repeat heavily: dictionary beats direct varints.
-    Rng rng(5);
-    ZipfSampler zipf(4000, 1.2);
-    std::vector<int64_t> values;
-    for (int i = 0; i < 20000; ++i) {
-        uint64_t rank = zipf.sample(rng);
-        values.push_back(static_cast<int64_t>(
-            rank * 0x9e3779b97f4a7c15ULL >> 1));
-    }
+    std::vector<int64_t> values =
+        warehouse::zipfSkewedIds(20000, 5);
 
     Buffer dict_encoded;
     encodeValues(values, dict_encoded);

@@ -37,6 +37,29 @@ makeMiniWarehouse(const warehouse::SchemaParams &params,
                                       so);
 }
 
+/**
+ * Duplicated-corpus variant (RecD shape): rows re-sample a fixed pool
+ * of `dup.pool_size` distinct feature payloads Zipf(`dup.alpha`)-
+ * skewed, each draw with a fresh label. Shared by the dedup
+ * differential/codec tests and bench/dedup_bench so they all measure
+ * the same corpus shape. Storage defaults match makeMiniWarehouse.
+ */
+inline MiniWarehouse
+makeDupMiniWarehouse(const warehouse::SchemaParams &params,
+                     const warehouse::DupParams &dup,
+                     uint32_t partitions, uint64_t rows_per_partition,
+                     uint64_t rows_per_file = 2048,
+                     dwrf::WriterOptions writer_options = {})
+{
+    storage::StorageOptions so;
+    so.block_size = 4_MiB;
+    so.hdd_nodes = 4;
+    return warehouse::buildDupMiniCorpus(params, dup, partitions,
+                                         rows_per_partition,
+                                         rows_per_file, writer_options,
+                                         so);
+}
+
 } // namespace dsi::testing
 
 #endif // DSI_TESTS_TEST_FIXTURES_H
